@@ -1,0 +1,203 @@
+// Package aql is a query language for multidimensional arrays: a complete
+// Go implementation of AQL and its core calculus NRCA from Libkin, Machlin
+// and Wong, "A Query Language for Multidimensional Arrays: Design,
+// Implementation, and Optimization Techniques" (SIGMOD 1996).
+//
+// AQL treats arrays as functions from rectangular index sets to values
+// rather than as collection types. Three array constructs — tabulation,
+// subscripting and dimension extraction — together with nested relational
+// calculus, arithmetic and summation express subslabs, regridding, zip,
+// transpose, matrix product and the other array operations of scientific
+// data management; the equational theory of the calculus powers a rewriting
+// optimizer whose array rules (β^p, η^p, δ^p) avoid materializing
+// intermediate arrays.
+//
+// # Quick start
+//
+//	s, err := aql.NewSession()
+//	if err != nil { ... }
+//	v, typ, err := s.Query(`{d | \d <- gen!30, d % 7 = 0}`)
+//	fmt.Println(typ, v)   // {nat} {0, 7, 14, 21, 28}
+//
+// A Session is the paper's open top-level environment: external primitives,
+// data readers/writers, macros, vals and optimizer rules can all be
+// registered at runtime. The NetCDF classic-format driver ships in
+// (readers NETCDF, NETCDF1..NETCDF4), as does a reader/writer for the
+// complex-object data exchange format (EXCHANGE).
+package aql
+
+import (
+	"fmt"
+
+	"github.com/aqldb/aql/internal/ast"
+	"github.com/aqldb/aql/internal/coord"
+	"github.com/aqldb/aql/internal/env"
+	"github.com/aqldb/aql/internal/object"
+	"github.com/aqldb/aql/internal/opt"
+	"github.com/aqldb/aql/internal/repl"
+	"github.com/aqldb/aql/internal/typecheck"
+	"github.com/aqldb/aql/internal/types"
+)
+
+// Value is a runtime complex object: a boolean, natural, real, string,
+// tuple, set, bag, multidimensional array, or the error value ⊥.
+type Value = object.Value
+
+// Type is an AQL object type, e.g. [[real]]_3 or {nat * string}.
+type Type = types.Type
+
+// Expr is a compiled core-calculus query.
+type Expr = ast.Expr
+
+// Result is the outcome of one top-level statement executed by Exec.
+type Result = repl.Result
+
+// Reader inputs a complex object given a parameter object; register one
+// with RegisterReader to make `readval X using NAME at e` work.
+type Reader = env.Reader
+
+// Writer outputs a complex object; the counterpart for `writeval`.
+type Writer = env.Writer
+
+// Rule is an optimizer rewrite rule; register with AddRule.
+type Rule = opt.Rule
+
+// Session is a live AQL environment: the top-level read-eval-print state
+// of section 4 of the paper.
+type Session struct {
+	s *repl.Session
+}
+
+// NewSession returns a session with the standard environment: the derived
+// primitives (min, max, member, count, not), the standard external
+// primitives (heatindex, sunset, scalar math), the standard macros of
+// section 3 (dom, rng, subseq, zip, zip_3, reverse, evenpos, transpose,
+// proj_col, ...), the NetCDF and EXCHANGE drivers, and the three-phase
+// optimizer of section 5.
+func NewSession() (*Session, error) {
+	s, err := repl.New()
+	if err != nil {
+		return nil, err
+	}
+	return &Session{s: s}, nil
+}
+
+// Query compiles, optimizes and evaluates a single AQL expression,
+// returning its value and type.
+func (s *Session) Query(src string) (Value, *Type, error) {
+	return s.s.Query(src)
+}
+
+// Exec runs a sequence of top-level statements (`val`, `macro`, `readval`,
+// `writeval`, and bare queries), each terminated by a semicolon.
+func (s *Session) Exec(src string) ([]Result, error) {
+	return s.s.Exec(src)
+}
+
+// Compile runs the front half of the pipeline — parse, desugar (figure 2),
+// macro substitution, typecheck — without optimizing or evaluating.
+func (s *Session) Compile(src string) (Expr, *Type, error) {
+	return s.s.Compile(src)
+}
+
+// Optimize rewrites a compiled query through the session's optimizer
+// phases.
+func (s *Session) Optimize(e Expr) Expr { return s.s.Optimize(e) }
+
+// Eval evaluates a compiled query.
+func (s *Session) Eval(e Expr) (Value, error) { return s.s.Eval(e) }
+
+// SetOptimizerEnabled toggles the optimizer for subsequent queries; the
+// benchmark harness uses this to isolate the optimizer's effect.
+func (s *Session) SetOptimizerEnabled(on bool) { s.s.SkipOptimizer = !on }
+
+// LastSteps reports the evaluator step count of the most recent query —
+// a machine-independent work measure.
+func (s *Session) LastSteps() int64 { return s.s.LastSteps }
+
+// SetMaxSteps bounds the evaluator steps per query (0 = unlimited); queries
+// that exceed the budget fail with an error instead of running away.
+func (s *Session) SetMaxSteps(n int64) { s.s.MaxSteps = n }
+
+// RegisterPrimitive makes a Go function available as an AQL primitive with
+// the given type (in concrete syntax, e.g. "(real * real * nat) -> nat") —
+// the paper's RegisterCO.
+func (s *Session) RegisterPrimitive(name, typ string, fn func(Value) (Value, error)) error {
+	t, err := types.Parse(typ)
+	if err != nil {
+		return fmt.Errorf("aql: primitive %s: %w", name, err)
+	}
+	return s.s.Env.RegisterPrimitive(name, fn, t)
+}
+
+// RegisterReader registers a data reader for `readval`.
+func (s *Session) RegisterReader(name string, r Reader) { s.s.Env.RegisterReader(name, r) }
+
+// RegisterWriter registers a data writer for `writeval`.
+func (s *Session) RegisterWriter(name string, w Writer) { s.s.Env.RegisterWriter(name, w) }
+
+// AddRule appends an optimizer rule to the named phase ("normalize",
+// "constraints", "motion", or a new phase name), as section 4.1's open
+// architecture allows.
+func (s *Session) AddRule(phase string, r Rule) { s.s.Env.Optimizer.AddRule(phase, r) }
+
+// OptimizerStats returns the cumulative rule-firing counters.
+func (s *Session) OptimizerStats() map[string]int { return s.s.Env.Optimizer.Stats }
+
+// RegisterAxis installs a coordinate axis (strictly monotone values, e.g.
+// latitudes) as the primitives <name>_index, <name>_coord and
+// <name>_range, letting queries address arrays by physical coordinates —
+// the second piece of future work in section 7 of the paper.
+func (s *Session) RegisterAxis(name string, values []float64) error {
+	axis, err := coord.NewAxis(name, values)
+	if err != nil {
+		return err
+	}
+	return coord.Register(s.s.Env, axis)
+}
+
+// SetVal binds a complex object to a top-level name, inferring its type.
+func (s *Session) SetVal(name string, v Value) error {
+	t, err := typecheck.TypeOf(v)
+	if err != nil {
+		return fmt.Errorf("aql: val %s: %w", name, err)
+	}
+	s.s.Env.SetVal(name, v, t)
+	return nil
+}
+
+// Val returns a top-level val (including `it`, the last query result).
+func (s *Session) Val(name string) (Value, bool) { return s.s.Env.Val(name) }
+
+// --- Value constructors, re-exported for host programs ---------------------
+
+// Bool, Nat, Real, Str, Tup, SetOf, BagOf, ArrayOf and Bottom construct
+// complex objects from Go values.
+var (
+	Bool = object.Bool
+	Nat  = object.Nat
+	Real = object.Real
+	Str  = object.String_
+	Tup  = object.Tuple
+)
+
+// SetOf builds a canonical set.
+func SetOf(elems ...Value) Value { return object.Set(elems...) }
+
+// BagOf builds a canonical bag.
+func BagOf(elems ...Value) Value { return object.Bag(elems...) }
+
+// ArrayOf builds a k-dimensional array from a shape and row-major data.
+func ArrayOf(shape []int, data []Value) (Value, error) { return object.Array(shape, data) }
+
+// VectorOf builds a one-dimensional array.
+func VectorOf(data ...Value) Value { return object.Vector(data...) }
+
+// Bottom is the error value ⊥.
+func Bottom(msg string) Value { return object.Bottom(msg) }
+
+// Equal reports semantic equality of two complex objects.
+func Equal(a, b Value) bool { return object.Equal(a, b) }
+
+// ParseType parses a type in concrete syntax.
+func ParseType(src string) (*Type, error) { return types.Parse(src) }

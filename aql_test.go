@@ -1,0 +1,180 @@
+package aql
+
+import (
+	"strings"
+	"testing"
+)
+
+func newSession(t *testing.T) *Session {
+	t.Helper()
+	s, err := NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestQuickstart(t *testing.T) {
+	s := newSession(t)
+	v, typ, err := s.Query(`{d | \d <- gen!30, d % 7 = 0}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ.String() != "{nat}" {
+		t.Errorf("type = %s", typ)
+	}
+	want := SetOf(Nat(0), Nat(7), Nat(14), Nat(21), Nat(28))
+	if !Equal(v, want) {
+		t.Errorf("value = %s, want %s", v, want)
+	}
+}
+
+func TestRegisterPrimitive(t *testing.T) {
+	s := newSession(t)
+	err := s.RegisterPrimitive("triple", "nat -> nat", func(v Value) (Value, error) {
+		return Nat(v.N * 3), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _, err := s.Query("triple!14")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(v, Nat(42)) {
+		t.Errorf("triple!14 = %s", v)
+	}
+	// Bad type syntax is rejected.
+	if err := s.RegisterPrimitive("bad", "nat ->", nil); err == nil {
+		t.Error("bad type should be rejected")
+	}
+	// Non-function types are rejected.
+	if err := s.RegisterPrimitive("bad", "nat", nil); err == nil {
+		t.Error("non-function type should be rejected")
+	}
+}
+
+func TestSetValAndVal(t *testing.T) {
+	s := newSession(t)
+	if err := s.SetVal("A", VectorOf(Nat(5), Nat(6))); err != nil {
+		t.Fatal(err)
+	}
+	v, _, err := s.Query("A[1] + A[0]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(v, Nat(11)) {
+		t.Errorf("got %s", v)
+	}
+	if _, ok := s.Val("A"); !ok {
+		t.Error("Val(A) not found")
+	}
+	// `it` is bound after Exec queries.
+	if _, err := s.Exec("1 + 1;"); err != nil {
+		t.Fatal(err)
+	}
+	if it, ok := s.Val("it"); !ok || !Equal(it, Nat(2)) {
+		t.Errorf("it = %v, %v", it, ok)
+	}
+}
+
+func TestOptimizerToggleAndStats(t *testing.T) {
+	s := newSession(t)
+	// A query that the optimizer collapses: subscripting a tabulation.
+	src := `[[ i * i | \i < 1000 ]][7]`
+	if _, _, err := s.Query(src); err != nil {
+		t.Fatal(err)
+	}
+	optimizedSteps := s.LastSteps()
+	s.SetOptimizerEnabled(false)
+	if _, _, err := s.Query(src); err != nil {
+		t.Fatal(err)
+	}
+	naiveSteps := s.LastSteps()
+	if optimizedSteps*10 > naiveSteps {
+		t.Errorf("optimizer saved too little: %d vs %d steps", optimizedSteps, naiveSteps)
+	}
+	if s.OptimizerStats()["beta-p"] == 0 {
+		t.Error("beta-p should have fired")
+	}
+}
+
+func TestCompileOptimizeEval(t *testing.T) {
+	s := newSession(t)
+	e, typ, err := s.Compile(`transpose![[2, 2; 1, 2, 3, 4]]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ.String() != "[[nat]]_2" {
+		t.Errorf("type = %s", typ)
+	}
+	v, err := s.Eval(s.Optimize(e))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ArrayOf([]int{2, 2}, []Value{Nat(1), Nat(3), Nat(2), Nat(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(v, want) {
+		t.Errorf("got %s, want %s", v, want)
+	}
+}
+
+func TestAddRule(t *testing.T) {
+	s := newSession(t)
+	s.AddRule("normalize", Rule{
+		Name: "user-rule",
+		Apply: func(e Expr) (Expr, bool) {
+			return e, false
+		},
+	})
+	if _, _, err := s.Query("1 + 1"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrorsSurface(t *testing.T) {
+	s := newSession(t)
+	_, _, err := s.Query(`1 + "two"`)
+	if err == nil || !strings.Contains(err.Error(), "unify") {
+		t.Errorf("err = %v", err)
+	}
+	// Language-level partiality is a value, not an error.
+	v, _, err := s.Query(`[[1, 2]][9]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.IsBottom() {
+		t.Errorf("out-of-bounds = %s, want bottom", v)
+	}
+}
+
+func TestMaxStepsGuard(t *testing.T) {
+	s := newSession(t)
+	s.SetMaxSteps(100)
+	if _, _, err := s.Query(`summap(fn \i => i)!(gen!100000)`); err == nil {
+		t.Error("runaway query not aborted")
+	}
+	s.SetMaxSteps(0)
+	if _, _, err := s.Query(`1 + 1`); err != nil {
+		t.Errorf("unlimited session broken: %v", err)
+	}
+}
+
+func TestRegisterAxisPublicAPI(t *testing.T) {
+	s := newSession(t)
+	if err := s.RegisterAxis("lon", []float64{0, 90, 180}); err != nil {
+		t.Fatal(err)
+	}
+	v, _, err := s.Query(`lon_index!85.0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(v, Nat(1)) {
+		t.Errorf("lon_index!85.0 = %s", v)
+	}
+	if err := s.RegisterAxis("bad", []float64{1, 1}); err == nil {
+		t.Error("non-monotone axis accepted")
+	}
+}

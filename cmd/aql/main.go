@@ -1,0 +1,121 @@
+// Command aql is the AQL read-eval-print loop (section 4.2 of the paper).
+//
+// Usage:
+//
+//	aql                 interactive loop; statements end with ';'
+//	aql -f script.aql   execute a script of top-level statements
+//	aql -q 'query'      run one query and print its value
+//
+// The loop echoes declarations the way the paper's session does:
+//
+//	: {d | \d <- gen!30, d % 7 = 0};
+//	typ it : {nat}
+//	val it = {0, 7, 14, 21, 28}
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/aqldb/aql"
+)
+
+func main() {
+	file := flag.String("f", "", "execute a script file of AQL statements")
+	query := flag.String("q", "", "run a single query and exit")
+	limit := flag.Int("limit", 12, "maximum collection elements to print (0 = all)")
+	maxSteps := flag.Int64("maxsteps", 0, "abort queries after this many evaluator steps (0 = unlimited)")
+	flag.Parse()
+
+	s, err := aql.NewSession()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aql:", err)
+		os.Exit(1)
+	}
+	s.SetMaxSteps(*maxSteps)
+
+	switch {
+	case *query != "":
+		v, typ, err := s.Query(*query)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aql:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("typ it : %s\n", typ)
+		fmt.Printf("val it = %s\n", v.Pretty(*limit))
+	case *file != "":
+		src, err := os.ReadFile(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aql:", err)
+			os.Exit(1)
+		}
+		results, err := s.Exec(string(src))
+		for _, r := range results {
+			printResult(r, *limit)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aql:", err)
+			os.Exit(1)
+		}
+	default:
+		interact(s, *limit)
+	}
+}
+
+// interact runs the interactive loop, accumulating input lines until a
+// statement-terminating semicolon.
+func interact(s *aql.Session, limit int) {
+	fmt.Println("AQL — a query language for multidimensional arrays (SIGMOD 1996)")
+	fmt.Println(`End statements with ';'. Ctrl-D exits.`)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := ": "
+	for {
+		fmt.Print(prompt)
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := sc.Text()
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.Contains(line, ";") {
+			prompt = ":: "
+			continue
+		}
+		results, err := s.Exec(buf.String())
+		buf.Reset()
+		prompt = ": "
+		for _, r := range results {
+			printResult(r, limit)
+		}
+		if err != nil {
+			fmt.Println("error:", err)
+		}
+	}
+}
+
+func printResult(r aql.Result, limit int) {
+	switch r.Kind {
+	case "macro":
+		fmt.Printf("typ %s : %s\n", r.Name, r.Type)
+		if r.Source != "" {
+			fmt.Printf("val %s = %s registered as macro.\n", r.Name, r.Source)
+		} else {
+			fmt.Printf("val %s registered as macro.\n", r.Name)
+		}
+	case "writeval":
+		fmt.Println("written.")
+	default:
+		if r.Type != nil {
+			fmt.Printf("typ %s : %s\n", r.Name, r.Type)
+		}
+		if r.HasValue {
+			fmt.Printf("val %s = %s\n", r.Name, r.Value.Pretty(limit))
+		}
+	}
+}

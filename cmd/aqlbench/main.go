@@ -1,0 +1,324 @@
+// Command aqlbench regenerates the experiment tables recorded in
+// EXPERIMENTS.md: one table per experiment of DESIGN.md's index, reporting
+// wall-clock time and evaluator steps (a machine-independent work measure)
+// for each rival implementation.
+//
+// Usage:
+//
+//	aqlbench            run every experiment
+//	aqlbench -exp e7    run one experiment (e4, e6, e7, e8, e9, e10, e11, e15, e17, a1)
+//	aqlbench -quick     smaller sweeps, for smoke testing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/aqldb/aql/internal/ast"
+	"github.com/aqldb/aql/internal/bench"
+	"github.com/aqldb/aql/internal/netcdf"
+	"github.com/aqldb/aql/internal/opt"
+	"github.com/aqldb/aql/internal/repl"
+)
+
+var quick = flag.Bool("quick", false, "smaller sweeps")
+
+func main() {
+	exp := flag.String("exp", "", "run a single experiment (e4, e6, e7, e8, e9, e10, e11, e15, e17, a1)")
+	flag.Parse()
+
+	all := []struct {
+		id   string
+		name string
+		run  func()
+	}{
+		{"e4", "the motivating query (section 1)", runE4},
+		{"e6", "zip: arrays O(n) vs set join O(n^2) (section 1)", runE6},
+		{"e7", "hist O(n*m) vs hist' O(m + n log n) (section 2)", runE7},
+		{"e8", "literal arrays: append chain O(n^2) vs row-major O(n) (section 3)", runE8},
+		{"e9", "the array rules beta^p / eta^p / delta^p (section 5)", runE9},
+		{"e10", "fused transpose (section 5)", runE10},
+		{"e11", "zip-subseq commutation (sections 1 and 5)", runE11},
+		{"e15", "NetCDF subslab reads (section 4.1)", runE15},
+		{"e17", "predictive caching for strided reads (section 7)", runE17},
+		{"a1", "ablation: optimizer phase structure", runA1},
+	}
+	ran := false
+	for _, e := range all {
+		if *exp != "" && e.id != *exp {
+			continue
+		}
+		fmt.Printf("## %s — %s\n\n", strings.ToUpper(e.id), e.name)
+		e.run()
+		fmt.Println()
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "aqlbench: unknown experiment %q\n", *exp)
+		os.Exit(1)
+	}
+}
+
+// timeQuery reports wall time and evaluator steps for one evaluation of a
+// compiled query.
+func timeQuery(s *repl.Session, core ast.Expr) (time.Duration, int64) {
+	start := time.Now()
+	if _, err := s.Eval(core); err != nil {
+		fmt.Fprintln(os.Stderr, "aqlbench:", err)
+		os.Exit(1)
+	}
+	return time.Since(start), s.LastSteps
+}
+
+func compile(s *repl.Session, src string, optimize bool) ast.Expr {
+	core, _, err := s.Compile(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aqlbench:", err)
+		os.Exit(1)
+	}
+	if optimize {
+		core = s.Env.Optimizer.Optimize(core)
+	}
+	return core
+}
+
+func runE4() {
+	s := bench.MustSession()
+	bench.SetupWeather(s)
+	core := compile(s, bench.MotivatingQuery, true)
+	d, steps := timeQuery(s, core)
+	v, err := s.Eval(core)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("| result | wall time | evaluator steps |\n|---|---|---|\n")
+	fmt.Printf("| %s | %v | %d |\n", v, d.Round(time.Microsecond), steps)
+}
+
+func runE6() {
+	sizes := []int{100, 200, 400, 800}
+	if *quick {
+		sizes = []int{100, 200}
+	}
+	fmt.Printf("| n | zip (arrays) | steps | zip (set join) | steps | slowdown |\n|---|---|---|---|---|---|\n")
+	for _, n := range sizes {
+		s := bench.MustSession()
+		bench.SetupZip(s, n)
+		arr := compile(s, bench.ZipArrayQuery, true)
+		setj := compile(s, bench.ZipSetsQuery, true)
+		dA, stA := timeQuery(s, arr)
+		dS, stS := timeQuery(s, setj)
+		fmt.Printf("| %d | %v | %d | %v | %d | %.1fx |\n",
+			n, dA.Round(time.Microsecond), stA, dS.Round(time.Microsecond), stS,
+			float64(dS)/float64(dA))
+	}
+}
+
+func runE7() {
+	sizes := []struct{ n, m int }{{100, 100}, {100, 400}, {100, 1600}, {400, 400}, {400, 1600}}
+	if *quick {
+		sizes = sizes[:2]
+	}
+	fmt.Printf("| n | m | hist | steps | hist' | steps | speedup |\n|---|---|---|---|---|---|---|\n")
+	for _, sz := range sizes {
+		s := bench.MustSession()
+		if _, err := s.Exec(bench.HistMacros); err != nil {
+			panic(err)
+		}
+		bench.SetupHist(s, sz.n, sz.m)
+		slow := compile(s, "hist!A", true)
+		fast := compile(s, "hist'!A", true)
+		dS, stS := timeQuery(s, slow)
+		dF, stF := timeQuery(s, fast)
+		fmt.Printf("| %d | %d | %v | %d | %v | %d | %.1fx |\n",
+			sz.n, sz.m, dS.Round(time.Microsecond), stS, dF.Round(time.Microsecond), stF,
+			float64(dS)/float64(dF))
+	}
+}
+
+func runE8() {
+	sizes := []int{50, 100, 200, 400}
+	if *quick {
+		sizes = sizes[:2]
+	}
+	fmt.Printf("| n | append chain | steps | row-major | steps | ratio |\n|---|---|---|---|---|---|\n")
+	for _, n := range sizes {
+		s := bench.MustSession()
+		chain := bench.AppendChainExpr(n)
+		row := bench.RowMajorExpr(n)
+		dC, stC := timeQuery(s, chain)
+		dR, stR := timeQuery(s, row)
+		fmt.Printf("| %d | %v | %d | %v | %d | %.1fx |\n",
+			n, dC.Round(time.Microsecond), stC, dR.Round(time.Microsecond), stR,
+			float64(dC)/float64(dR))
+	}
+}
+
+func runE9() {
+	n := 100000
+	if *quick {
+		n = 10000
+	}
+	fmt.Printf("| rule | query | naive steps | optimized steps |\n|---|---|---|---|\n")
+	rows := []struct {
+		rule string
+		q    string
+		e    ast.Expr
+	}{
+		{"beta^p", "[[ i*i | \\i < n ]][n/2]", bench.BetaPExpr(n)},
+		{"eta^p", "[[ A[i] | \\i < len A ]]", bench.EtaPExpr()},
+		{"delta^p", "len([[ i*i | \\i < n ]])", bench.DeltaPExpr(n)},
+	}
+	for _, r := range rows {
+		s := bench.MustSession()
+		bench.SetupVector(s, n)
+		_, naive := timeQuery(s, r.e)
+		_, opt := timeQuery(s, s.Env.Optimizer.Optimize(r.e))
+		fmt.Printf("| %s | `%s` | %d | %d |\n", r.rule, r.q, naive, opt)
+	}
+}
+
+func runE10() {
+	m, n := 300, 300
+	if *quick {
+		m, n = 60, 60
+	}
+	s := bench.MustSession()
+	bench.SetupTranspose(s, m, n)
+	naive := compile(s, bench.TransposeQuery, false)
+	opt := compile(s, bench.TransposeQuery, true)
+	dN, stN := timeQuery(s, naive)
+	dO, stO := timeQuery(s, opt)
+	fmt.Printf("| variant | wall time | steps |\n|---|---|---|\n")
+	fmt.Printf("| transpose of a %dx%d tabulation, naive | %v | %d |\n", m, n, dN.Round(time.Microsecond), stN)
+	fmt.Printf("| same, after normalization (fused) | %v | %d |\n", dO.Round(time.Microsecond), stO)
+}
+
+func runE11() {
+	n := 4000
+	if *quick {
+		n = 500
+	}
+	fmt.Printf("| order | wall time | steps |\n|---|---|---|\n")
+	for _, tc := range []struct{ name, q string }{
+		{"subseq(zip(A,B))", bench.ZipThenSubseqQuery},
+		{"zip(subseq A, subseq B)", bench.SubseqThenZipQuery},
+	} {
+		s := bench.MustSession()
+		bench.SetupZipSubseq(s, n)
+		core := compile(s, tc.q, true)
+		d, st := timeQuery(s, core)
+		fmt.Printf("| %s | %v | %d |\n", tc.name, d.Round(time.Microsecond), st)
+	}
+}
+
+func runE17() {
+	dir, err := os.MkdirTemp("", "aqlbench")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "cache.nc")
+	nb := netcdf.NewBuilder()
+	ti, _ := nb.AddDim("time", 4000)
+	la, _ := nb.AddDim("lat", 50)
+	data := make([]float64, 4000*50)
+	for i := range data {
+		data[i] = float64(i % 89)
+	}
+	if err := nb.AddVar("temp", netcdf.Double, []int{ti, la}, nil, data); err != nil {
+		panic(err)
+	}
+	if err := nb.WriteFile(path); err != nil {
+		panic(err)
+	}
+	colScan := func(f *netcdf.File) time.Duration {
+		start := time.Now()
+		for c := 0; c < 50; c++ {
+			if _, err := f.ReadSlab("temp", []int{0, c}, []int{4000, 1}); err != nil {
+				panic(err)
+			}
+		}
+		return time.Since(start)
+	}
+	plain, err := netcdf.Open(path)
+	if err != nil {
+		panic(err)
+	}
+	defer plain.Close()
+	cached, err := netcdf.OpenCached(path, 1<<16, 64)
+	if err != nil {
+		panic(err)
+	}
+	defer cached.Close()
+	dP := colScan(plain)
+	dC := colScan(cached)
+	fmt.Printf("| reader | 50 strided column reads | speedup |\n|---|---|---|\n")
+	fmt.Printf("| uncached | %v | 1.0x |\n", dP.Round(time.Microsecond))
+	fmt.Printf("| cached + readahead | %v | %.1fx |\n", dC.Round(time.Microsecond), float64(dP)/float64(dC))
+	fmt.Printf("\ncache stats: %+v\n", cached.Cache.Stats)
+}
+
+func runA1() {
+	s := bench.MustSession()
+	bench.SetupWeather(s)
+	core, _, err := s.Compile(bench.MotivatingQuery)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("| optimizer | wall time | steps |\n|---|---|---|\n")
+	for _, variant := range []struct {
+		name string
+		e    ast.Expr
+	}{
+		{"none", core},
+		{"normalize only", opt.NewNormalizeOnly().Optimize(core)},
+		{"full pipeline", opt.New().Optimize(core)},
+	} {
+		d, steps := timeQuery(s, variant.e)
+		fmt.Printf("| %s | %v | %d |\n", variant.name, d.Round(time.Microsecond), steps)
+	}
+}
+
+func runE15() {
+	dir, err := os.MkdirTemp("", "aqlbench")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "bench.nc")
+	nb := netcdf.NewBuilder()
+	ti, _ := nb.AddDim("time", 2000)
+	la, _ := nb.AddDim("lat", 10)
+	lo, _ := nb.AddDim("lon", 10)
+	data := make([]float64, 2000*10*10)
+	for i := range data {
+		data[i] = float64(i % 97)
+	}
+	if err := nb.AddVar("temp", netcdf.Double, []int{ti, la, lo}, nil, data); err != nil {
+		panic(err)
+	}
+	if err := nb.WriteFile(path); err != nil {
+		panic(err)
+	}
+	f, err := netcdf.Open(path)
+	if err != nil {
+		panic(err)
+	}
+	defer f.Close()
+	fmt.Printf("| slab | wall time | MB/s |\n|---|---|---|\n")
+	for _, count := range [][]int{{720, 10, 10}, {2000, 10, 10}, {2000, 1, 1}} {
+		start := time.Now()
+		slab, err := f.ReadSlab("temp", []int{0, 0, 0}, count)
+		if err != nil {
+			panic(err)
+		}
+		d := time.Since(start)
+		mb := float64(slab.Size()*8) / (1 << 20)
+		fmt.Printf("| %v | %v | %.0f |\n", count, d.Round(time.Microsecond), mb/d.Seconds())
+	}
+}

@@ -1,0 +1,85 @@
+// The quickstart example tours the public API: queries, comprehensions,
+// patterns, arrays-as-functions, macros, registered primitives, and the
+// optimizer.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/aqldb/aql"
+)
+
+func main() {
+	s, err := aql.NewSession()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	show := func(src string) {
+		v, typ, err := s.Query(src)
+		if err != nil {
+			log.Fatalf("%s\n  error: %v", src, err)
+		}
+		fmt.Printf(": %s;\ntyp it : %s\nval it = %s\n\n", src, typ, v.Pretty(16))
+	}
+
+	fmt.Println("-- sets and comprehensions ------------------------------------")
+	show(`{d | \d <- gen!30, d % 7 = 0}`)
+	show(`{(x, y) | \x <- gen!3, \y <- gen!3, x < y}`)
+
+	fmt.Println("-- arrays are functions: tabulate, subscript, dim -------------")
+	show(`[[ i * i | \i < 8 ]]`)
+	show(`[[ i * i | \i < 8 ]][5]`)
+	show(`len![[ i * i | \i < 8 ]]`)
+	show(`[[ i * 10 + j | \i < 2, \j < 3 ]]`)
+
+	fmt.Println("-- the standard macros of section 3 ---------------------------")
+	show(`reverse![[1, 2, 3, 4, 5]]`)
+	show(`zip!([[1, 2, 3]], [["a", "b", "c"]])`)
+	show(`transpose![[2, 3; 1, 2, 3, 4, 5, 6]]`)
+	show(`subseq!([[10, 20, 30, 40, 50]], 1, 3)`)
+
+	fmt.Println("-- patterns and array generators ------------------------------")
+	show(`{i | [\i : \x] <- [[5, 99, 3, 98]], x > 90}`)
+	show(`{x | (_, 0, \x) <- {(1, 0, "keep"), (2, 5, "drop")}}`)
+
+	fmt.Println("-- index: group-by into an array (section 2's example) --------")
+	show(`index_1!{(1, "a"), (3, "b"), (1, "c")}`)
+
+	fmt.Println("-- user macros and vals ---------------------------------------")
+	if _, err := s.Exec(`
+	  val \V = [[3.0, 1.0, 4.0, 1.0, 5.0]];
+	  macro \mean = fn \A => summap(fn \i => A[i])!(dom!A) / real!(len!A);
+	`); err != nil {
+		log.Fatal(err)
+	}
+	show(`mean!V`)
+
+	fmt.Println("-- registering a Go function as a primitive -------------------")
+	err = s.RegisterPrimitive("fib", "nat -> nat", func(v aql.Value) (aql.Value, error) {
+		a, b := int64(0), int64(1)
+		for i := int64(0); i < v.N; i++ {
+			a, b = b, a+b
+		}
+		return aql.Nat(a), nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	show(`[[ fib!i | \i < 10 ]]`)
+
+	fmt.Println("-- the optimizer at work --------------------------------------")
+	src := `[[ i * i | \i < 100000 ]][7]`
+	s.SetOptimizerEnabled(false)
+	if _, _, err := s.Query(src); err != nil {
+		log.Fatal(err)
+	}
+	naive := s.LastSteps()
+	s.SetOptimizerEnabled(true)
+	if _, _, err := s.Query(src); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("subscripting a 100k tabulation: %d evaluator steps unoptimized,\n", naive)
+	fmt.Printf("%d after the β^p rule fuses away the materialization.\n", s.LastSteps())
+}

@@ -1,0 +1,140 @@
+// The sunset example replays the complete interactive session of
+// section 4.2 of the paper:
+//
+//	What days last June was it hotter than 85° after sunset in NYC?
+//
+// It performs the same steps as the paper's transcript: register the
+// june_sunset external function at the host level (the paper's RegisterCO),
+// define the days_since_1_1 macro in AQL, read the June subslab of a
+// year-long hourly temperature file through the NETCDF3 reader, and run the
+// final query. The synthetic temperature file plants post-sunset heat on
+// June 25, 27 and 28, so the session ends exactly like the paper's:
+//
+//	val it = {25,27,28}
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"github.com/aqldb/aql"
+	"github.com/aqldb/aql/internal/netcdf"
+	"github.com/aqldb/aql/internal/prim"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "aql-sunset")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "temp.nc")
+	writeYearFile(path, []int{25, 27, 28})
+	fmt.Printf("wrote a year of hourly temperatures to %s\n\n", path)
+
+	s, err := aql.NewSession()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Host-level registration, as in the paper's SML snippet. The query
+	// compares sunset against the hour index within the June array, so the
+	// primitive returns month-hours: (d-1)*24 + local sunset hour.
+	err = s.RegisterPrimitive("june_sunset", "(real * real * nat) -> nat",
+		func(v aql.Value) (aql.Value, error) {
+			lat, _ := v.Elems[0].AsReal()
+			lon, _ := v.Elems[1].AsReal()
+			d, _ := v.Elems[2].AsNat()
+			return aql.Nat((d-1)*24 + int64(prim.Sunset(lat, lon, 6, int(d), 1995))), nil
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("- june_sunset registered as an AQL primitive")
+
+	session := fmt.Sprintf(`
+	  val \months = [[0,31,28,31,30,31,30,31,31,30,31,30]];
+	  macro \days_since_1_1 = fn (\m,\d,\y) =>
+	    d + summap(fn \i => months[i])!(gen!m) +
+	    if m > 2 and y %% 4 = 0 then 1 else 0;
+	  macro \lat_index = fn _ => 0;
+	  macro \lon_index = fn _ => 0;
+	  val \NYlat = 40.7;
+	  val \NYlon = 74.0;
+	  readval \T using NETCDF3 at
+	    (%q, "temp",
+	     (days_since_1_1!(6,1,95)*24, lat_index!(NYlat), lon_index!(NYlon)),
+	     (days_since_1_1!(6,30,95)*24 + 23, lat_index!(NYlat), lon_index!(NYlon)));
+	  {d | [(\h,_,_):\t] <- T, \d == h/24+1,
+	       h > june_sunset!(NYlat, NYlon, d), t > 85.0};
+	`, path)
+
+	results, err := s.Exec(session)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		switch r.Kind {
+		case "macro":
+			fmt.Printf("typ %s : %s\nval %s registered as macro.\n", r.Name, r.Type, r.Name)
+		default:
+			fmt.Printf("typ %s : %s\n", r.Name, r.Type)
+			if r.HasValue {
+				fmt.Printf("val %s = %s\n", r.Name, r.Value.Pretty(6))
+			}
+		}
+	}
+
+	final := results[len(results)-1].Value
+	want := aql.SetOf(aql.Nat(25), aql.Nat(27), aql.Nat(28))
+	if aql.Equal(final, want) {
+		fmt.Println("\nreproduces the paper's `val it = {25,27,28}` — session OK")
+	} else {
+		fmt.Printf("\nMISMATCH: wanted %s\n", want)
+		os.Exit(1)
+	}
+}
+
+// writeYearFile writes a year's hourly temperatures over a 1x1 grid with
+// post-sunset heat on the given June days (aligned with days_since_1_1,
+// which maps June 1 1995 to day 152).
+func writeYearFile(path string, hotJuneDays []int) {
+	hot := map[int]bool{}
+	for _, d := range hotJuneDays {
+		hot[d] = true
+	}
+	const hoursPerYear = 365 * 24
+	juneStart := 152 * 24
+	data := make([]float64, hoursPerYear)
+	for h := range data {
+		data[h] = 60
+		if h >= juneStart && h < juneStart+30*24 {
+			juneHour := h - juneStart
+			d := juneHour/24 + 1
+			hourOfDay := juneHour % 24
+			switch {
+			case hot[d] && hourOfDay >= 21:
+				data[h] = 88
+			case hourOfDay >= 12 && hourOfDay <= 16:
+				data[h] = 84
+			default:
+				data[h] = 72
+			}
+		}
+	}
+	b := netcdf.NewBuilder()
+	ti, err := b.AddDim("time", hoursPerYear)
+	if err != nil {
+		log.Fatal(err)
+	}
+	la, _ := b.AddDim("lat", 1)
+	lo, _ := b.AddDim("lon", 1)
+	if err := b.AddVar("temp", netcdf.Double, []int{ti, la, lo}, nil, data); err != nil {
+		log.Fatal(err)
+	}
+	if err := b.WriteFile(path); err != nil {
+		log.Fatal(err)
+	}
+}

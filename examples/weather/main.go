@@ -1,0 +1,95 @@
+// The weather example reproduces the motivating query of section 1 of the
+// paper end to end:
+//
+//	On which days last June was it unbearably hot in NYC?
+//
+// It synthesizes a June of NYC weather (see internal/weather for the
+// substitution notes), writes it as genuine NetCDF classic files, loads the
+// three variables through the NETCDF readers — T and RH hourly and
+// one-dimensional, WS half-hourly and two-dimensional over altitudes — and
+// runs the paper's query verbatim:
+//
+//	{d | \d <- gen!30,
+//	     \WS' == evenpos!(proj_col!(WS, 0)),   (* adjust WS grid and dim *)
+//	     \TRW == zip_3!(T, RH, WS'),           (* combine the readings *)
+//	     \A == subseq!(TRW, d*24, d*24+23),    (* extract day d readings *)
+//	     heatindex!(A) > threshold};           (* filter for unbearability *)
+//
+// heatindex is the externally registered NWS heat-index algorithm
+// (internal/prim); the threshold 105 °F is the NWS "danger" category.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/aqldb/aql"
+	"github.com/aqldb/aql/internal/weather"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "aql-weather")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Synthesize the month and write real .nc files.
+	cfg := weather.DefaultConfig()
+	month := weather.Generate(cfg)
+	tPath, rhPath, wsPath, err := month.WriteNetCDF(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("synthesized June weather -> %s, %s, %s\n", tPath, rhPath, wsPath)
+	fmt.Printf("planted heat-wave days (0-based): %v\n\n", cfg.HotDays)
+
+	s, err := aql.NewSession()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Load the three variables through the NetCDF drivers, exactly as the
+	// paper's readval does.
+	load := fmt.Sprintf(`
+	  readval \T  using NETCDF1 at (%q, "temp", 0, %d);
+	  readval \RH using NETCDF1 at (%q, "rh",   0, %d);
+	  readval \WS using NETCDF2 at (%q, "wind", (0, 0), (%d, %d));
+	  val \threshold = 105.0;
+	`, tPath, cfg.Days*24-1, rhPath, cfg.Days*24-1,
+		wsPath, cfg.Days*48-1, cfg.Altitudes-1)
+	if _, err := s.Exec(load); err != nil {
+		log.Fatal(err)
+	}
+
+	// The motivating query, verbatim.
+	query := `{d | \d <- gen!30,
+	            \WS' == evenpos!(proj_col!(WS, 0)),
+	            \TRW == zip_3!(T, RH, WS'),
+	            \A == subseq!(TRW, d*24, d*24+23),
+	            heatindex!(A) > threshold}`
+	v, typ, err := s.Query(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("typ it : %s\n", typ)
+	fmt.Printf("val it = %s\n", v)
+	fmt.Printf("(evaluator steps: %d)\n\n", s.LastSteps())
+
+	// Cross-check against the planted configuration.
+	want := aql.SetOf(aql.Nat(11), aql.Nat(17), aql.Nat(18))
+	if aql.Equal(v, want) {
+		fmt.Println("matches the planted heat-wave days — reproduction OK")
+	} else {
+		fmt.Printf("MISMATCH: wanted %s\n", want)
+		os.Exit(1)
+	}
+
+	// A bonus query in the same session: how hot did each bad day get?
+	v2, _, err := s.Query(`{(d, max!(rng!(subseq!(T, d*24, d*24+23)))) | \d <- it}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npeak temperatures on those days: %s\n", v2)
+}

@@ -1,0 +1,3 @@
+module github.com/aqldb/aql
+
+go 1.22

@@ -1,0 +1,529 @@
+// Package algebra implements the algebra of functions corresponding to
+// NRCA — the variable-free combinator form that section 6 of the paper
+// uses to prove Theorem 6.1:
+//
+//	"To prove the equivalence modulo these translations, we use the
+//	algebras of functions that correspond to our calculi. They are derived
+//	in the same manner as relational algebra is derived from relational
+//	calculus. ... For NRCA we derive a similar algebra by adding a number
+//	of functions to handle the array operations. For example, there is a
+//	function mk_arr(f) : N → [t], provided f is of type N → t."
+//
+// An algebra term denotes a function from an environment value to a result;
+// variables are compiled away into projection paths, exactly as relational
+// algebra eliminates the variables of relational calculus. The environment
+// is a left-nested pair: translating under binders extends it on the right,
+// and a variable occurrence becomes Snd ∘ Fst^k.
+//
+// The package provides the term language, its evaluator, and the standard
+// translation from the core calculus; the tests verify that translation
+// preserves semantics on the paper's derived operations and on random
+// expressions.
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/aqldb/aql/internal/ast"
+	"github.com/aqldb/aql/internal/eval"
+	"github.com/aqldb/aql/internal/object"
+)
+
+// Term is an algebra arrow: a function of one complex-object input.
+type Term interface {
+	// Apply evaluates the arrow at the input value.
+	Apply(in object.Value) (object.Value, error)
+	String() string
+}
+
+// --- Plumbing combinators ----------------------------------------------------
+
+// Ident is the identity arrow.
+type Ident struct{}
+
+func (Ident) Apply(in object.Value) (object.Value, error) { return in, nil }
+func (Ident) String() string                              { return "id" }
+
+// Compose is g ∘ f (f first).
+type Compose struct{ G, F Term }
+
+func (c Compose) Apply(in object.Value) (object.Value, error) {
+	mid, err := c.F.Apply(in)
+	if err != nil {
+		return object.Value{}, err
+	}
+	if mid.IsBottom() {
+		return mid, nil
+	}
+	return c.G.Apply(mid)
+}
+func (c Compose) String() string { return fmt.Sprintf("(%s . %s)", c.G, c.F) }
+
+// Fst and Snd are the pair projections (the environment spine).
+type Fst struct{}
+
+func (Fst) Apply(in object.Value) (object.Value, error) { return in.Proj(0) }
+func (Fst) String() string                              { return "fst" }
+
+// Snd is the second pair projection.
+type Snd struct{}
+
+func (Snd) Apply(in object.Value) (object.Value, error) { return in.Proj(1) }
+func (Snd) String() string                              { return "snd" }
+
+// PairOf is the tupling ⟨f1, ..., fk⟩: x ↦ (f1 x, ..., fk x).
+type PairOf struct{ Fs []Term }
+
+func (p PairOf) Apply(in object.Value) (object.Value, error) {
+	elems := make([]object.Value, len(p.Fs))
+	for i, f := range p.Fs {
+		v, err := f.Apply(in)
+		if err != nil {
+			return object.Value{}, err
+		}
+		if v.IsBottom() {
+			return v, nil
+		}
+		elems[i] = v
+	}
+	return object.Tuple(elems...), nil
+}
+
+func (p PairOf) String() string {
+	parts := make([]string, len(p.Fs))
+	for i, f := range p.Fs {
+		parts[i] = f.String()
+	}
+	return "<" + strings.Join(parts, ", ") + ">"
+}
+
+// ProjAt is π_{i,k} as an arrow.
+type ProjAt struct{ I, K int }
+
+func (p ProjAt) Apply(in object.Value) (object.Value, error) {
+	if in.Kind != object.KTuple || len(in.Elems) != p.K {
+		return object.Value{}, fmt.Errorf("algebra: pi_%d,%d of %s", p.I, p.K, in.Kind)
+	}
+	return in.Proj(p.I - 1)
+}
+func (p ProjAt) String() string { return fmt.Sprintf("pi_%d,%d", p.I, p.K) }
+
+// ConstOf is the constant arrow x ↦ v.
+type ConstOf struct{ V object.Value }
+
+func (c ConstOf) Apply(object.Value) (object.Value, error) { return c.V, nil }
+func (c ConstOf) String() string                           { return "const(" + c.V.String() + ")" }
+
+// Prim applies a named external primitive to the arrow's result.
+type Prim struct {
+	Name string
+	Fn   func(object.Value) (object.Value, error)
+	Arg  Term
+}
+
+func (p Prim) Apply(in object.Value) (object.Value, error) {
+	v, err := p.Arg.Apply(in)
+	if err != nil {
+		return object.Value{}, err
+	}
+	if v.IsBottom() {
+		return v, nil
+	}
+	return p.Fn(v)
+}
+func (p Prim) String() string { return fmt.Sprintf("%s(%s)", p.Name, p.Arg) }
+
+// --- Booleans, comparison, arithmetic ------------------------------------------
+
+// CondOf is the conditional combinator: if C then T else E, all over the
+// same input.
+type CondOf struct{ C, T, E Term }
+
+func (c CondOf) Apply(in object.Value) (object.Value, error) {
+	b, err := c.C.Apply(in)
+	if err != nil {
+		return object.Value{}, err
+	}
+	if b.IsBottom() {
+		return b, nil
+	}
+	bb, err := b.AsBool()
+	if err != nil {
+		return object.Value{}, fmt.Errorf("algebra: cond: %w", err)
+	}
+	if bb {
+		return c.T.Apply(in)
+	}
+	return c.E.Apply(in)
+}
+func (c CondOf) String() string { return fmt.Sprintf("cond(%s; %s; %s)", c.C, c.T, c.E) }
+
+// CmpOf compares the results of two arrows with the lifted linear order.
+type CmpOf struct {
+	Op   ast.CmpOp
+	L, R Term
+}
+
+func (c CmpOf) Apply(in object.Value) (object.Value, error) {
+	l, err := c.L.Apply(in)
+	if err != nil {
+		return object.Value{}, err
+	}
+	if l.IsBottom() {
+		return l, nil
+	}
+	r, err := c.R.Apply(in)
+	if err != nil {
+		return object.Value{}, err
+	}
+	if r.IsBottom() {
+		return r, nil
+	}
+	cv := object.Compare(l, r)
+	switch c.Op {
+	case ast.OpEq:
+		return object.Bool(cv == 0), nil
+	case ast.OpNe:
+		return object.Bool(cv != 0), nil
+	case ast.OpLt:
+		return object.Bool(cv < 0), nil
+	case ast.OpGt:
+		return object.Bool(cv > 0), nil
+	case ast.OpLe:
+		return object.Bool(cv <= 0), nil
+	case ast.OpGe:
+		return object.Bool(cv >= 0), nil
+	}
+	return object.Value{}, fmt.Errorf("algebra: bad comparison %q", c.Op)
+}
+func (c CmpOf) String() string { return fmt.Sprintf("(%s %s %s)", c.L, c.Op, c.R) }
+
+// ArithOf applies an arithmetic operator to two arrows' results.
+type ArithOf struct {
+	Op   ast.ArithOp
+	L, R Term
+}
+
+func (a ArithOf) Apply(in object.Value) (object.Value, error) {
+	l, err := a.L.Apply(in)
+	if err != nil {
+		return object.Value{}, err
+	}
+	if l.IsBottom() {
+		return l, nil
+	}
+	r, err := a.R.Apply(in)
+	if err != nil {
+		return object.Value{}, err
+	}
+	if r.IsBottom() {
+		return r, nil
+	}
+	return eval.Arith(a.Op, l, r)
+}
+func (a ArithOf) String() string { return fmt.Sprintf("(%s %s %s)", a.L, a.Op, a.R) }
+
+// --- Sets ------------------------------------------------------------------------
+
+// EmptyOf is x ↦ {}.
+type EmptyOf struct{}
+
+func (EmptyOf) Apply(object.Value) (object.Value, error) { return object.EmptySet, nil }
+func (EmptyOf) String() string                           { return "empty" }
+
+// SingOf is η: x ↦ {F x}.
+type SingOf struct{ F Term }
+
+func (s SingOf) Apply(in object.Value) (object.Value, error) {
+	v, err := s.F.Apply(in)
+	if err != nil {
+		return object.Value{}, err
+	}
+	if v.IsBottom() {
+		return v, nil
+	}
+	return object.Set(v), nil
+}
+func (s SingOf) String() string { return fmt.Sprintf("eta(%s)", s.F) }
+
+// UnionOf is F x ∪ G x.
+type UnionOf struct{ L, R Term }
+
+func (u UnionOf) Apply(in object.Value) (object.Value, error) {
+	l, err := u.L.Apply(in)
+	if err != nil {
+		return object.Value{}, err
+	}
+	if l.IsBottom() {
+		return l, nil
+	}
+	r, err := u.R.Apply(in)
+	if err != nil {
+		return object.Value{}, err
+	}
+	if r.IsBottom() {
+		return r, nil
+	}
+	return object.Union(l, r)
+}
+func (u UnionOf) String() string { return fmt.Sprintf("(%s union %s)", u.L, u.R) }
+
+// Ext is the extension combinator (the algebra's counterpart of the big
+// union): input γ, with Over : γ → {s} and F : (γ, x) → {t},
+//
+//	Ext(F, Over)(γ) = ⋃ { F(γ, x) | x ∈ Over(γ) }.
+type Ext struct{ F, Over Term }
+
+func (e Ext) Apply(in object.Value) (object.Value, error) {
+	s, err := e.Over.Apply(in)
+	if err != nil {
+		return object.Value{}, err
+	}
+	if s.IsBottom() {
+		return s, nil
+	}
+	if s.Kind != object.KSet {
+		return object.Value{}, fmt.Errorf("algebra: ext over %s", s.Kind)
+	}
+	var all []object.Value
+	for _, x := range s.Elems {
+		v, err := e.F.Apply(object.Tuple(in, x))
+		if err != nil {
+			return object.Value{}, err
+		}
+		if v.IsBottom() {
+			return v, nil
+		}
+		if v.Kind != object.KSet {
+			return object.Value{}, fmt.Errorf("algebra: ext body produced %s", v.Kind)
+		}
+		all = append(all, v.Elems...)
+	}
+	return object.Set(all...), nil
+}
+func (e Ext) String() string { return fmt.Sprintf("ext(%s; %s)", e.F, e.Over) }
+
+// GetOf is get ∘ F.
+type GetOf struct{ F Term }
+
+func (g GetOf) Apply(in object.Value) (object.Value, error) {
+	s, err := g.F.Apply(in)
+	if err != nil {
+		return object.Value{}, err
+	}
+	if s.IsBottom() {
+		return s, nil
+	}
+	if s.Kind != object.KSet {
+		return object.Value{}, fmt.Errorf("algebra: get of %s", s.Kind)
+	}
+	if len(s.Elems) != 1 {
+		return object.Bottom("algebra: get of a non-singleton"), nil
+	}
+	return s.Elems[0], nil
+}
+func (g GetOf) String() string { return fmt.Sprintf("get(%s)", g.F) }
+
+// --- Naturals ----------------------------------------------------------------------
+
+// GenOf is gen ∘ F.
+type GenOf struct{ F Term }
+
+func (g GenOf) Apply(in object.Value) (object.Value, error) {
+	v, err := g.F.Apply(in)
+	if err != nil {
+		return object.Value{}, err
+	}
+	if v.IsBottom() {
+		return v, nil
+	}
+	n, err := v.AsNat()
+	if err != nil {
+		return object.Value{}, fmt.Errorf("algebra: gen: %w", err)
+	}
+	elems := make([]object.Value, n)
+	for i := int64(0); i < n; i++ {
+		elems[i] = object.Nat(i)
+	}
+	return object.SetFromSorted(elems), nil
+}
+func (g GenOf) String() string { return fmt.Sprintf("gen(%s)", g.F) }
+
+// SumOf is the summation combinator: Σ { F(γ, x) | x ∈ Over(γ) }.
+type SumOf struct{ F, Over Term }
+
+func (s SumOf) Apply(in object.Value) (object.Value, error) {
+	set, err := s.Over.Apply(in)
+	if err != nil {
+		return object.Value{}, err
+	}
+	if set.IsBottom() {
+		return set, nil
+	}
+	if set.Kind != object.KSet {
+		return object.Value{}, fmt.Errorf("algebra: sum over %s", set.Kind)
+	}
+	var accN int64
+	var accR float64
+	isReal := false
+	for _, x := range set.Elems {
+		v, err := s.F.Apply(object.Tuple(in, x))
+		if err != nil {
+			return object.Value{}, err
+		}
+		if v.IsBottom() {
+			return v, nil
+		}
+		switch v.Kind {
+		case object.KNat:
+			accN += v.N
+			accR += float64(v.N)
+		case object.KReal:
+			isReal = true
+			accR += v.R
+		default:
+			return object.Value{}, fmt.Errorf("algebra: sum of %s", v.Kind)
+		}
+	}
+	if isReal {
+		return object.Real(accR), nil
+	}
+	return object.Nat(accN), nil
+}
+func (s SumOf) String() string { return fmt.Sprintf("sum(%s; %s)", s.F, s.Over) }
+
+// --- Arrays: the paper's mk_arr, subscripting, dims, index --------------------------
+
+// MkArr is the paper's mk_arr(f) generalized to k dimensions and an
+// environment: with Bounds : γ → N each and F : (γ, (i1,...,ik)) → t,
+//
+//	MkArr(F, Bounds)(γ) = [[ F(γ, idx) | idx < Bounds(γ) ]].
+type MkArr struct {
+	F      Term
+	Bounds []Term
+}
+
+func (m MkArr) Apply(in object.Value) (object.Value, error) {
+	shape := make([]int, len(m.Bounds))
+	for j, b := range m.Bounds {
+		v, err := b.Apply(in)
+		if err != nil {
+			return object.Value{}, err
+		}
+		if v.IsBottom() {
+			return v, nil
+		}
+		n, err := v.AsNat()
+		if err != nil {
+			return object.Value{}, fmt.Errorf("algebra: mk_arr bound %d: %w", j+1, err)
+		}
+		shape[j] = int(n)
+	}
+	var bottom object.Value
+	sawBottom := false
+	arr, err := object.Tabulate(shape, func(idx []int) (object.Value, error) {
+		var iv object.Value
+		if len(idx) == 1 {
+			iv = object.Nat(int64(idx[0]))
+		} else {
+			elems := make([]object.Value, len(idx))
+			for d, i := range idx {
+				elems[d] = object.Nat(int64(i))
+			}
+			iv = object.Tuple(elems...)
+		}
+		v, err := m.F.Apply(object.Tuple(in, iv))
+		if err != nil {
+			return object.Value{}, err
+		}
+		if v.IsBottom() && !sawBottom {
+			bottom, sawBottom = v, true
+		}
+		return v, nil
+	})
+	if err != nil {
+		return object.Value{}, err
+	}
+	if sawBottom {
+		return bottom, nil
+	}
+	return arr, nil
+}
+
+func (m MkArr) String() string {
+	parts := make([]string, len(m.Bounds))
+	for i, b := range m.Bounds {
+		parts[i] = b.String()
+	}
+	return fmt.Sprintf("mk_arr(%s; %s)", m.F, strings.Join(parts, ", "))
+}
+
+// SubOf subscripts Arr's result at Index's result.
+type SubOf struct{ Arr, Index Term }
+
+func (s SubOf) Apply(in object.Value) (object.Value, error) {
+	a, err := s.Arr.Apply(in)
+	if err != nil {
+		return object.Value{}, err
+	}
+	if a.IsBottom() {
+		return a, nil
+	}
+	i, err := s.Index.Apply(in)
+	if err != nil {
+		return object.Value{}, err
+	}
+	if i.IsBottom() {
+		return i, nil
+	}
+	return object.SubValue(a, i)
+}
+func (s SubOf) String() string { return fmt.Sprintf("sub(%s; %s)", s.Arr, s.Index) }
+
+// DimOf is dim_k ∘ F.
+type DimOf struct {
+	K int
+	F Term
+}
+
+func (d DimOf) Apply(in object.Value) (object.Value, error) {
+	a, err := d.F.Apply(in)
+	if err != nil {
+		return object.Value{}, err
+	}
+	if a.IsBottom() {
+		return a, nil
+	}
+	if a.Kind == object.KArray && len(a.Shape) != d.K {
+		return object.Value{}, fmt.Errorf("algebra: dim_%d of rank-%d array", d.K, len(a.Shape))
+	}
+	return object.DimValue(a)
+}
+func (d DimOf) String() string { return fmt.Sprintf("dim_%d(%s)", d.K, d.F) }
+
+// IndexOf is index_k ∘ F.
+type IndexOf struct {
+	K int
+	F Term
+}
+
+func (ix IndexOf) Apply(in object.Value) (object.Value, error) {
+	s, err := ix.F.Apply(in)
+	if err != nil {
+		return object.Value{}, err
+	}
+	if s.IsBottom() {
+		return s, nil
+	}
+	return object.Index(s, ix.K)
+}
+func (ix IndexOf) String() string { return fmt.Sprintf("index_%d(%s)", ix.K, ix.F) }
+
+// BottomOf is x ↦ ⊥.
+type BottomOf struct{}
+
+func (BottomOf) Apply(object.Value) (object.Value, error) {
+	return object.Bottom("algebra: explicit bottom"), nil
+}
+func (BottomOf) String() string { return "bottom" }

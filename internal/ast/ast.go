@@ -1,0 +1,537 @@
+// Package ast defines the abstract syntax of NRCA, the nested relational
+// calculus with multidimensional arrays (figure 1 of the paper), extended
+// with:
+//
+//   - real and string literals (the implementation's base types, section 4.2);
+//   - the O(n) row-major array literal [[n1,...,nk; e0,...]] of section 3;
+//   - the ranked union constructs ⋃_r and ⊎_r and the bag constructs of the
+//     expressiveness study (section 6);
+//   - free variables referring to registered external primitives
+//     (section 4.1, "Openness").
+//
+// Surface AQL (comprehensions, patterns, blocks) is desugared into this
+// calculus by package desugar; the optimizer (package opt) rewrites it; the
+// evaluator (package eval) executes it.
+//
+// Every node implements Children/WithChildren for generic traversal and
+// Binders, which reports the variables each child is evaluated under; the
+// rewriter uses these to implement capture-avoiding rules generically.
+package ast
+
+import "fmt"
+
+// Expr is a core-calculus expression.
+type Expr interface {
+	// Children returns the immediate subexpressions in a fixed order.
+	Children() []Expr
+	// WithChildren returns a copy of the node with the subexpressions
+	// replaced. len(kids) must equal len(Children()).
+	WithChildren(kids []Expr) Expr
+	// Binders returns, for each child, the variables bound in that child's
+	// scope by this node. Children and Binders are index-aligned.
+	Binders() [][]string
+	// String renders the expression in a concrete syntax close to the
+	// paper's notation.
+	String() string
+}
+
+// CmpOp is a comparison operator (figure 1, Booleans row).
+type CmpOp string
+
+// Comparison operators.
+const (
+	OpEq CmpOp = "="
+	OpNe CmpOp = "<>"
+	OpLt CmpOp = "<"
+	OpGt CmpOp = ">"
+	OpLe CmpOp = "<="
+	OpGe CmpOp = ">="
+)
+
+// ArithOp is an arithmetic operator (figure 1, Naturals row). Subtraction
+// is monus on naturals. The operators are overloaded at reals by the
+// typechecker.
+type ArithOp string
+
+// Arithmetic operators.
+const (
+	OpAdd ArithOp = "+"
+	OpSub ArithOp = "-" // monus on nat
+	OpMul ArithOp = "*"
+	OpDiv ArithOp = "/"
+	OpMod ArithOp = "%"
+)
+
+// --- Variables and functions -------------------------------------------
+
+// Var is a variable occurrence: a lambda- or comprehension-bound variable,
+// a top-level val, or the name of a registered primitive.
+type Var struct{ Name string }
+
+// Lam is lambda abstraction λx.e. Patterns are desugared away before the
+// core calculus, so the parameter is a bare variable.
+type Lam struct {
+	Param string
+	Body  Expr
+}
+
+// App is function application e1(e2).
+type App struct{ Fn, Arg Expr }
+
+// --- Products ------------------------------------------------------------
+
+// Tuple is (e1, ..., ek) with k >= 2, or the unit value () with k == 0.
+type Tuple struct{ Elems []Expr }
+
+// Proj is π_{i,k}(e), the i-th projection (1-based) from a k-tuple.
+type Proj struct {
+	I, K  int
+	Tuple Expr
+}
+
+// --- Sets ---------------------------------------------------------------
+
+// EmptySet is {}.
+type EmptySet struct{}
+
+// Singleton is {e}.
+type Singleton struct{ Elem Expr }
+
+// Union is e1 ∪ e2.
+type Union struct{ L, R Expr }
+
+// BigUnion is ⋃{ e1 | x ∈ e2 }: the union of the sets obtained by applying
+// λx.e1 to each element of the set e2.
+type BigUnion struct {
+	Head Expr
+	Var  string
+	Over Expr
+}
+
+// Get is get(e): the unique element of a singleton set, ⊥ otherwise.
+type Get struct{ Set Expr }
+
+// --- Booleans and conditionals -------------------------------------------
+
+// BoolLit is true or false.
+type BoolLit struct{ Val bool }
+
+// If is if e1 then e2 else e3.
+type If struct{ Cond, Then, Else Expr }
+
+// Cmp is e1 op e2 for op ∈ {=, <>, <, >, <=, >=}. Comparison is at any
+// orderable object type, via the lifted linear order <=_t.
+type Cmp struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+// --- Natural numbers ------------------------------------------------------
+
+// NatLit is a natural-number constant.
+type NatLit struct{ Val int64 }
+
+// RealLit is a real constant (implementation extension).
+type RealLit struct{ Val float64 }
+
+// StringLit is a string constant (implementation extension).
+type StringLit struct{ Val string }
+
+// Arith is e1 op e2 for op ∈ {+, -, *, /, %}, overloaded at nat and real.
+type Arith struct {
+	Op   ArithOp
+	L, R Expr
+}
+
+// Gen is gen(e) = {0, ..., e-1}.
+type Gen struct{ N Expr }
+
+// Sum is Σ{ e1 | x ∈ e2 }: the sum of λx.e1 applied to each element of e2.
+type Sum struct {
+	Head Expr
+	Var  string
+	Over Expr
+}
+
+// --- Arrays ---------------------------------------------------------------
+
+// ArrayTab is the tabulation construct [[ e | i1 < e1, ..., ik < ek ]]: the
+// k-dimensional array whose j-th dimension has length e_j and whose values
+// are given by λ(i1,...,ik).e — a bounded λ-abstraction (section 2).
+type ArrayTab struct {
+	Head   Expr
+	Idx    []string // the bound index variables i1, ..., ik
+	Bounds []Expr   // the dimension lengths e1, ..., ek
+}
+
+// Subscript is e1[e2]: array subscripting (partial function application).
+// For k-dimensional arrays the index is a k-tuple of naturals.
+type Subscript struct{ Arr, Index Expr }
+
+// Dim is dim_k(e): the dimensions of an array — a nat when k = 1, a k-tuple
+// of nats otherwise.
+type Dim struct {
+	K   int
+	Arr Expr
+}
+
+// Index is index_k(e): converts a set of (key, value) pairs with keys in N^k
+// into the k-dimensional array of groups of values (figure 1; section 2).
+type Index struct {
+	K   int
+	Set Expr
+}
+
+// MkArray is the efficient row-major literal [[ n1,...,nk ; e0, e1, ... ]]
+// of section 3. Dims are the k dimension expressions; Elems the values in
+// row-major order. It is ⊥ if the element count does not match the product
+// of the dimensions.
+type MkArray struct {
+	Dims  []Expr
+	Elems []Expr
+}
+
+// --- Errors ---------------------------------------------------------------
+
+// Bottom is the error value ⊥, introduced explicitly so that optimization
+// rules can express partiality (sections 2 and 5).
+type Bottom struct{}
+
+// --- Bags and ranking (section 6) ------------------------------------------
+
+// EmptyBag is {||}.
+type EmptyBag struct{}
+
+// SingletonBag is {|e|}.
+type SingletonBag struct{ Elem Expr }
+
+// BagUnion is e1 ⊎ e2 (multiplicities add).
+type BagUnion struct{ L, R Expr }
+
+// BigBagUnion is ⊎{| e1 | x ∈ e2 |}.
+type BigBagUnion struct {
+	Head Expr
+	Var  string
+	Over Expr
+}
+
+// RankUnion is ⋃_r{ e1 | x_i ∈ e2 }: like BigUnion, but the body is also
+// given the 1-based rank i of x in the linear order on e2 (section 6).
+type RankUnion struct {
+	Head    Expr
+	Var     string // x, bound to each element
+	RankVar string // i, bound to the element's rank (1-based)
+	Over    Expr
+}
+
+// RankBagUnion is ⊎_r{| e1 | x_i ∈ e2 |}: the bag analogue; equal values
+// receive consecutive ranks (section 6).
+type RankBagUnion struct {
+	Head    Expr
+	Var     string
+	RankVar string
+	Over    Expr
+}
+
+// --- Children / WithChildren / Binders -------------------------------------
+
+func none() [][]string { return nil }
+
+// Var
+func (e *Var) Children() []Expr           { return nil }
+func (e *Var) WithChildren(k []Expr) Expr { return e }
+func (e *Var) Binders() [][]string        { return none() }
+
+// Lam
+func (e *Lam) Children() []Expr           { return []Expr{e.Body} }
+func (e *Lam) WithChildren(k []Expr) Expr { return &Lam{Param: e.Param, Body: k[0]} }
+func (e *Lam) Binders() [][]string        { return [][]string{{e.Param}} }
+
+// App
+func (e *App) Children() []Expr           { return []Expr{e.Fn, e.Arg} }
+func (e *App) WithChildren(k []Expr) Expr { return &App{Fn: k[0], Arg: k[1]} }
+func (e *App) Binders() [][]string        { return [][]string{nil, nil} }
+
+// Tuple
+func (e *Tuple) Children() []Expr           { return e.Elems }
+func (e *Tuple) WithChildren(k []Expr) Expr { return &Tuple{Elems: k} }
+func (e *Tuple) Binders() [][]string        { return make([][]string, len(e.Elems)) }
+
+// Proj
+func (e *Proj) Children() []Expr           { return []Expr{e.Tuple} }
+func (e *Proj) WithChildren(k []Expr) Expr { return &Proj{I: e.I, K: e.K, Tuple: k[0]} }
+func (e *Proj) Binders() [][]string        { return [][]string{nil} }
+
+// EmptySet
+func (e *EmptySet) Children() []Expr           { return nil }
+func (e *EmptySet) WithChildren(k []Expr) Expr { return e }
+func (e *EmptySet) Binders() [][]string        { return none() }
+
+// Singleton
+func (e *Singleton) Children() []Expr           { return []Expr{e.Elem} }
+func (e *Singleton) WithChildren(k []Expr) Expr { return &Singleton{Elem: k[0]} }
+func (e *Singleton) Binders() [][]string        { return [][]string{nil} }
+
+// Union
+func (e *Union) Children() []Expr           { return []Expr{e.L, e.R} }
+func (e *Union) WithChildren(k []Expr) Expr { return &Union{L: k[0], R: k[1]} }
+func (e *Union) Binders() [][]string        { return [][]string{nil, nil} }
+
+// BigUnion
+func (e *BigUnion) Children() []Expr { return []Expr{e.Head, e.Over} }
+func (e *BigUnion) WithChildren(k []Expr) Expr {
+	return &BigUnion{Head: k[0], Var: e.Var, Over: k[1]}
+}
+func (e *BigUnion) Binders() [][]string { return [][]string{{e.Var}, nil} }
+
+// Get
+func (e *Get) Children() []Expr           { return []Expr{e.Set} }
+func (e *Get) WithChildren(k []Expr) Expr { return &Get{Set: k[0]} }
+func (e *Get) Binders() [][]string        { return [][]string{nil} }
+
+// BoolLit
+func (e *BoolLit) Children() []Expr           { return nil }
+func (e *BoolLit) WithChildren(k []Expr) Expr { return e }
+func (e *BoolLit) Binders() [][]string        { return none() }
+
+// If
+func (e *If) Children() []Expr           { return []Expr{e.Cond, e.Then, e.Else} }
+func (e *If) WithChildren(k []Expr) Expr { return &If{Cond: k[0], Then: k[1], Else: k[2]} }
+func (e *If) Binders() [][]string        { return [][]string{nil, nil, nil} }
+
+// Cmp
+func (e *Cmp) Children() []Expr           { return []Expr{e.L, e.R} }
+func (e *Cmp) WithChildren(k []Expr) Expr { return &Cmp{Op: e.Op, L: k[0], R: k[1]} }
+func (e *Cmp) Binders() [][]string        { return [][]string{nil, nil} }
+
+// NatLit
+func (e *NatLit) Children() []Expr           { return nil }
+func (e *NatLit) WithChildren(k []Expr) Expr { return e }
+func (e *NatLit) Binders() [][]string        { return none() }
+
+// RealLit
+func (e *RealLit) Children() []Expr           { return nil }
+func (e *RealLit) WithChildren(k []Expr) Expr { return e }
+func (e *RealLit) Binders() [][]string        { return none() }
+
+// StringLit
+func (e *StringLit) Children() []Expr           { return nil }
+func (e *StringLit) WithChildren(k []Expr) Expr { return e }
+func (e *StringLit) Binders() [][]string        { return none() }
+
+// Arith
+func (e *Arith) Children() []Expr           { return []Expr{e.L, e.R} }
+func (e *Arith) WithChildren(k []Expr) Expr { return &Arith{Op: e.Op, L: k[0], R: k[1]} }
+func (e *Arith) Binders() [][]string        { return [][]string{nil, nil} }
+
+// Gen
+func (e *Gen) Children() []Expr           { return []Expr{e.N} }
+func (e *Gen) WithChildren(k []Expr) Expr { return &Gen{N: k[0]} }
+func (e *Gen) Binders() [][]string        { return [][]string{nil} }
+
+// Sum
+func (e *Sum) Children() []Expr           { return []Expr{e.Head, e.Over} }
+func (e *Sum) WithChildren(k []Expr) Expr { return &Sum{Head: k[0], Var: e.Var, Over: k[1]} }
+func (e *Sum) Binders() [][]string        { return [][]string{{e.Var}, nil} }
+
+// ArrayTab
+func (e *ArrayTab) Children() []Expr {
+	kids := make([]Expr, 0, len(e.Bounds)+1)
+	kids = append(kids, e.Head)
+	kids = append(kids, e.Bounds...)
+	return kids
+}
+func (e *ArrayTab) WithChildren(k []Expr) Expr {
+	return &ArrayTab{Head: k[0], Idx: e.Idx, Bounds: k[1:]}
+}
+func (e *ArrayTab) Binders() [][]string {
+	// The head is evaluated under all index variables; the bounds under none.
+	b := make([][]string, len(e.Bounds)+1)
+	b[0] = e.Idx
+	return b
+}
+
+// Subscript
+func (e *Subscript) Children() []Expr           { return []Expr{e.Arr, e.Index} }
+func (e *Subscript) WithChildren(k []Expr) Expr { return &Subscript{Arr: k[0], Index: k[1]} }
+func (e *Subscript) Binders() [][]string        { return [][]string{nil, nil} }
+
+// Dim
+func (e *Dim) Children() []Expr           { return []Expr{e.Arr} }
+func (e *Dim) WithChildren(k []Expr) Expr { return &Dim{K: e.K, Arr: k[0]} }
+func (e *Dim) Binders() [][]string        { return [][]string{nil} }
+
+// Index
+func (e *Index) Children() []Expr           { return []Expr{e.Set} }
+func (e *Index) WithChildren(k []Expr) Expr { return &Index{K: e.K, Set: k[0]} }
+func (e *Index) Binders() [][]string        { return [][]string{nil} }
+
+// MkArray
+func (e *MkArray) Children() []Expr {
+	kids := make([]Expr, 0, len(e.Dims)+len(e.Elems))
+	kids = append(kids, e.Dims...)
+	kids = append(kids, e.Elems...)
+	return kids
+}
+func (e *MkArray) WithChildren(k []Expr) Expr {
+	return &MkArray{Dims: k[:len(e.Dims)], Elems: k[len(e.Dims):]}
+}
+func (e *MkArray) Binders() [][]string { return make([][]string, len(e.Dims)+len(e.Elems)) }
+
+// Bottom
+func (e *Bottom) Children() []Expr           { return nil }
+func (e *Bottom) WithChildren(k []Expr) Expr { return e }
+func (e *Bottom) Binders() [][]string        { return none() }
+
+// EmptyBag
+func (e *EmptyBag) Children() []Expr           { return nil }
+func (e *EmptyBag) WithChildren(k []Expr) Expr { return e }
+func (e *EmptyBag) Binders() [][]string        { return none() }
+
+// SingletonBag
+func (e *SingletonBag) Children() []Expr           { return []Expr{e.Elem} }
+func (e *SingletonBag) WithChildren(k []Expr) Expr { return &SingletonBag{Elem: k[0]} }
+func (e *SingletonBag) Binders() [][]string        { return [][]string{nil} }
+
+// BagUnion
+func (e *BagUnion) Children() []Expr           { return []Expr{e.L, e.R} }
+func (e *BagUnion) WithChildren(k []Expr) Expr { return &BagUnion{L: k[0], R: k[1]} }
+func (e *BagUnion) Binders() [][]string        { return [][]string{nil, nil} }
+
+// BigBagUnion
+func (e *BigBagUnion) Children() []Expr { return []Expr{e.Head, e.Over} }
+func (e *BigBagUnion) WithChildren(k []Expr) Expr {
+	return &BigBagUnion{Head: k[0], Var: e.Var, Over: k[1]}
+}
+func (e *BigBagUnion) Binders() [][]string { return [][]string{{e.Var}, nil} }
+
+// RankUnion
+func (e *RankUnion) Children() []Expr { return []Expr{e.Head, e.Over} }
+func (e *RankUnion) WithChildren(k []Expr) Expr {
+	return &RankUnion{Head: k[0], Var: e.Var, RankVar: e.RankVar, Over: k[1]}
+}
+func (e *RankUnion) Binders() [][]string { return [][]string{{e.Var, e.RankVar}, nil} }
+
+// RankBagUnion
+func (e *RankBagUnion) Children() []Expr { return []Expr{e.Head, e.Over} }
+func (e *RankBagUnion) WithChildren(k []Expr) Expr {
+	return &RankBagUnion{Head: k[0], Var: e.Var, RankVar: e.RankVar, Over: k[1]}
+}
+func (e *RankBagUnion) Binders() [][]string { return [][]string{{e.Var, e.RankVar}, nil} }
+
+// sanity check: all nodes implement Expr.
+var (
+	_ Expr = (*Var)(nil)
+	_ Expr = (*Lam)(nil)
+	_ Expr = (*App)(nil)
+	_ Expr = (*Tuple)(nil)
+	_ Expr = (*Proj)(nil)
+	_ Expr = (*EmptySet)(nil)
+	_ Expr = (*Singleton)(nil)
+	_ Expr = (*Union)(nil)
+	_ Expr = (*BigUnion)(nil)
+	_ Expr = (*Get)(nil)
+	_ Expr = (*BoolLit)(nil)
+	_ Expr = (*If)(nil)
+	_ Expr = (*Cmp)(nil)
+	_ Expr = (*NatLit)(nil)
+	_ Expr = (*RealLit)(nil)
+	_ Expr = (*StringLit)(nil)
+	_ Expr = (*Arith)(nil)
+	_ Expr = (*Gen)(nil)
+	_ Expr = (*Sum)(nil)
+	_ Expr = (*ArrayTab)(nil)
+	_ Expr = (*Subscript)(nil)
+	_ Expr = (*Dim)(nil)
+	_ Expr = (*Index)(nil)
+	_ Expr = (*MkArray)(nil)
+	_ Expr = (*Bottom)(nil)
+	_ Expr = (*EmptyBag)(nil)
+	_ Expr = (*SingletonBag)(nil)
+	_ Expr = (*BagUnion)(nil)
+	_ Expr = (*BigBagUnion)(nil)
+	_ Expr = (*RankUnion)(nil)
+	_ Expr = (*RankBagUnion)(nil)
+)
+
+// Must be kept in sync with the node list above; used by tests to ensure
+// traversal coverage.
+func AllNodeNames() []string {
+	return []string{
+		"Var", "Lam", "App", "Tuple", "Proj", "EmptySet", "Singleton", "Union",
+		"BigUnion", "Get", "BoolLit", "If", "Cmp", "NatLit", "RealLit",
+		"StringLit", "Arith", "Gen", "Sum", "ArrayTab", "Subscript", "Dim",
+		"Index", "MkArray", "Bottom", "EmptyBag", "SingletonBag", "BagUnion",
+		"BigBagUnion", "RankUnion", "RankBagUnion",
+	}
+}
+
+// NodeName returns the constructor name of e, for diagnostics and rule
+// indexing.
+func NodeName(e Expr) string {
+	switch e.(type) {
+	case *Var:
+		return "Var"
+	case *Lam:
+		return "Lam"
+	case *App:
+		return "App"
+	case *Tuple:
+		return "Tuple"
+	case *Proj:
+		return "Proj"
+	case *EmptySet:
+		return "EmptySet"
+	case *Singleton:
+		return "Singleton"
+	case *Union:
+		return "Union"
+	case *BigUnion:
+		return "BigUnion"
+	case *Get:
+		return "Get"
+	case *BoolLit:
+		return "BoolLit"
+	case *If:
+		return "If"
+	case *Cmp:
+		return "Cmp"
+	case *NatLit:
+		return "NatLit"
+	case *RealLit:
+		return "RealLit"
+	case *StringLit:
+		return "StringLit"
+	case *Arith:
+		return "Arith"
+	case *Gen:
+		return "Gen"
+	case *Sum:
+		return "Sum"
+	case *ArrayTab:
+		return "ArrayTab"
+	case *Subscript:
+		return "Subscript"
+	case *Dim:
+		return "Dim"
+	case *Index:
+		return "Index"
+	case *MkArray:
+		return "MkArray"
+	case *Bottom:
+		return "Bottom"
+	case *EmptyBag:
+		return "EmptyBag"
+	case *SingletonBag:
+		return "SingletonBag"
+	case *BagUnion:
+		return "BagUnion"
+	case *BigBagUnion:
+		return "BigBagUnion"
+	case *RankUnion:
+		return "RankUnion"
+	case *RankBagUnion:
+		return "RankBagUnion"
+	}
+	return fmt.Sprintf("%T", e)
+}

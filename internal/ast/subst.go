@@ -1,0 +1,283 @@
+package ast
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// FreeVars returns the set of free variables of e.
+func FreeVars(e Expr) map[string]bool {
+	out := map[string]bool{}
+	collectFree(e, map[string]int{}, out)
+	return out
+}
+
+func collectFree(e Expr, bound map[string]int, out map[string]bool) {
+	if v, ok := e.(*Var); ok {
+		if bound[v.Name] == 0 {
+			out[v.Name] = true
+		}
+		return
+	}
+	kids := e.Children()
+	binders := e.Binders()
+	for i, kid := range kids {
+		for _, b := range binders[i] {
+			bound[b]++
+		}
+		collectFree(kid, bound, out)
+		for _, b := range binders[i] {
+			bound[b]--
+		}
+	}
+}
+
+// IsFree reports whether name occurs free in e.
+func IsFree(name string, e Expr) bool { return FreeVars(e)[name] }
+
+var freshCounter atomic.Int64
+
+// Fresh returns a variable name guaranteed not to collide with any name
+// produced by the parser (which never emits '%').
+func Fresh(hint string) string {
+	return fmt.Sprintf("%%%s%d", hint, freshCounter.Add(1))
+}
+
+// Subst returns e with every free occurrence of name replaced by repl,
+// renaming binders as needed to avoid capturing free variables of repl
+// (capture-avoiding substitution; the β and β^p rules of section 5 rely
+// on it).
+func Subst(e Expr, name string, repl Expr) Expr {
+	replFree := FreeVars(repl)
+	return subst(e, name, repl, replFree)
+}
+
+func subst(e Expr, name string, repl Expr, replFree map[string]bool) Expr {
+	if v, ok := e.(*Var); ok {
+		if v.Name == name {
+			return repl
+		}
+		return e
+	}
+	kids := e.Children()
+	if len(kids) == 0 {
+		return e
+	}
+	binders := e.Binders()
+
+	// First rename any binder of this node that would capture a free
+	// variable of repl (only in children where name is still free, i.e.
+	// where substitution will actually descend).
+	for i := range kids {
+		var renames [][2]string
+		shadowed := false
+		for _, b := range binders[i] {
+			if b == name {
+				shadowed = true
+			}
+		}
+		if shadowed {
+			continue // substitution does not descend into this child
+		}
+		if !IsFree(name, kids[i]) {
+			continue
+		}
+		for _, b := range binders[i] {
+			if replFree[b] {
+				renames = append(renames, [2]string{b, Fresh(b)})
+			}
+		}
+		if len(renames) > 0 {
+			e = renameBinders(e, i, renames)
+			kids = e.Children()
+			binders = e.Binders()
+		}
+	}
+
+	newKids := make([]Expr, len(kids))
+	changed := false
+	for i, kid := range kids {
+		shadowed := false
+		for _, b := range binders[i] {
+			if b == name {
+				shadowed = true
+				break
+			}
+		}
+		if shadowed {
+			newKids[i] = kid
+		} else {
+			newKids[i] = subst(kid, name, repl, replFree)
+			if newKids[i] != kid {
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		return e
+	}
+	return e.WithChildren(newKids)
+}
+
+// renameBinders renames the given binders of child i of e (and the
+// occurrences of each old name inside that child).
+func renameBinders(e Expr, child int, renames [][2]string) Expr {
+	kids := e.Children()
+	kid := kids[child]
+	for _, rn := range renames {
+		kid = Subst(kid, rn[0], &Var{Name: rn[1]})
+	}
+	kids2 := make([]Expr, len(kids))
+	copy(kids2, kids)
+	kids2[child] = kid
+	e2 := e.WithChildren(kids2)
+	// Patch the binder names on the copied node.
+	switch n := e2.(type) {
+	case *Lam:
+		n.Param = renamed(n.Param, renames)
+	case *BigUnion:
+		n.Var = renamed(n.Var, renames)
+	case *Sum:
+		n.Var = renamed(n.Var, renames)
+	case *BigBagUnion:
+		n.Var = renamed(n.Var, renames)
+	case *RankUnion:
+		n.Var = renamed(n.Var, renames)
+		n.RankVar = renamed(n.RankVar, renames)
+	case *RankBagUnion:
+		n.Var = renamed(n.Var, renames)
+		n.RankVar = renamed(n.RankVar, renames)
+	case *ArrayTab:
+		idx := make([]string, len(n.Idx))
+		for j, v := range n.Idx {
+			idx[j] = renamed(v, renames)
+		}
+		n.Idx = idx
+	default:
+		panic("ast: renameBinders on non-binding node " + NodeName(e2))
+	}
+	return e2
+}
+
+func renamed(name string, renames [][2]string) string {
+	for _, rn := range renames {
+		if rn[0] == name {
+			return rn[1]
+		}
+	}
+	return name
+}
+
+// AlphaEqual reports whether two expressions are equal up to consistent
+// renaming of bound variables. Used by the optimizer tests (the paper's
+// normal-form comparisons are all "up to variable renaming").
+func AlphaEqual(a, b Expr) bool { return alphaEq(a, b, map[string]string{}, map[string]string{}) }
+
+// alphaEq compares under two renaming environments mapping bound names to
+// shared canonical names.
+func alphaEq(a, b Expr, envA, envB map[string]string) bool {
+	va, okA := a.(*Var)
+	vb, okB := b.(*Var)
+	if okA != okB {
+		return false
+	}
+	if okA {
+		ca, boundA := envA[va.Name]
+		cb, boundB := envB[vb.Name]
+		if boundA != boundB {
+			return false
+		}
+		if boundA {
+			return ca == cb
+		}
+		return va.Name == vb.Name
+	}
+	if !sameShape(a, b) {
+		return false
+	}
+	kidsA, kidsB := a.Children(), b.Children()
+	if len(kidsA) != len(kidsB) {
+		return false
+	}
+	bindA, bindB := a.Binders(), b.Binders()
+	for i := range kidsA {
+		if len(bindA[i]) != len(bindB[i]) {
+			return false
+		}
+		ea, eb := envA, envB
+		if len(bindA[i]) > 0 {
+			ea, eb = copyEnv(envA), copyEnv(envB)
+			for j := range bindA[i] {
+				canon := Fresh("ae")
+				ea[bindA[i][j]] = canon
+				eb[bindB[i][j]] = canon
+			}
+		}
+		if !alphaEq(kidsA[i], kidsB[i], ea, eb) {
+			return false
+		}
+	}
+	return true
+}
+
+func copyEnv(m map[string]string) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// sameShape compares the non-child, non-binder payload of two nodes.
+func sameShape(a, b Expr) bool {
+	switch x := a.(type) {
+	case *Proj:
+		y, ok := b.(*Proj)
+		return ok && x.I == y.I && x.K == y.K
+	case *BoolLit:
+		y, ok := b.(*BoolLit)
+		return ok && x.Val == y.Val
+	case *Cmp:
+		y, ok := b.(*Cmp)
+		return ok && x.Op == y.Op
+	case *NatLit:
+		y, ok := b.(*NatLit)
+		return ok && x.Val == y.Val
+	case *RealLit:
+		y, ok := b.(*RealLit)
+		return ok && x.Val == y.Val
+	case *StringLit:
+		y, ok := b.(*StringLit)
+		return ok && x.Val == y.Val
+	case *Arith:
+		y, ok := b.(*Arith)
+		return ok && x.Op == y.Op
+	case *Dim:
+		y, ok := b.(*Dim)
+		return ok && x.K == y.K
+	case *Index:
+		y, ok := b.(*Index)
+		return ok && x.K == y.K
+	case *MkArray:
+		y, ok := b.(*MkArray)
+		return ok && len(x.Dims) == len(y.Dims)
+	case *Tuple:
+		y, ok := b.(*Tuple)
+		return ok && len(x.Elems) == len(y.Elems)
+	case *ArrayTab:
+		y, ok := b.(*ArrayTab)
+		return ok && len(x.Idx) == len(y.Idx)
+	default:
+		return NodeName(a) == NodeName(b)
+	}
+}
+
+// Size returns the number of nodes in e; useful for optimizer budget checks
+// and tests.
+func Size(e Expr) int {
+	n := 1
+	for _, kid := range e.Children() {
+		n += Size(kid)
+	}
+	return n
+}

@@ -1,0 +1,194 @@
+// Package coord implements coordinate-indexed dimensions — the second
+// piece of future work in section 7 of the paper:
+//
+//	"we would like to investigate techniques for providing more meaningful
+//	data types such as longitudes and latitudes as indices for scientific
+//	arrays. Eventually, we would like to allow arbitrary linearly-ordered
+//	types to be used as indices."
+//
+// An Axis maps a monotone sequence of coordinate values (latitudes,
+// longitudes, timestamps) to the natural-number indices that NRCA arrays
+// use, and back. Register installs an axis into an AQL environment as
+// three primitives:
+//
+//	<name>_index : real -> nat           nearest index for a coordinate
+//	<name>_coord : nat -> real           coordinate at an index
+//	<name>_range : real * real -> nat * nat
+//	                                     inclusive index range covering a
+//	                                     coordinate interval
+//
+// so queries can be written against physical coordinates while the array
+// machinery stays zero-based and rectangular — precisely the paper's
+// lat_index / lon_index macros (section 4.2), now derived from data rather
+// than hand-written.
+package coord
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/aqldb/aql/internal/env"
+	"github.com/aqldb/aql/internal/netcdf"
+	"github.com/aqldb/aql/internal/object"
+	"github.com/aqldb/aql/internal/types"
+)
+
+// Axis is a named coordinate dimension. Values must be strictly monotone
+// (increasing or decreasing, as NetCDF latitude axes often are).
+type Axis struct {
+	Name   string
+	Values []float64
+	desc   bool // true when Values decrease
+}
+
+// NewAxis validates and builds an axis.
+func NewAxis(name string, values []float64) (*Axis, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("coord: axis %q has no values", name)
+	}
+	desc := false
+	if len(values) > 1 {
+		desc = values[1] < values[0]
+	}
+	for i := 1; i < len(values); i++ {
+		if !object.IsFinite(values[i]) {
+			return nil, fmt.Errorf("coord: axis %q has a non-finite value at %d", name, i)
+		}
+		if desc && values[i] >= values[i-1] || !desc && values[i] <= values[i-1] {
+			return nil, fmt.Errorf("coord: axis %q is not strictly monotone at %d", name, i)
+		}
+	}
+	return &Axis{Name: name, Values: values, desc: desc}, nil
+}
+
+// FromNetCDF builds an axis from a one-dimensional coordinate variable —
+// the NetCDF convention where a dimension's coordinates live in a variable
+// of the same name.
+func FromNetCDF(f *netcdf.File, varName string) (*Axis, error) {
+	v, err := f.Var(varName)
+	if err != nil {
+		return nil, err
+	}
+	if len(v.Dims) != 1 {
+		return nil, fmt.Errorf("coord: %q is not a one-dimensional coordinate variable", varName)
+	}
+	slab, err := f.ReadAll(varName)
+	if err != nil {
+		return nil, err
+	}
+	if slab.Type == netcdf.Char {
+		return nil, fmt.Errorf("coord: %q is a char variable", varName)
+	}
+	return NewAxis(varName, slab.Values)
+}
+
+// Len returns the number of coordinate points.
+func (a *Axis) Len() int { return len(a.Values) }
+
+// Index returns the index whose coordinate is nearest to x (ties toward
+// the smaller index).
+func (a *Axis) Index(x float64) int {
+	n := len(a.Values)
+	// Binary search for the first value ≥ x in ascending order (or ≤ x in
+	// descending order).
+	i := sort.Search(n, func(i int) bool {
+		if a.desc {
+			return a.Values[i] <= x
+		}
+		return a.Values[i] >= x
+	})
+	switch {
+	case i == 0:
+		return 0
+	case i == n:
+		return n - 1
+	}
+	if math.Abs(a.Values[i]-x) < math.Abs(a.Values[i-1]-x) {
+		return i
+	}
+	return i - 1
+}
+
+// Coord returns the coordinate at index i.
+func (a *Axis) Coord(i int) (float64, error) {
+	if i < 0 || i >= len(a.Values) {
+		return 0, fmt.Errorf("coord: index %d out of range for axis %q (length %d)", i, a.Name, len(a.Values))
+	}
+	return a.Values[i], nil
+}
+
+// Range returns the inclusive index interval covering the coordinate
+// interval [lo, hi] (in coordinate order; lo and hi may be given in either
+// order). The interval is empty — returned as ok=false — when no
+// coordinate falls inside it.
+func (a *Axis) Range(lo, hi float64) (start, end int, ok bool) {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	start, end = -1, -1
+	for i, v := range a.Values {
+		if v >= lo && v <= hi {
+			if start == -1 {
+				start = i
+			}
+			end = i
+		}
+	}
+	if start == -1 {
+		return 0, 0, false
+	}
+	if start > end {
+		start, end = end, start
+	}
+	return start, end, true
+}
+
+// Register installs the axis's three primitives into the environment.
+func Register(e *env.Env, a *Axis) error {
+	idxName := a.Name + "_index"
+	if err := e.RegisterPrimitive(idxName, func(v object.Value) (object.Value, error) {
+		x, err := v.AsReal()
+		if err != nil {
+			return object.Value{}, fmt.Errorf("%s: %w", idxName, err)
+		}
+		return object.Nat(int64(a.Index(x))), nil
+	}, types.MustParse("real -> nat")); err != nil {
+		return err
+	}
+
+	coordName := a.Name + "_coord"
+	if err := e.RegisterPrimitive(coordName, func(v object.Value) (object.Value, error) {
+		i, err := v.AsNat()
+		if err != nil {
+			return object.Value{}, fmt.Errorf("%s: %w", coordName, err)
+		}
+		c, err := a.Coord(int(i))
+		if err != nil {
+			return object.Bottom(err.Error()), nil
+		}
+		return object.Real(c), nil
+	}, types.MustParse("nat -> real")); err != nil {
+		return err
+	}
+
+	rangeName := a.Name + "_range"
+	return e.RegisterPrimitive(rangeName, func(v object.Value) (object.Value, error) {
+		if v.Kind != object.KTuple || len(v.Elems) != 2 {
+			return object.Value{}, fmt.Errorf("%s: expected a (lo, hi) pair", rangeName)
+		}
+		lo, err := v.Elems[0].AsReal()
+		if err != nil {
+			return object.Value{}, fmt.Errorf("%s: %w", rangeName, err)
+		}
+		hi, err := v.Elems[1].AsReal()
+		if err != nil {
+			return object.Value{}, fmt.Errorf("%s: %w", rangeName, err)
+		}
+		start, end, ok := a.Range(lo, hi)
+		if !ok {
+			return object.Bottom(fmt.Sprintf("%s: no coordinates in [%g, %g]", rangeName, lo, hi)), nil
+		}
+		return object.Tuple(object.Nat(int64(start)), object.Nat(int64(end))), nil
+	}, types.MustParse("real * real -> nat * nat"))
+}

@@ -1,0 +1,192 @@
+package coord
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/aqldb/aql/internal/netcdf"
+	"github.com/aqldb/aql/internal/object"
+	"github.com/aqldb/aql/internal/repl"
+	"github.com/aqldb/aql/internal/types"
+)
+
+func TestNewAxisValidation(t *testing.T) {
+	if _, err := NewAxis("x", nil); err == nil {
+		t.Error("empty axis accepted")
+	}
+	if _, err := NewAxis("x", []float64{1, 2, 2}); err == nil {
+		t.Error("non-monotone axis accepted")
+	}
+	if _, err := NewAxis("x", []float64{1, 2, 1.5}); err == nil {
+		t.Error("non-monotone axis accepted")
+	}
+	if _, err := NewAxis("x", []float64{3, 2, 1}); err != nil {
+		t.Errorf("descending axis rejected: %v", err)
+	}
+	if _, err := NewAxis("x", []float64{42}); err != nil {
+		t.Errorf("single-point axis rejected: %v", err)
+	}
+}
+
+func TestIndexNearest(t *testing.T) {
+	a, err := NewAxis("lat", []float64{-90, -45, 0, 45, 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		x    float64
+		want int
+	}{
+		{-90, 0}, {-100, 0}, {-70, 0}, {-67, 1}, {-1, 2}, {0, 2}, {1, 2},
+		{40, 3}, {44, 3}, {89, 4}, {90, 4}, {200, 4}, {22.4, 2}, {22.6, 3},
+	}
+	for _, tt := range tests {
+		if got := a.Index(tt.x); got != tt.want {
+			t.Errorf("Index(%g) = %d, want %d", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestIndexDescending(t *testing.T) {
+	// Latitude axes are often stored north-to-south.
+	a, err := NewAxis("lat", []float64{90, 45, 0, -45, -90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Index(90); got != 0 {
+		t.Errorf("Index(90) = %d", got)
+	}
+	if got := a.Index(-90); got != 4 {
+		t.Errorf("Index(-90) = %d", got)
+	}
+	if got := a.Index(40); got != 1 {
+		t.Errorf("Index(40) = %d", got)
+	}
+	if got := a.Index(-50); got != 3 {
+		t.Errorf("Index(-50) = %d", got)
+	}
+}
+
+func TestCoordAndRange(t *testing.T) {
+	a, err := NewAxis("lon", []float64{0, 30, 60, 90, 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, err := a.Coord(2); err != nil || c != 60 {
+		t.Errorf("Coord(2) = %v, %v", c, err)
+	}
+	if _, err := a.Coord(9); err == nil {
+		t.Error("out-of-range Coord accepted")
+	}
+	start, end, ok := a.Range(25, 95)
+	if !ok || start != 1 || end != 3 {
+		t.Errorf("Range(25, 95) = %d, %d, %v", start, end, ok)
+	}
+	// Reversed bounds are normalized.
+	start, end, ok = a.Range(95, 25)
+	if !ok || start != 1 || end != 3 {
+		t.Errorf("Range(95, 25) = %d, %d, %v", start, end, ok)
+	}
+	if _, _, ok := a.Range(31, 59); ok {
+		t.Error("empty range reported non-empty")
+	}
+}
+
+func TestFromNetCDF(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "grid.nc")
+	b := netcdf.NewBuilder()
+	la, _ := b.AddDim("lat", 5)
+	if err := b.AddVar("lat", netcdf.Double, []int{la}, nil,
+		[]float64{-60, -30, 0, 30, 60}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddVar("temp", netcdf.Double, []int{la}, nil,
+		[]float64{10, 18, 27, 19, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := netcdf.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	axis, err := FromNetCDF(f, "lat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if axis.Len() != 5 || axis.Index(29) != 3 {
+		t.Errorf("axis = %+v", axis)
+	}
+	if _, err := FromNetCDF(f, "nope"); err == nil {
+		t.Error("missing variable accepted")
+	}
+}
+
+// TestRegisteredPrimitives uses the axis from AQL, replacing the paper's
+// hand-written lat_index macro with a data-derived one.
+func TestRegisteredPrimitives(t *testing.T) {
+	s, err := repl.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	axis, err := NewAxis("lat", []float64{-60, -30, 0, 30, 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Register(s.Env, axis); err != nil {
+		t.Fatal(err)
+	}
+
+	v, _, err := s.Query(`lat_index!40.7`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !object.Equal(v, object.Nat(3)) {
+		t.Errorf("lat_index!40.7 = %s", v)
+	}
+	v, _, err = s.Query(`lat_coord!(lat_index!40.7)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !object.Equal(v, object.Real(30)) {
+		t.Errorf("round trip = %s", v)
+	}
+	v, _, err = s.Query(`lat_range!(0.0 - 40.0, 40.0)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !object.Equal(v, object.Tuple(object.Nat(1), object.Nat(3))) {
+		t.Errorf("lat_range = %s", v)
+	}
+	// Coordinate-driven subslab extraction in pure AQL.
+	s.Env.SetVal("T", object.RealVector(10, 18, 27, 19, 8),
+		mustType(t, "[[real]]"))
+	v, _, err = s.Query(`let val (\lo, \hi) = lat_range!(0.0 - 40.0, 40.0)
+	                     in subseq!(T, lo, hi) end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !object.Equal(v, object.RealVector(18, 27, 19)) {
+		t.Errorf("coordinate slab = %s", v)
+	}
+	// Out-of-axis range is ⊥.
+	v, _, err = s.Query(`lat_range!(200.0, 300.0)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.IsBottom() {
+		t.Errorf("empty range = %s, want bottom", v)
+	}
+}
+
+func mustType(t *testing.T, src string) *types.Type {
+	t.Helper()
+	typ, err := types.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return typ
+}

@@ -1,0 +1,99 @@
+package eval
+
+import (
+	"fmt"
+
+	"github.com/aqldb/aql/internal/object"
+)
+
+// Builtins returns the derived operators that the paper promotes to
+// primitive status for efficiency (section 3, "Derived primitives"): min,
+// max and ∈ (member), together with not and count. All are expressible in
+// the calculus — e.g. min(X) = get(filter(λy.∀x∈X(y≤x))(X)) — but the
+// primitive implementations are linear (or logarithmic, for member) instead
+// of quadratic.
+//
+// The returned map is fresh; callers may extend it with registered external
+// primitives.
+func Builtins() map[string]object.Value {
+	return map[string]object.Value{
+		"min":    object.Func(minPrim),
+		"max":    object.Func(maxPrim),
+		"member": object.Func(memberPrim),
+		"not":    object.Func(notPrim),
+		"count":  object.Func(countPrim),
+		"rank":   object.Func(rankPrim),
+	}
+}
+
+// minPrim: {t} -> t. ⊥ on the empty set. Sets are canonical (sorted), so
+// the minimum is the first element.
+func minPrim(v object.Value) (object.Value, error) {
+	switch v.Kind {
+	case object.KSet, object.KBag:
+		if len(v.Elems) == 0 {
+			return object.Bottom("min of an empty collection"), nil
+		}
+		return v.Elems[0], nil
+	}
+	return object.Value{}, fmt.Errorf("min: expected a set or bag, got %s", v.Kind)
+}
+
+// maxPrim: {t} -> t. ⊥ on the empty set.
+func maxPrim(v object.Value) (object.Value, error) {
+	switch v.Kind {
+	case object.KSet, object.KBag:
+		if len(v.Elems) == 0 {
+			return object.Bottom("max of an empty collection"), nil
+		}
+		return v.Elems[len(v.Elems)-1], nil
+	}
+	return object.Value{}, fmt.Errorf("max: expected a set or bag, got %s", v.Kind)
+}
+
+// memberPrim: t * {t} -> bool, by binary search (the paper's ∈).
+func memberPrim(v object.Value) (object.Value, error) {
+	if v.Kind != object.KTuple || len(v.Elems) != 2 {
+		return object.Value{}, fmt.Errorf("member: expected an (element, set) pair, got %s", v.Kind)
+	}
+	ok, err := object.Member(v.Elems[0], v.Elems[1])
+	if err != nil {
+		return object.Value{}, fmt.Errorf("member: %w", err)
+	}
+	return object.Bool(ok), nil
+}
+
+// notPrim: bool -> bool.
+func notPrim(v object.Value) (object.Value, error) {
+	b, err := v.AsBool()
+	if err != nil {
+		return object.Value{}, fmt.Errorf("not: %w", err)
+	}
+	return object.Bool(!b), nil
+}
+
+// rankPrim: {t} -> {t * nat}. rank(X) pairs each element with its 1-based
+// position in the linear order <=_t — the derived operator of section 6
+// (rank(X) = ⋃_r{{(x, i)} | x_i ∈ X}), exposed as a primitive so surface
+// queries can sort.
+func rankPrim(v object.Value) (object.Value, error) {
+	if v.Kind != object.KSet {
+		return object.Value{}, fmt.Errorf("rank: expected a set, got %s", v.Kind)
+	}
+	elems := make([]object.Value, len(v.Elems))
+	for i, x := range v.Elems {
+		elems[i] = object.Tuple(x, object.Nat(int64(i+1)))
+	}
+	return object.Set(elems...), nil
+}
+
+// countPrim: {t} -> nat. count(X) = Σ{1 | x ∈ X} (section 2), provided
+// primitively so the optimizer's cost model can rely on it being O(1) over
+// canonical collections.
+func countPrim(v object.Value) (object.Value, error) {
+	n, err := object.Card(v)
+	if err != nil {
+		return object.Value{}, fmt.Errorf("count: %w", err)
+	}
+	return object.Nat(int64(n)), nil
+}

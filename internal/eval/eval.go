@@ -1,0 +1,657 @@
+// Package eval implements the operational semantics of NRCA (figure 1 of
+// the paper) over the complex-object library.
+//
+// Evaluation is strict: the error value ⊥ propagates through every construct
+// except the untaken branch of a conditional. That exception is essential —
+// the optimizer's β^p rule rewrites subscripts into
+// "if e3 < e2 then ... else ⊥", which must not error when the bound check
+// succeeds (section 5).
+//
+// The evaluator is openly extensible: registered external primitives and
+// top-level vals are looked up in the Globals map, exactly as the paper's
+// RegisterCO makes SML functions available to AQL queries (section 4.1).
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/aqldb/aql/internal/ast"
+	"github.com/aqldb/aql/internal/object"
+)
+
+// Env is a persistent environment binding variables to values. The zero
+// value (nil) is the empty environment.
+type Env struct {
+	name string
+	val  object.Value
+	next *Env
+}
+
+// Bind returns the environment extended with name = val.
+func (e *Env) Bind(name string, val object.Value) *Env {
+	return &Env{name: name, val: val, next: e}
+}
+
+// Lookup returns the value bound to name, innermost binding first.
+func (e *Env) Lookup(name string) (object.Value, bool) {
+	for ; e != nil; e = e.next {
+		if e.name == name {
+			return e.val, true
+		}
+	}
+	return object.Value{}, false
+}
+
+// Evaluator evaluates core-calculus expressions. It carries the global
+// environment (registered primitives, top-level vals) and a step counter used
+// by the benchmark harness to report work in evaluator steps rather than
+// wall-clock time.
+type Evaluator struct {
+	// Globals maps names of registered primitives and top-level vals to
+	// their values. Lookup order is locals first, then Globals.
+	Globals map[string]object.Value
+	// Steps counts evaluated nodes; reset it before a measurement.
+	Steps int64
+	// MaxSteps, when positive, aborts evaluation after that many steps;
+	// a guard against runaway queries in interactive use.
+	MaxSteps int64
+}
+
+// New returns an evaluator over the given globals (which may be nil).
+func New(globals map[string]object.Value) *Evaluator {
+	if globals == nil {
+		globals = map[string]object.Value{}
+	}
+	return &Evaluator{Globals: globals}
+}
+
+// Eval evaluates e in env. Language-level partiality (out-of-bounds
+// subscripts, get on a non-singleton, division by zero) yields the ⊥ value;
+// Go errors are reserved for conditions a well-typed query cannot produce
+// (unbound variables, kind mismatches in external primitives).
+func (ev *Evaluator) Eval(e ast.Expr, env *Env) (object.Value, error) {
+	ev.Steps++
+	if ev.MaxSteps > 0 && ev.Steps > ev.MaxSteps {
+		return object.Value{}, fmt.Errorf("eval: step budget %d exhausted", ev.MaxSteps)
+	}
+	switch n := e.(type) {
+	case *ast.Var:
+		if v, ok := env.Lookup(n.Name); ok {
+			return v, nil
+		}
+		if v, ok := ev.Globals[n.Name]; ok {
+			return v, nil
+		}
+		return object.Value{}, fmt.Errorf("eval: unbound variable %q", n.Name)
+
+	case *ast.Lam:
+		// A closure over the current environment.
+		body, param := n.Body, n.Param
+		return object.Func(func(arg object.Value) (object.Value, error) {
+			return ev.Eval(body, env.Bind(param, arg))
+		}), nil
+
+	case *ast.App:
+		fn, err := ev.Eval(n.Fn, env)
+		if err != nil {
+			return object.Value{}, err
+		}
+		if fn.IsBottom() {
+			return fn, nil
+		}
+		arg, err := ev.Eval(n.Arg, env)
+		if err != nil {
+			return object.Value{}, err
+		}
+		if arg.IsBottom() {
+			return arg, nil
+		}
+		if fn.Kind != object.KFunc {
+			return object.Value{}, fmt.Errorf("eval: application of non-function %s", fn.Kind)
+		}
+		return fn.Fn(arg)
+
+	case *ast.Tuple:
+		elems := make([]object.Value, len(n.Elems))
+		for i, x := range n.Elems {
+			v, err := ev.Eval(x, env)
+			if err != nil {
+				return object.Value{}, err
+			}
+			if v.IsBottom() {
+				return v, nil
+			}
+			elems[i] = v
+		}
+		return object.Tuple(elems...), nil
+
+	case *ast.Proj:
+		v, err := ev.Eval(n.Tuple, env)
+		if err != nil {
+			return object.Value{}, err
+		}
+		if v.IsBottom() {
+			return v, nil
+		}
+		return v.Proj(n.I - 1)
+
+	case *ast.EmptySet:
+		return object.EmptySet, nil
+
+	case *ast.Singleton:
+		v, err := ev.Eval(n.Elem, env)
+		if err != nil {
+			return object.Value{}, err
+		}
+		if v.IsBottom() {
+			return v, nil
+		}
+		return object.Set(v), nil
+
+	case *ast.Union:
+		l, err := ev.Eval(n.L, env)
+		if err != nil {
+			return object.Value{}, err
+		}
+		if l.IsBottom() {
+			return l, nil
+		}
+		r, err := ev.Eval(n.R, env)
+		if err != nil {
+			return object.Value{}, err
+		}
+		if r.IsBottom() {
+			return r, nil
+		}
+		return object.Union(l, r)
+
+	case *ast.BigUnion:
+		return ev.bigUnion(n.Head, n.Var, n.Over, env)
+
+	case *ast.Get:
+		s, err := ev.Eval(n.Set, env)
+		if err != nil {
+			return object.Value{}, err
+		}
+		if s.IsBottom() {
+			return s, nil
+		}
+		if s.Kind != object.KSet {
+			return object.Value{}, fmt.Errorf("eval: get on %s", s.Kind)
+		}
+		if len(s.Elems) != 1 {
+			return object.Bottom(fmt.Sprintf("get on a set of cardinality %d", len(s.Elems))), nil
+		}
+		return s.Elems[0], nil
+
+	case *ast.BoolLit:
+		return object.Bool(n.Val), nil
+
+	case *ast.If:
+		c, err := ev.Eval(n.Cond, env)
+		if err != nil {
+			return object.Value{}, err
+		}
+		if c.IsBottom() {
+			return c, nil
+		}
+		b, err := c.AsBool()
+		if err != nil {
+			return object.Value{}, fmt.Errorf("eval: if condition: %w", err)
+		}
+		if b {
+			return ev.Eval(n.Then, env)
+		}
+		return ev.Eval(n.Else, env)
+
+	case *ast.Cmp:
+		l, err := ev.Eval(n.L, env)
+		if err != nil {
+			return object.Value{}, err
+		}
+		if l.IsBottom() {
+			return l, nil
+		}
+		r, err := ev.Eval(n.R, env)
+		if err != nil {
+			return object.Value{}, err
+		}
+		if r.IsBottom() {
+			return r, nil
+		}
+		if l.Kind == object.KFunc || r.Kind == object.KFunc {
+			return object.Value{}, fmt.Errorf("eval: comparison of function values")
+		}
+		c := object.Compare(l, r)
+		switch n.Op {
+		case ast.OpEq:
+			return object.Bool(c == 0), nil
+		case ast.OpNe:
+			return object.Bool(c != 0), nil
+		case ast.OpLt:
+			return object.Bool(c < 0), nil
+		case ast.OpGt:
+			return object.Bool(c > 0), nil
+		case ast.OpLe:
+			return object.Bool(c <= 0), nil
+		case ast.OpGe:
+			return object.Bool(c >= 0), nil
+		}
+		return object.Value{}, fmt.Errorf("eval: bad comparison op %q", n.Op)
+
+	case *ast.NatLit:
+		return object.Nat(n.Val), nil
+
+	case *ast.RealLit:
+		return object.Real(n.Val), nil
+
+	case *ast.StringLit:
+		return object.String_(n.Val), nil
+
+	case *ast.Arith:
+		l, err := ev.Eval(n.L, env)
+		if err != nil {
+			return object.Value{}, err
+		}
+		if l.IsBottom() {
+			return l, nil
+		}
+		r, err := ev.Eval(n.R, env)
+		if err != nil {
+			return object.Value{}, err
+		}
+		if r.IsBottom() {
+			return r, nil
+		}
+		return Arith(n.Op, l, r)
+
+	case *ast.Gen:
+		v, err := ev.Eval(n.N, env)
+		if err != nil {
+			return object.Value{}, err
+		}
+		if v.IsBottom() {
+			return v, nil
+		}
+		m, err := v.AsNat()
+		if err != nil {
+			return object.Value{}, fmt.Errorf("eval: gen: %w", err)
+		}
+		elems := make([]object.Value, m)
+		for i := int64(0); i < m; i++ {
+			elems[i] = object.Nat(i)
+		}
+		// Naturals in ascending order are already canonical.
+		return object.SetFromSorted(elems), nil
+
+	case *ast.Sum:
+		over, err := ev.Eval(n.Over, env)
+		if err != nil {
+			return object.Value{}, err
+		}
+		if over.IsBottom() {
+			return over, nil
+		}
+		if over.Kind != object.KSet && over.Kind != object.KBag {
+			return object.Value{}, fmt.Errorf("eval: sum over %s", over.Kind)
+		}
+		var accN int64
+		var accR float64
+		isReal := false
+		for _, x := range over.Elems {
+			v, err := ev.Eval(n.Head, env.Bind(n.Var, x))
+			if err != nil {
+				return object.Value{}, err
+			}
+			if v.IsBottom() {
+				return v, nil
+			}
+			switch v.Kind {
+			case object.KNat:
+				accN += v.N
+				accR += float64(v.N)
+			case object.KReal:
+				isReal = true
+				accR += v.R
+			default:
+				return object.Value{}, fmt.Errorf("eval: sum of non-numeric %s", v.Kind)
+			}
+		}
+		if isReal {
+			return object.Real(accR), nil
+		}
+		return object.Nat(accN), nil
+
+	case *ast.ArrayTab:
+		shape := make([]int, len(n.Bounds))
+		for j, b := range n.Bounds {
+			v, err := ev.Eval(b, env)
+			if err != nil {
+				return object.Value{}, err
+			}
+			if v.IsBottom() {
+				return v, nil
+			}
+			m, err := v.AsNat()
+			if err != nil {
+				return object.Value{}, fmt.Errorf("eval: tabulation bound %d: %w", j+1, err)
+			}
+			shape[j] = int(m)
+		}
+		var bottom object.Value
+		sawBottom := false
+		arr, err := object.Tabulate(shape, func(idx []int) (object.Value, error) {
+			e2 := env
+			for j, name := range n.Idx {
+				e2 = e2.Bind(name, object.Nat(int64(idx[j])))
+			}
+			v, err := ev.Eval(n.Head, e2)
+			if err != nil {
+				return object.Value{}, err
+			}
+			if v.IsBottom() && !sawBottom {
+				bottom, sawBottom = v, true
+			}
+			return v, nil
+		})
+		if err != nil {
+			return object.Value{}, err
+		}
+		if sawBottom {
+			// An erroneous element makes the whole tabulation ⊥; this
+			// strictness is why the δ^p rule is "sound only if e1 is
+			// error-free" (section 5).
+			return bottom, nil
+		}
+		return arr, nil
+
+	case *ast.Subscript:
+		a, err := ev.Eval(n.Arr, env)
+		if err != nil {
+			return object.Value{}, err
+		}
+		if a.IsBottom() {
+			return a, nil
+		}
+		i, err := ev.Eval(n.Index, env)
+		if err != nil {
+			return object.Value{}, err
+		}
+		if i.IsBottom() {
+			return i, nil
+		}
+		return object.SubValue(a, i)
+
+	case *ast.Dim:
+		a, err := ev.Eval(n.Arr, env)
+		if err != nil {
+			return object.Value{}, err
+		}
+		if a.IsBottom() {
+			return a, nil
+		}
+		if a.Kind == object.KArray && len(a.Shape) != n.K {
+			return object.Value{}, fmt.Errorf("eval: dim_%d of %d-dimensional array", n.K, len(a.Shape))
+		}
+		return object.DimValue(a)
+
+	case *ast.Index:
+		s, err := ev.Eval(n.Set, env)
+		if err != nil {
+			return object.Value{}, err
+		}
+		if s.IsBottom() {
+			return s, nil
+		}
+		return object.Index(s, n.K)
+
+	case *ast.MkArray:
+		shape := make([]int, len(n.Dims))
+		size := 1
+		for j, d := range n.Dims {
+			v, err := ev.Eval(d, env)
+			if err != nil {
+				return object.Value{}, err
+			}
+			if v.IsBottom() {
+				return v, nil
+			}
+			m, err := v.AsNat()
+			if err != nil {
+				return object.Value{}, fmt.Errorf("eval: array literal dimension %d: %w", j+1, err)
+			}
+			shape[j] = int(m)
+			size *= int(m)
+		}
+		if size != len(n.Elems) {
+			// "This construct is undefined if the number of value
+			// expressions doesn't match the product of the dimension
+			// expressions" (section 3).
+			return object.Bottom(fmt.Sprintf("array literal: %d values for shape %v", len(n.Elems), shape)), nil
+		}
+		data := make([]object.Value, len(n.Elems))
+		for i, x := range n.Elems {
+			v, err := ev.Eval(x, env)
+			if err != nil {
+				return object.Value{}, err
+			}
+			if v.IsBottom() {
+				return v, nil
+			}
+			data[i] = v
+		}
+		arr, err := object.Array(shape, data)
+		if err != nil {
+			return object.Value{}, err
+		}
+		return arr, nil
+
+	case *ast.Bottom:
+		return object.Bottom("explicit bottom"), nil
+
+	case *ast.EmptyBag:
+		return object.EmptyBag, nil
+
+	case *ast.SingletonBag:
+		v, err := ev.Eval(n.Elem, env)
+		if err != nil {
+			return object.Value{}, err
+		}
+		if v.IsBottom() {
+			return v, nil
+		}
+		return object.Bag(v), nil
+
+	case *ast.BagUnion:
+		l, err := ev.Eval(n.L, env)
+		if err != nil {
+			return object.Value{}, err
+		}
+		if l.IsBottom() {
+			return l, nil
+		}
+		r, err := ev.Eval(n.R, env)
+		if err != nil {
+			return object.Value{}, err
+		}
+		if r.IsBottom() {
+			return r, nil
+		}
+		return object.BagUnion(l, r)
+
+	case *ast.BigBagUnion:
+		return ev.bigBagUnion(n.Head, n.Var, n.Over, env)
+
+	case *ast.RankUnion:
+		return ev.rankUnion(n.Head, n.Var, n.RankVar, n.Over, env, false)
+
+	case *ast.RankBagUnion:
+		return ev.rankUnion(n.Head, n.Var, n.RankVar, n.Over, env, true)
+	}
+	return object.Value{}, fmt.Errorf("eval: unhandled node %s", ast.NodeName(e))
+}
+
+// bigUnion evaluates ⋃{ head | var ∈ over }: it collects the element slices
+// of all result sets and canonicalizes once, so a union of n singletons costs
+// O(n log n) rather than O(n²).
+func (ev *Evaluator) bigUnion(head ast.Expr, varName string, over ast.Expr, env *Env) (object.Value, error) {
+	s, err := ev.Eval(over, env)
+	if err != nil {
+		return object.Value{}, err
+	}
+	if s.IsBottom() {
+		return s, nil
+	}
+	if s.Kind != object.KSet {
+		return object.Value{}, fmt.Errorf("eval: big union over %s", s.Kind)
+	}
+	var all []object.Value
+	for _, x := range s.Elems {
+		v, err := ev.Eval(head, env.Bind(varName, x))
+		if err != nil {
+			return object.Value{}, err
+		}
+		if v.IsBottom() {
+			return v, nil
+		}
+		if v.Kind != object.KSet {
+			return object.Value{}, fmt.Errorf("eval: big union body produced %s", v.Kind)
+		}
+		all = append(all, v.Elems...)
+	}
+	return object.Set(all...), nil
+}
+
+func (ev *Evaluator) bigBagUnion(head ast.Expr, varName string, over ast.Expr, env *Env) (object.Value, error) {
+	s, err := ev.Eval(over, env)
+	if err != nil {
+		return object.Value{}, err
+	}
+	if s.IsBottom() {
+		return s, nil
+	}
+	if s.Kind != object.KBag {
+		return object.Value{}, fmt.Errorf("eval: big bag union over %s", s.Kind)
+	}
+	var all []object.Value
+	for _, x := range s.Elems {
+		v, err := ev.Eval(head, env.Bind(varName, x))
+		if err != nil {
+			return object.Value{}, err
+		}
+		if v.IsBottom() {
+			return v, nil
+		}
+		if v.Kind != object.KBag {
+			return object.Value{}, fmt.Errorf("eval: big bag union body produced %s", v.Kind)
+		}
+		all = append(all, v.Elems...)
+	}
+	return object.Bag(all...), nil
+}
+
+// rankUnion evaluates ⋃_r / ⊎_r (section 6): the collection is traversed in
+// its canonical (sorted) order, binding the 1-based rank alongside each
+// element. In the bag form, equal values receive consecutive ranks, which
+// is exactly what position-in-sorted-order gives.
+func (ev *Evaluator) rankUnion(head ast.Expr, varName, rankVar string, over ast.Expr, env *Env, bag bool) (object.Value, error) {
+	s, err := ev.Eval(over, env)
+	if err != nil {
+		return object.Value{}, err
+	}
+	if s.IsBottom() {
+		return s, nil
+	}
+	wantKind, wantName := object.KSet, "ranked union"
+	if bag {
+		wantKind, wantName = object.KBag, "ranked bag union"
+	}
+	if s.Kind != wantKind {
+		return object.Value{}, fmt.Errorf("eval: %s over %s", wantName, s.Kind)
+	}
+	var all []object.Value
+	for i, x := range s.Elems {
+		e2 := env.Bind(varName, x).Bind(rankVar, object.Nat(int64(i+1)))
+		v, err := ev.Eval(head, e2)
+		if err != nil {
+			return object.Value{}, err
+		}
+		if v.IsBottom() {
+			return v, nil
+		}
+		if v.Kind != wantKind {
+			return object.Value{}, fmt.Errorf("eval: %s body produced %s", wantName, v.Kind)
+		}
+		all = append(all, v.Elems...)
+	}
+	if bag {
+		return object.Bag(all...), nil
+	}
+	return object.Set(all...), nil
+}
+
+// Arith applies an arithmetic operator to two evaluated numeric operands,
+// overloading at nat and real. On naturals, subtraction is monus and
+// division/modulus by zero is ⊥. On reals, subtraction is exact and
+// division by zero is ⊥; modulus follows math.Mod.
+func Arith(op ast.ArithOp, l, r object.Value) (object.Value, error) {
+	if l.Kind == object.KNat && r.Kind == object.KNat {
+		a, b := l.N, r.N
+		switch op {
+		case ast.OpAdd:
+			return object.Nat(a + b), nil
+		case ast.OpSub: // monus
+			if a < b {
+				return object.Nat(0), nil
+			}
+			return object.Nat(a - b), nil
+		case ast.OpMul:
+			return object.Nat(a * b), nil
+		case ast.OpDiv:
+			if b == 0 {
+				return object.Bottom("division by zero"), nil
+			}
+			return object.Nat(a / b), nil
+		case ast.OpMod:
+			if b == 0 {
+				return object.Bottom("modulus by zero"), nil
+			}
+			return object.Nat(a % b), nil
+		}
+		return object.Value{}, fmt.Errorf("eval: bad arithmetic op %q", op)
+	}
+	a, err := l.AsReal()
+	if err != nil {
+		return object.Value{}, fmt.Errorf("eval: arithmetic: %w", err)
+	}
+	b, err := r.AsReal()
+	if err != nil {
+		return object.Value{}, fmt.Errorf("eval: arithmetic: %w", err)
+	}
+	var f float64
+	switch op {
+	case ast.OpAdd:
+		f = a + b
+	case ast.OpSub:
+		f = a - b
+	case ast.OpMul:
+		f = a * b
+	case ast.OpDiv:
+		if b == 0 {
+			return object.Bottom("division by zero"), nil
+		}
+		f = a / b
+	case ast.OpMod:
+		if b == 0 {
+			return object.Bottom("modulus by zero"), nil
+		}
+		f = math.Mod(a, b)
+	default:
+		return object.Value{}, fmt.Errorf("eval: bad arithmetic op %q", op)
+	}
+	if !object.IsFinite(f) {
+		return object.Bottom("non-finite arithmetic result"), nil
+	}
+	return object.Real(f), nil
+}

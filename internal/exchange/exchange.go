@@ -1,0 +1,398 @@
+// Package exchange implements the complex-object data exchange format of
+// section 3 of the AQL paper. The format is the textual grammar
+//
+//	co ::= cb | cn | true | false | (co, ..., co) | {co, ..., co} | [[co, ..., co]]
+//
+// extended, as in our object model, with reals, strings, uninterpreted base
+// values (name#"literal"), bags ({|co, ..., co|}), the error value _|_, and
+// the efficient row-major k-dimensional array literal
+// [[n1, ..., nk; co, ..., co]] that section 3 adds for O(n) construction.
+//
+// Any driver that can produce a byte stream in this format can be registered
+// as an AQL reader (section 4.1, "I/O and the NetCDF Interface"); package
+// netcdf and the example weather generator both use it. Writing is exact:
+// Write(v) produces text that Read parses back to a value Equal to v
+// (up to bottom diagnostics, which are not values).
+package exchange
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"github.com/aqldb/aql/internal/object"
+)
+
+// Write serializes a complex object to w in the exchange format.
+func Write(w io.Writer, v object.Value) error {
+	bw := bufio.NewWriter(w)
+	if err := writeValue(bw, v); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func writeValue(w *bufio.Writer, v object.Value) error {
+	// Delegate to the canonical String rendering for scalars; recurse for
+	// collections to avoid building one giant string for large arrays.
+	switch v.Kind {
+	case object.KTuple:
+		w.WriteByte('(')
+		for i, e := range v.Elems {
+			if i > 0 {
+				w.WriteString(", ")
+			}
+			if err := writeValue(w, e); err != nil {
+				return err
+			}
+		}
+		w.WriteByte(')')
+	case object.KSet, object.KBag:
+		open, close := "{", "}"
+		if v.Kind == object.KBag {
+			open, close = "{|", "|}"
+		}
+		w.WriteString(open)
+		for i, e := range v.Elems {
+			if i > 0 {
+				w.WriteString(", ")
+			}
+			if err := writeValue(w, e); err != nil {
+				return err
+			}
+		}
+		w.WriteString(close)
+	case object.KArray:
+		w.WriteString("[[")
+		if len(v.Shape) > 1 {
+			for i, n := range v.Shape {
+				if i > 0 {
+					w.WriteString(", ")
+				}
+				fmt.Fprintf(w, "%d", n)
+			}
+			w.WriteString("; ")
+		}
+		for i, e := range v.Data {
+			if i > 0 {
+				w.WriteString(", ")
+			}
+			if err := writeValue(w, e); err != nil {
+				return err
+			}
+		}
+		w.WriteString("]]")
+	case object.KFunc:
+		return fmt.Errorf("exchange: function values cannot be serialized")
+	default:
+		w.WriteString(v.String())
+	}
+	return nil
+}
+
+// WriteString serializes a complex object to a string.
+func WriteString(v object.Value) (string, error) {
+	var b strings.Builder
+	if err := Write(&b, v); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// Read parses one complex object from r. The input is read fully into
+// memory first; exchange values are in-memory objects in any case.
+func Read(r io.Reader) (object.Value, error) {
+	src, err := io.ReadAll(r)
+	if err != nil {
+		return object.Value{}, fmt.Errorf("exchange: %w", err)
+	}
+	return ReadString(string(src))
+}
+
+// ReadString parses one complex object from a string.
+func ReadString(s string) (object.Value, error) {
+	p := &parser{src: s}
+	v, err := p.value()
+	if err != nil {
+		return object.Value{}, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return object.Value{}, p.errf("trailing input after value")
+	}
+	return v, nil
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("exchange: offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) readByte() (byte, error) {
+	if p.pos >= len(p.src) {
+		return 0, io.EOF
+	}
+	b := p.src[p.pos]
+	p.pos++
+	return b, nil
+}
+
+func (p *parser) unread() { p.pos-- }
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) {
+		b := p.src[p.pos]
+		if b == '(' && p.pos+1 < len(p.src) && p.src[p.pos+1] == '*' {
+			p.pos += 2
+			p.skipComment()
+			continue
+		}
+		if !unicode.IsSpace(rune(b)) {
+			return
+		}
+		p.pos++
+	}
+}
+
+// skipComment consumes a (* ... *) comment body; "(*" is already consumed.
+// Comments nest, as in Standard ML.
+func (p *parser) skipComment() {
+	depth := 1
+	for depth > 0 && p.pos < len(p.src) {
+		switch {
+		case strings.HasPrefix(p.src[p.pos:], "(*"):
+			depth++
+			p.pos += 2
+		case strings.HasPrefix(p.src[p.pos:], "*)"):
+			depth--
+			p.pos += 2
+		default:
+			p.pos++
+		}
+	}
+}
+
+// peekStr reports whether the next bytes equal s without consuming them.
+func (p *parser) peekStr(s string) bool {
+	return strings.HasPrefix(p.src[p.pos:], s)
+}
+
+// eat consumes s if it is next; reports whether it did.
+func (p *parser) eat(s string) bool {
+	if !p.peekStr(s) {
+		return false
+	}
+	p.pos += len(s)
+	return true
+}
+
+func (p *parser) expect(s string) error {
+	p.skipSpace()
+	if !p.eat(s) {
+		return p.errf("expected %q", s)
+	}
+	return nil
+}
+
+func (p *parser) value() (object.Value, error) {
+	p.skipSpace()
+	switch {
+	case p.eat("_|_"):
+		return object.Bottom(""), nil
+	case p.eat("true"):
+		return object.True, nil
+	case p.eat("false"):
+		return object.False, nil
+	case p.eat("[["):
+		return p.array()
+	case p.eat("{|"):
+		elems, err := p.seq("|}")
+		if err != nil {
+			return object.Value{}, err
+		}
+		return object.Bag(elems...), nil
+	case p.eat("{"):
+		elems, err := p.seq("}")
+		if err != nil {
+			return object.Value{}, err
+		}
+		return object.Set(elems...), nil
+	case p.eat("("):
+		elems, err := p.seq(")")
+		if err != nil {
+			return object.Value{}, err
+		}
+		return object.Tuple(elems...), nil
+	case p.peekStr(`"`):
+		s, err := p.quoted()
+		if err != nil {
+			return object.Value{}, err
+		}
+		return object.String_(s), nil
+	default:
+		return p.scalar()
+	}
+}
+
+// seq parses "co, co, ..., co CLOSE" (possibly empty).
+func (p *parser) seq(close string) ([]object.Value, error) {
+	p.skipSpace()
+	if p.eat(close) {
+		return nil, nil
+	}
+	var elems []object.Value
+	for {
+		v, err := p.value()
+		if err != nil {
+			return nil, err
+		}
+		elems = append(elems, v)
+		p.skipSpace()
+		if p.eat(",") {
+			continue
+		}
+		if p.eat(close) {
+			return elems, nil
+		}
+		return nil, p.errf("expected %q or %q in sequence", ",", close)
+	}
+}
+
+// array parses the body after "[[": either a 1-d literal "co, ... ]]" or a
+// row-major k-d literal "n1, ..., nk; co, ... ]]".
+func (p *parser) array() (object.Value, error) {
+	p.skipSpace()
+	if p.eat("]]") {
+		return object.Vector(), nil
+	}
+	var elems []object.Value
+	for {
+		v, err := p.value()
+		if err != nil {
+			return object.Value{}, err
+		}
+		elems = append(elems, v)
+		p.skipSpace()
+		if p.eat(",") {
+			continue
+		}
+		if p.eat(";") {
+			return p.arrayBody(elems)
+		}
+		if p.eat("]]") {
+			return object.Vector(elems...), nil
+		}
+		return object.Value{}, p.errf("expected \",\", \";\" or \"]]\" in array literal")
+	}
+}
+
+// arrayBody parses the values of a k-d row-major literal whose dimension
+// prefix has been parsed into dims.
+func (p *parser) arrayBody(dims []object.Value) (object.Value, error) {
+	shape := make([]int, len(dims))
+	for i, d := range dims {
+		n, err := d.AsNat()
+		if err != nil {
+			return object.Value{}, p.errf("array dimension %d is not a natural number", i+1)
+		}
+		shape[i] = int(n)
+	}
+	data, err := p.seq("]]")
+	if err != nil {
+		return object.Value{}, err
+	}
+	v, err := object.Array(shape, data)
+	if err != nil {
+		return object.Value{}, p.errf("%v", err)
+	}
+	return v, nil
+}
+
+// quoted parses a Go-style double-quoted string literal.
+func (p *parser) quoted() (string, error) {
+	var raw strings.Builder
+	b, err := p.readByte()
+	if err != nil || b != '"' {
+		return "", p.errf("expected string literal")
+	}
+	raw.WriteByte('"')
+	escaped := false
+	for {
+		b, err := p.readByte()
+		if err != nil {
+			return "", p.errf("unterminated string literal")
+		}
+		raw.WriteByte(b)
+		if escaped {
+			escaped = false
+			continue
+		}
+		if b == '\\' {
+			escaped = true
+		}
+		if b == '"' {
+			break
+		}
+	}
+	s, err := strconv.Unquote(raw.String())
+	if err != nil {
+		return "", p.errf("bad string literal %s: %v", raw.String(), err)
+	}
+	return s, nil
+}
+
+// scalar parses a number (nat or real) or an identifier-led base value
+// name#"literal".
+func (p *parser) scalar() (object.Value, error) {
+	var tok strings.Builder
+	for {
+		b, err := p.readByte()
+		if err != nil {
+			break
+		}
+		c := rune(b)
+		if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '.' || c == '_' ||
+			c == '+' || c == '-' || (tok.Len() > 0 && (c == 'e' || c == 'E')) {
+			tok.WriteByte(b)
+			continue
+		}
+		if c == '#' {
+			// Base value: name#"literal".
+			name := tok.String()
+			if name == "" {
+				return object.Value{}, p.errf("base value with empty type name")
+			}
+			lit, err := p.quoted()
+			if err != nil {
+				return object.Value{}, err
+			}
+			return object.Base(name, lit), nil
+		}
+		p.unread()
+		break
+	}
+	s := tok.String()
+	if s == "" {
+		return object.Value{}, p.errf("expected a value")
+	}
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		if n < 0 {
+			return object.Value{}, p.errf("negative literal %d is not a natural number", n)
+		}
+		return object.Nat(n), nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		if !object.IsFinite(f) {
+			return object.Value{}, p.errf("non-finite real literal %q", s)
+		}
+		return object.Real(f), nil
+	}
+	return object.Value{}, p.errf("bad literal %q", s)
+}

@@ -1,0 +1,44 @@
+package exchange
+
+import (
+	"testing"
+
+	"github.com/aqldb/aql/internal/object"
+)
+
+// FuzzReadString asserts the exchange parser never panics, and that any
+// value it accepts survives a write → read round trip.
+func FuzzReadString(f *testing.F) {
+	seeds := []string{
+		`{25, 27, 28}`,
+		`[[0, 31, 28]]`,
+		`[[2, 2; 1, 2, 3, 4]]`,
+		`(67.3, true, "x")`,
+		`{|1, 1|}`,
+		`_|_`,
+		`b#"lit"`,
+		`{(1, {2}), (3, {})}`,
+		`(* c *) 1`,
+		`[[`, `{`, `((`, `1e999`, `-`, `#`, `"`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		v, err := ReadString(src)
+		if err != nil {
+			return
+		}
+		out, err := WriteString(v)
+		if err != nil {
+			t.Fatalf("accepted %q but cannot write %s: %v", src, v, err)
+		}
+		back, err := ReadString(out)
+		if err != nil {
+			t.Fatalf("round trip of %q failed at re-read %q: %v", src, out, err)
+		}
+		if !object.Equal(v, back) {
+			t.Fatalf("round trip of %q changed the value: %s vs %s", src, v, back)
+		}
+	})
+}

@@ -1,0 +1,184 @@
+package netcdf
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// CachedReaderAt wraps an io.ReaderAt with a fixed-size LRU block cache and
+// sequential readahead — the "good predictive caching" that section 7 of
+// the paper lists as future work for more direct access to external
+// arrays. Strided hyperslab reads touch each file block many times (once
+// per contiguous run); caching the blocks turns the re-reads into memory
+// copies, and the readahead hides latency on row-major scans.
+//
+// A CachedReaderAt is not safe for concurrent use; a File reads its data
+// source sequentially per slab request.
+type CachedReaderAt struct {
+	r         io.ReaderAt
+	blockSize int64
+	capacity  int
+
+	blocks map[int64]*cacheBlock // by block number
+	// Doubly-linked LRU list; head is most recent.
+	head, tail *cacheBlock
+
+	lastBlock int64 // last block served, for sequential detection
+
+	// Stats counts cache behaviour for the benchmarks and tests.
+	Stats CacheStats
+}
+
+// CacheStats reports cache behaviour.
+type CacheStats struct {
+	Hits       int64
+	Misses     int64
+	Prefetches int64
+}
+
+type cacheBlock struct {
+	num        int64
+	data       []byte
+	prev, next *cacheBlock
+}
+
+// NewCachedReaderAt wraps r with a cache of numBlocks blocks of blockSize
+// bytes each.
+func NewCachedReaderAt(r io.ReaderAt, blockSize, numBlocks int) *CachedReaderAt {
+	if blockSize <= 0 {
+		blockSize = 1 << 16
+	}
+	if numBlocks <= 0 {
+		numBlocks = 64
+	}
+	return &CachedReaderAt{
+		r:         r,
+		blockSize: int64(blockSize),
+		capacity:  numBlocks,
+		blocks:    map[int64]*cacheBlock{},
+		lastBlock: -2,
+	}
+}
+
+// ReadAt implements io.ReaderAt through the cache.
+func (c *CachedReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	n := 0
+	for n < len(p) {
+		blockNum := (off + int64(n)) / c.blockSize
+		blk, err := c.fetch(blockNum, true)
+		if err != nil {
+			if n > 0 && err == io.EOF {
+				return n, io.ErrUnexpectedEOF
+			}
+			return n, err
+		}
+		inner := (off + int64(n)) - blockNum*c.blockSize
+		if inner >= int64(len(blk.data)) {
+			return n, io.ErrUnexpectedEOF
+		}
+		copied := copy(p[n:], blk.data[inner:])
+		n += copied
+		// Predictive readahead: if this block follows the previous access,
+		// warm the next block.
+		if blockNum == c.lastBlock+1 {
+			if _, err := c.fetch(blockNum+1, false); err == nil {
+				c.Stats.Prefetches++
+			}
+		}
+		c.lastBlock = blockNum
+	}
+	return n, nil
+}
+
+// fetch returns the block, loading it on a miss. demand marks an
+// application-driven access (counted in hits/misses); prefetches are not.
+func (c *CachedReaderAt) fetch(num int64, demand bool) (*cacheBlock, error) {
+	if blk, ok := c.blocks[num]; ok {
+		if demand {
+			c.Stats.Hits++
+		}
+		c.moveToFront(blk)
+		return blk, nil
+	}
+	if demand {
+		c.Stats.Misses++
+	}
+	data := make([]byte, c.blockSize)
+	n, err := c.r.ReadAt(data, num*c.blockSize)
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, io.EOF
+	}
+	blk := &cacheBlock{num: num, data: data[:n]}
+	c.blocks[num] = blk
+	c.pushFront(blk)
+	if len(c.blocks) > c.capacity {
+		c.evict()
+	}
+	return blk, nil
+}
+
+func (c *CachedReaderAt) pushFront(blk *cacheBlock) {
+	blk.prev = nil
+	blk.next = c.head
+	if c.head != nil {
+		c.head.prev = blk
+	}
+	c.head = blk
+	if c.tail == nil {
+		c.tail = blk
+	}
+}
+
+func (c *CachedReaderAt) unlink(blk *cacheBlock) {
+	if blk.prev != nil {
+		blk.prev.next = blk.next
+	} else {
+		c.head = blk.next
+	}
+	if blk.next != nil {
+		blk.next.prev = blk.prev
+	} else {
+		c.tail = blk.prev
+	}
+	blk.prev, blk.next = nil, nil
+}
+
+func (c *CachedReaderAt) moveToFront(blk *cacheBlock) {
+	if c.head == blk {
+		return
+	}
+	c.unlink(blk)
+	c.pushFront(blk)
+}
+
+func (c *CachedReaderAt) evict() {
+	lru := c.tail
+	if lru == nil {
+		return
+	}
+	c.unlink(lru)
+	delete(c.blocks, lru.num)
+}
+
+// OpenCached opens a NetCDF file with a block cache between the parser and
+// the disk. blockSize and numBlocks of 0 select defaults (64 KiB × 64).
+// The returned file's Cache field exposes the cache for statistics.
+func OpenCached(path string, blockSize, numBlocks int) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("netcdf: %w", err)
+	}
+	cached := NewCachedReaderAt(f, blockSize, numBlocks)
+	nc, err := Read(cached)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	nc.closer = f
+	nc.Cache = cached
+	return nc, nil
+}

@@ -1,0 +1,216 @@
+package netcdf
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// countingReaderAt counts underlying reads, for cache-effect assertions.
+type countingReaderAt struct {
+	r     *bytes.Reader
+	reads int
+	bytes int64
+}
+
+func (c *countingReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	c.reads++
+	n, err := c.r.ReadAt(p, off)
+	c.bytes += int64(n)
+	return n, err
+}
+
+func TestCachedReadAtCorrectness(t *testing.T) {
+	raw := make([]byte, 100000)
+	for i := range raw {
+		raw[i] = byte(i * 31)
+	}
+	under := &countingReaderAt{r: bytes.NewReader(raw)}
+	c := NewCachedReaderAt(under, 1024, 16)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 500; trial++ {
+		off := rng.Intn(len(raw) - 1)
+		n := rng.Intn(2000) + 1
+		if off+n > len(raw) {
+			n = len(raw) - off
+		}
+		buf := make([]byte, n)
+		got, err := c.ReadAt(buf, int64(off))
+		if err != nil {
+			t.Fatalf("ReadAt(%d, %d): %v", off, n, err)
+		}
+		if got != n || !bytes.Equal(buf, raw[off:off+n]) {
+			t.Fatalf("ReadAt(%d, %d) returned wrong data", off, n)
+		}
+	}
+	if c.Stats.Hits == 0 {
+		t.Error("no cache hits over 500 random reads")
+	}
+}
+
+func TestCachedReadAtPastEOF(t *testing.T) {
+	raw := []byte("0123456789")
+	c := NewCachedReaderAt(bytes.NewReader(raw), 4, 4)
+	buf := make([]byte, 4)
+	if _, err := c.ReadAt(buf, 100); err == nil {
+		t.Error("read past EOF should error")
+	}
+	// A read crossing EOF errors too.
+	if _, err := c.ReadAt(buf, 8); err == nil {
+		t.Error("read crossing EOF should error")
+	}
+	// A read within bounds near the end works.
+	if n, err := c.ReadAt(buf[:2], 8); err != nil || n != 2 || buf[0] != '8' {
+		t.Errorf("tail read = %d, %v", n, err)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	raw := make([]byte, 64*10)
+	under := &countingReaderAt{r: bytes.NewReader(raw)}
+	c := NewCachedReaderAt(under, 64, 2) // room for only 2 blocks
+	buf := make([]byte, 8)
+	// Touch blocks 0, 1, 2 — 0 must be evicted.
+	for _, blk := range []int64{0, 1, 2} {
+		if _, err := c.ReadAt(buf, blk*64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(c.blocks) > 2 {
+		t.Errorf("cache holds %d blocks, capacity 2", len(c.blocks))
+	}
+	misses := c.Stats.Misses
+	if _, err := c.ReadAt(buf, 0); err != nil { // block 0 again: a miss
+		t.Fatal(err)
+	}
+	if c.Stats.Misses != misses+1 {
+		t.Error("evicted block not re-fetched")
+	}
+}
+
+func TestSequentialReadahead(t *testing.T) {
+	raw := make([]byte, 64*32)
+	under := &countingReaderAt{r: bytes.NewReader(raw)}
+	c := NewCachedReaderAt(under, 64, 16)
+	buf := make([]byte, 64)
+	// A sequential scan: after the pattern is detected, each block should
+	// already be warm from readahead.
+	for blk := int64(0); blk < 10; blk++ {
+		if _, err := c.ReadAt(buf, blk*64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Stats.Prefetches == 0 {
+		t.Error("sequential scan triggered no readahead")
+	}
+	if c.Stats.Hits < 5 {
+		t.Errorf("sequential scan had only %d hits; readahead ineffective", c.Stats.Hits)
+	}
+}
+
+func TestOpenCachedMatchesOpen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.nc")
+	b := NewBuilder()
+	ti, _ := b.AddDim("t", 50)
+	la, _ := b.AddDim("y", 20)
+	data := make([]float64, 1000)
+	for i := range data {
+		data[i] = float64(i) / 3
+	}
+	if err := b.AddVar("v", Double, []int{ti, la}, nil, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	plain, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	cached, err := OpenCached(path, 512, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cached.Close()
+	if cached.Cache == nil {
+		t.Fatal("Cache field not set")
+	}
+
+	for _, slab := range [][4]int{{0, 0, 50, 20}, {10, 5, 7, 3}, {49, 19, 1, 1}} {
+		a, err := plain.ReadSlab("v", []int{slab[0], slab[1]}, []int{slab[2], slab[3]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b2, err := cached.ReadSlab("v", []int{slab[0], slab[1]}, []int{slab[2], slab[3]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a.Values {
+			if a.Values[i] != b2.Values[i] {
+				t.Fatalf("slab %v: cached read differs at %d", slab, i)
+			}
+		}
+	}
+	// Repeated reads hit the cache.
+	before := cached.Cache.Stats.Hits
+	if _, err := cached.ReadSlab("v", []int{0, 0}, []int{50, 20}); err != nil {
+		t.Fatal(err)
+	}
+	if cached.Cache.Stats.Hits <= before {
+		t.Error("repeated slab read produced no cache hits")
+	}
+}
+
+func TestCacheReducesUnderlyingReads(t *testing.T) {
+	// A strided column read touches each block once per row without a
+	// cache; with it, the underlying file sees each block at most twice
+	// (load + possible readahead overlap).
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.nc")
+	b := NewBuilder()
+	ti, _ := b.AddDim("t", 400)
+	la, _ := b.AddDim("y", 100)
+	data := make([]float64, 400*100)
+	if err := b.AddVar("v", Double, []int{ti, la}, nil, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	content, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	colRead := func(r *countingReaderAt, useCache bool) int {
+		f, err := Read(ioReaderAt(r, useCache))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Column 7: one element per row — maximally strided.
+		if _, err := f.ReadSlab("v", []int{0, 7}, []int{400, 1}); err != nil {
+			t.Fatal(err)
+		}
+		return r.reads
+	}
+	rawReads := colRead(&countingReaderAt{r: bytes.NewReader(content)}, false)
+	cachedReads := colRead(&countingReaderAt{r: bytes.NewReader(content)}, true)
+	if cachedReads*4 > rawReads {
+		t.Errorf("cache ineffective on strided read: %d raw vs %d cached underlying reads",
+			rawReads, cachedReads)
+	}
+}
+
+func ioReaderAt(r *countingReaderAt, cached bool) interface {
+	ReadAt([]byte, int64) (int, error)
+} {
+	if cached {
+		return NewCachedReaderAt(r, 4096, 64)
+	}
+	return r
+}

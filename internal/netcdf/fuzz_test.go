@@ -1,0 +1,44 @@
+package netcdf
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead asserts the header parser never panics or over-allocates on
+// arbitrary bytes (truncations, corrupt counts, bad tags).
+func FuzzRead(f *testing.F) {
+	// Seed with a valid file and mutations of it.
+	b := NewBuilder()
+	d, _ := b.AddDim("x", 3)
+	_ = b.AddVar("v", Int, []int{d}, nil, []float64{1, 2, 3})
+	var buf bytes.Buffer
+	if err := b.Encode(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	for cut := 1; cut < len(valid); cut += 7 {
+		f.Add(valid[:cut])
+	}
+	corrupt := append([]byte(nil), valid...)
+	corrupt[8] = 0xFF // implausible list count
+	f.Add(corrupt)
+	f.Add([]byte("CDF\x01"))
+	f.Add([]byte("CDF\x02\x00\x00\x00\x00"))
+	f.Add([]byte("not netcdf"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		nc, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A file the parser accepts must tolerate slab reads of every
+		// variable without panicking.
+		for _, v := range nc.Vars {
+			shape := nc.Shape(&v)
+			start := make([]int, len(shape))
+			_, _ = nc.ReadSlab(v.Name, start, shape)
+		}
+	})
+}

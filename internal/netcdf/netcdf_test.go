@@ -1,0 +1,425 @@
+package netcdf
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+// buildBytes serializes a builder to a byte slice.
+func buildBytes(t *testing.T, b *Builder) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := b.Encode(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func parse(t *testing.T, data []byte) *File {
+	t.Helper()
+	f, err := Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	return f
+}
+
+func TestGoldenMinimalFile(t *testing.T) {
+	// A file with one dimension x(2) and one int variable v(x) = {7, 8},
+	// assembled by hand from the classic format specification.
+	var want []byte
+	w32 := func(v uint32) { want = binary.BigEndian.AppendUint32(want, v) }
+	want = append(want, 'C', 'D', 'F', 1)
+	w32(0)    // numrecs
+	w32(0x0A) // NC_DIMENSION
+	w32(1)    // 1 dim
+	w32(1)    // name length
+	want = append(want, 'x', 0, 0, 0)
+	w32(2) // dim length
+	w32(0) // gatt ABSENT
+	w32(0)
+	w32(0x0B) // NC_VARIABLE
+	w32(1)    // 1 var
+	w32(1)    // name length
+	want = append(want, 'v', 0, 0, 0)
+	w32(1) // ndims
+	w32(0) // dimid 0
+	w32(0) // vatt ABSENT
+	w32(0)
+	w32(4) // NC_INT
+	w32(8) // vsize
+	begin := uint32(len(want) + 4)
+	w32(begin)
+	w32(7)
+	w32(8)
+
+	b := NewBuilder()
+	x, err := b.AddDim("x", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddVar("v", Int, []int{x}, nil, []float64{7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	got := buildBytes(t, b)
+	if !bytes.Equal(got, want) {
+		t.Errorf("writer bytes differ from the specification:\n got  %x\n want %x", got, want)
+	}
+	// And the reader parses the hand-built bytes.
+	f := parse(t, want)
+	slab, err := f.ReadAll("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slab.Values) != 2 || slab.Values[0] != 7 || slab.Values[1] != 8 {
+		t.Errorf("values = %v", slab.Values)
+	}
+}
+
+func TestRoundTripAllTypes(t *testing.T) {
+	for _, typ := range []Type{Byte, Short, Int, Float, Double} {
+		b := NewBuilder()
+		d, _ := b.AddDim("n", 5)
+		vals := []float64{1, -2, 3, -4, 5}
+		if typ == Byte {
+			vals = []float64{1, -2, 3, -4, 5}
+		}
+		if err := b.AddVar("v", typ, []int{d}, nil, vals); err != nil {
+			t.Fatal(err)
+		}
+		f := parse(t, buildBytes(t, b))
+		slab, err := f.ReadAll("v")
+		if err != nil {
+			t.Fatalf("%s: %v", typ, err)
+		}
+		for i, want := range vals {
+			if slab.Values[i] != want {
+				t.Errorf("%s[%d] = %v, want %v", typ, i, slab.Values[i], want)
+			}
+		}
+	}
+}
+
+func TestRoundTripChar(t *testing.T) {
+	b := NewBuilder()
+	d, _ := b.AddDim("len", 8)
+	if err := b.AddCharVar("s", []int{d}, nil, []byte("NYC temp")); err != nil {
+		t.Fatal(err)
+	}
+	f := parse(t, buildBytes(t, b))
+	slab, err := f.ReadAll("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(slab.Text) != "NYC temp" {
+		t.Errorf("text = %q", slab.Text)
+	}
+}
+
+func TestRoundTripMultiDim(t *testing.T) {
+	b := NewBuilder()
+	ti, _ := b.AddDim("time", 4)
+	la, _ := b.AddDim("lat", 3)
+	lo, _ := b.AddDim("lon", 2)
+	data := make([]float64, 4*3*2)
+	for i := range data {
+		data[i] = float64(i) / 4
+	}
+	if err := b.AddVar("temp", Double, []int{ti, la, lo}, nil, data); err != nil {
+		t.Fatal(err)
+	}
+	f := parse(t, buildBytes(t, b))
+	slab, err := f.ReadAll("temp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range data {
+		if slab.Values[i] != want {
+			t.Fatalf("temp[%d] = %v, want %v", i, slab.Values[i], want)
+		}
+	}
+}
+
+func TestHyperslab(t *testing.T) {
+	// temp[t][y] = 10*t + y over 5x4; read the slab t in [1,4), y in [2,4).
+	b := NewBuilder()
+	ti, _ := b.AddDim("t", 5)
+	yi, _ := b.AddDim("y", 4)
+	data := make([]float64, 20)
+	for t2 := 0; t2 < 5; t2++ {
+		for y := 0; y < 4; y++ {
+			data[t2*4+y] = float64(10*t2 + y)
+		}
+	}
+	if err := b.AddVar("temp", Float, []int{ti, yi}, nil, data); err != nil {
+		t.Fatal(err)
+	}
+	f := parse(t, buildBytes(t, b))
+	slab, err := f.ReadSlab("temp", []int{1, 2}, []int{3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{12, 13, 22, 23, 32, 33}
+	if len(slab.Values) != len(want) {
+		t.Fatalf("slab size %d, want %d", len(slab.Values), len(want))
+	}
+	for i := range want {
+		if slab.Values[i] != want[i] {
+			t.Errorf("slab[%d] = %v, want %v", i, slab.Values[i], want[i])
+		}
+	}
+	if slab.Shape[0] != 3 || slab.Shape[1] != 2 {
+		t.Errorf("shape = %v", slab.Shape)
+	}
+}
+
+func TestHyperslabErrors(t *testing.T) {
+	b := NewBuilder()
+	d, _ := b.AddDim("n", 3)
+	if err := b.AddVar("v", Int, []int{d}, nil, []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	f := parse(t, buildBytes(t, b))
+	if _, err := f.ReadSlab("v", []int{2}, []int{2}); err == nil {
+		t.Error("out-of-range slab should error")
+	}
+	if _, err := f.ReadSlab("v", []int{0, 0}, []int{1, 1}); err == nil {
+		t.Error("rank mismatch should error")
+	}
+	if _, err := f.ReadSlab("nope", []int{0}, []int{1}); err == nil {
+		t.Error("missing variable should error")
+	}
+}
+
+func TestRecordVariables(t *testing.T) {
+	// Two record variables: interleaving exercises the record block layout.
+	b := NewBuilder()
+	ti, _ := b.AddRecordDim("time", 3)
+	la, _ := b.AddDim("lat", 2)
+	temp := []float64{1, 2, 3, 4, 5, 6} // 3 records x 2
+	wind := []float64{10, 20, 30}       // 3 records x scalar-per-record
+	if err := b.AddVar("temp", Double, []int{ti, la}, nil, temp); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddVar("wind", Short, []int{ti}, nil, wind); err != nil {
+		t.Fatal(err)
+	}
+	f := parse(t, buildBytes(t, b))
+	if f.NumRecs != 3 {
+		t.Fatalf("numrecs = %d", f.NumRecs)
+	}
+	slab, err := f.ReadAll("temp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range temp {
+		if slab.Values[i] != want {
+			t.Errorf("temp[%d] = %v, want %v", i, slab.Values[i], want)
+		}
+	}
+	wslab, err := f.ReadAll("wind")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range wind {
+		if wslab.Values[i] != want {
+			t.Errorf("wind[%d] = %v, want %v", i, wslab.Values[i], want)
+		}
+	}
+	// A record-sliced hyperslab.
+	mid, err := f.ReadSlab("temp", []int{1, 0}, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid.Values[0] != 3 || mid.Values[1] != 4 {
+		t.Errorf("record slab = %v", mid.Values)
+	}
+}
+
+func TestAttributes(t *testing.T) {
+	b := NewBuilder()
+	b.AddGlobalAttr(Attr{Name: "title", Type: Char, Values: "June temperatures"})
+	b.AddGlobalAttr(Attr{Name: "version", Type: Int, Values: []int32{3}})
+	d, _ := b.AddDim("n", 1)
+	attrs := []Attr{
+		{Name: "units", Type: Char, Values: "degF"},
+		{Name: "valid_range", Type: Double, Values: []float64{-100, 150}},
+	}
+	if err := b.AddVar("temp", Double, []int{d}, attrs, []float64{72}); err != nil {
+		t.Fatal(err)
+	}
+	f := parse(t, buildBytes(t, b))
+	if len(f.GlobalAttr) != 2 || f.GlobalAttr[0].Name != "title" {
+		t.Fatalf("global attrs = %+v", f.GlobalAttr)
+	}
+	if f.GlobalAttr[0].Values.(string) != "June temperatures" {
+		t.Errorf("title = %v", f.GlobalAttr[0].Values)
+	}
+	v, err := f.Var("temp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Attrs) != 2 || v.Attrs[0].Values.(string) != "degF" {
+		t.Errorf("var attrs = %+v", v.Attrs)
+	}
+	vr := v.Attrs[1].Values.([]float64)
+	if vr[0] != -100 || vr[1] != 150 {
+		t.Errorf("valid_range = %v", vr)
+	}
+}
+
+func TestVersion2(t *testing.T) {
+	b := NewBuilder()
+	if err := b.SetVersion(2); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := b.AddDim("n", 3)
+	if err := b.AddVar("v", Int, []int{d}, nil, []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	data := buildBytes(t, b)
+	if data[3] != 2 {
+		t.Fatalf("version byte = %d", data[3])
+	}
+	f := parse(t, data)
+	if f.Version != 2 {
+		t.Fatalf("parsed version = %d", f.Version)
+	}
+	slab, err := f.ReadAll("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slab.Values[2] != 3 {
+		t.Errorf("values = %v", slab.Values)
+	}
+}
+
+func TestOpenFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.nc")
+	b := NewBuilder()
+	d, _ := b.AddDim("n", 2)
+	if err := b.AddVar("v", Double, []int{d}, nil, []float64{1.5, 2.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	slab, err := f.ReadAll("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slab.Values[0] != 1.5 || slab.Values[1] != 2.5 {
+		t.Errorf("values = %v", slab.Values)
+	}
+}
+
+func TestBadInput(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("not netcdf"),
+		{'C', 'D', 'F', 9, 0, 0, 0, 0},
+		{'C', 'D', 'F', 1}, // truncated
+	}
+	for _, data := range cases {
+		if _, err := Read(bytes.NewReader(data)); err == nil {
+			t.Errorf("Read(%q) should error", data)
+		}
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder()
+	if _, err := b.AddDim("n", 0); err == nil {
+		t.Error("zero-length fixed dim should error")
+	}
+	if _, err := b.AddRecordDim("t", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddRecordDim("t2", 2); err == nil {
+		t.Error("second record dim should error")
+	}
+	d, _ := b.AddDim("n", 2)
+	if err := b.AddVar("v", Int, []int{d}, nil, []float64{1}); err == nil {
+		t.Error("wrong data size should error")
+	}
+	if err := b.AddVar("v", Char, []int{d}, nil, nil); err == nil {
+		t.Error("AddVar with Char should error")
+	}
+	if err := b.AddVar("v", Int, []int{9}, nil, nil); err == nil {
+		t.Error("bad dim id should error")
+	}
+	if err := b.SetVersion(3); err == nil {
+		t.Error("bad version should error")
+	}
+}
+
+func TestPropRoundTripRandomSlabs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		b := NewBuilder()
+		rank := rng.Intn(3) + 1
+		shape := make([]int, rank)
+		dims := make([]int, rank)
+		size := 1
+		for d := 0; d < rank; d++ {
+			shape[d] = rng.Intn(5) + 1
+			size *= shape[d]
+			id, err := b.AddDim(string(rune('a'+d)), shape[d])
+			if err != nil {
+				t.Fatal(err)
+			}
+			dims[d] = id
+		}
+		data := make([]float64, size)
+		for i := range data {
+			data[i] = math.Round(rng.Float64()*1000) / 8
+		}
+		if err := b.AddVar("v", Double, dims, nil, data); err != nil {
+			t.Fatal(err)
+		}
+		f := parse(t, buildBytes(t, b))
+		// Random subslab.
+		start := make([]int, rank)
+		count := make([]int, rank)
+		for d := 0; d < rank; d++ {
+			start[d] = rng.Intn(shape[d])
+			count[d] = rng.Intn(shape[d]-start[d]) + 1
+		}
+		slab, err := f.ReadSlab("v", start, count)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Verify against direct indexing.
+		idx := make([]int, rank)
+		var walk func(d int, pos *int)
+		walk = func(d int, pos *int) {
+			if d == rank {
+				lin := 0
+				for j := 0; j < rank; j++ {
+					lin = lin*shape[j] + start[j] + idx[j]
+				}
+				if slab.Values[*pos] != data[lin] {
+					t.Fatalf("trial %d: slab mismatch at %v", trial, idx)
+				}
+				*pos++
+				return
+			}
+			for i := 0; i < count[d]; i++ {
+				idx[d] = i
+				walk(d+1, pos)
+			}
+		}
+		pos := 0
+		walk(0, &pos)
+	}
+}

@@ -1,0 +1,405 @@
+package netcdf
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Builder constructs a NetCDF classic file in memory and serializes it.
+// It exists both for tests (round-tripping the reader) and so that the
+// example programs can synthesize genuine .nc inputs for the AQL driver —
+// our stand-in for the paper's real climate files.
+type Builder struct {
+	version int
+	dims    []Dim
+	gattrs  []Attr
+	vars    []builderVar
+	recDim  int
+	numRecs int
+}
+
+type builderVar struct {
+	name  string
+	typ   Type
+	dims  []int
+	attrs []Attr
+	data  []float64 // numeric payload, row-major
+	text  []byte    // Char payload
+}
+
+// NewBuilder returns an empty classic-format (CDF-1) builder.
+func NewBuilder() *Builder {
+	return &Builder{version: 1, recDim: -1}
+}
+
+// SetVersion selects 1 (classic, 32-bit offsets) or 2 (64-bit offsets).
+func (b *Builder) SetVersion(v int) error {
+	if v != 1 && v != 2 {
+		return fmt.Errorf("netcdf: unsupported version %d", v)
+	}
+	b.version = v
+	return nil
+}
+
+// AddDim adds a fixed dimension and returns its id.
+func (b *Builder) AddDim(name string, length int) (int, error) {
+	if length <= 0 {
+		return 0, fmt.Errorf("netcdf: dimension %q must have positive length", name)
+	}
+	b.dims = append(b.dims, Dim{Name: name, Len: length})
+	return len(b.dims) - 1, nil
+}
+
+// AddRecordDim adds the record (unlimited) dimension with the given current
+// record count and returns its id. At most one is allowed.
+func (b *Builder) AddRecordDim(name string, numRecs int) (int, error) {
+	if b.recDim >= 0 {
+		return 0, fmt.Errorf("netcdf: a record dimension already exists")
+	}
+	if numRecs < 0 {
+		return 0, fmt.Errorf("netcdf: negative record count")
+	}
+	b.recDim = len(b.dims)
+	b.numRecs = numRecs
+	b.dims = append(b.dims, Dim{Name: name, Len: 0})
+	return b.recDim, nil
+}
+
+// AddGlobalAttr attaches a global attribute.
+func (b *Builder) AddGlobalAttr(a Attr) { b.gattrs = append(b.gattrs, a) }
+
+// AddVar adds a numeric variable over the given dimension ids with its
+// row-major data. The data length must match the variable's total size
+// (with the record dimension contributing the builder's record count).
+func (b *Builder) AddVar(name string, typ Type, dimIDs []int, attrs []Attr, data []float64) error {
+	if typ == Char {
+		return fmt.Errorf("netcdf: use AddCharVar for char data")
+	}
+	if typ.Size() == 0 {
+		return fmt.Errorf("netcdf: bad type %d", typ)
+	}
+	size, err := b.varSize(name, dimIDs)
+	if err != nil {
+		return err
+	}
+	if size != len(data) {
+		return fmt.Errorf("netcdf: variable %q needs %d values, got %d", name, size, len(data))
+	}
+	b.vars = append(b.vars, builderVar{name: name, typ: typ, dims: append([]int(nil), dimIDs...), attrs: attrs, data: data})
+	return nil
+}
+
+// AddCharVar adds a char variable with its raw bytes.
+func (b *Builder) AddCharVar(name string, dimIDs []int, attrs []Attr, text []byte) error {
+	size, err := b.varSize(name, dimIDs)
+	if err != nil {
+		return err
+	}
+	if size != len(text) {
+		return fmt.Errorf("netcdf: variable %q needs %d chars, got %d", name, size, len(text))
+	}
+	b.vars = append(b.vars, builderVar{name: name, typ: Char, dims: append([]int(nil), dimIDs...), attrs: attrs, text: text})
+	return nil
+}
+
+func (b *Builder) varSize(name string, dimIDs []int) (int, error) {
+	size := 1
+	for j, d := range dimIDs {
+		if d < 0 || d >= len(b.dims) {
+			return 0, fmt.Errorf("netcdf: variable %q: bad dimension id %d", name, d)
+		}
+		if d == b.recDim {
+			if j != 0 {
+				return 0, fmt.Errorf("netcdf: variable %q: record dimension must be outermost", name)
+			}
+			size *= b.numRecs
+		} else {
+			size *= b.dims[d].Len
+		}
+	}
+	return size, nil
+}
+
+// WriteFile serializes the file to disk.
+func (b *Builder) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("netcdf: %w", err)
+	}
+	if err := b.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Encode serializes the file to w.
+func (b *Builder) Encode(w io.Writer) error {
+	// Plan the layout: header size, then fixed variables, then the record
+	// block.
+	header := b.encodeHeaderWithOffsets(nil) // first pass with zero offsets to size it
+	offset := pad4(int64(len(header)))
+
+	begins := make([]int64, len(b.vars))
+	// Fixed variables first.
+	for i := range b.vars {
+		v := &b.vars[i]
+		if b.usesRecord(v) {
+			continue
+		}
+		begins[i] = offset
+		offset += pad4(b.fixedSize(v))
+	}
+	// Record variables, interleaved per record.
+	for i := range b.vars {
+		v := &b.vars[i]
+		if !b.usesRecord(v) {
+			continue
+		}
+		begins[i] = offset
+		offset += b.recordSlot(v)
+	}
+
+	header = b.encodeHeaderWithOffsets(begins)
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(header); err != nil {
+		return err
+	}
+	// Padding between header and data.
+	for n := int64(len(header)); n%4 != 0; n++ {
+		bw.WriteByte(0)
+	}
+
+	// Fixed variable data.
+	for i := range b.vars {
+		v := &b.vars[i]
+		if b.usesRecord(v) {
+			continue
+		}
+		if err := b.writeValues(bw, v, 0, b.elemCount(v)); err != nil {
+			return err
+		}
+		for n := b.fixedSize(v); n%4 != 0; n++ {
+			bw.WriteByte(0)
+		}
+	}
+	// Record data: for each record, each record variable's slice.
+	perRec := make([]int, len(b.vars))
+	for i := range b.vars {
+		v := &b.vars[i]
+		if b.usesRecord(v) && b.numRecs > 0 {
+			perRec[i] = b.elemCount(v) / b.numRecs
+		}
+	}
+	for r := 0; r < b.numRecs; r++ {
+		for i := range b.vars {
+			v := &b.vars[i]
+			if !b.usesRecord(v) {
+				continue
+			}
+			if err := b.writeValues(bw, v, r*perRec[i], perRec[i]); err != nil {
+				return err
+			}
+			slot := int64(perRec[i]) * int64(v.typ.Size())
+			for n := slot; n < b.recordSlot(v); n++ {
+				bw.WriteByte(0)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func (b *Builder) usesRecord(v *builderVar) bool {
+	return len(v.dims) > 0 && v.dims[0] == b.recDim && b.recDim >= 0
+}
+
+// elemCount is the total number of elements currently stored for v.
+func (b *Builder) elemCount(v *builderVar) int {
+	if v.typ == Char {
+		return len(v.text)
+	}
+	return len(v.data)
+}
+
+// fixedSize is the unpadded byte size of a fixed variable's data.
+func (b *Builder) fixedSize(v *builderVar) int64 {
+	return int64(b.elemCount(v)) * int64(v.typ.Size())
+}
+
+// recordSlot is the padded per-record byte size of a record variable.
+func (b *Builder) recordSlot(v *builderVar) int64 {
+	per := int64(0)
+	if b.numRecs > 0 {
+		per = int64(b.elemCount(v)/b.numRecs) * int64(v.typ.Size())
+	} else {
+		// No records yet: compute from dimensions.
+		n := int64(1)
+		for _, d := range v.dims[1:] {
+			n *= int64(b.dims[d].Len)
+		}
+		per = n * int64(v.typ.Size())
+	}
+	return pad4(per)
+}
+
+// vsize per the spec: the padded data size (per record for record vars).
+func (b *Builder) vsizeOf(v *builderVar) int64 {
+	if b.usesRecord(v) {
+		return b.recordSlot(v)
+	}
+	return pad4(b.fixedSize(v))
+}
+
+func (b *Builder) writeValues(w *bufio.Writer, v *builderVar, from, n int) error {
+	if v.typ == Char {
+		_, err := w.Write(v.text[from : from+n])
+		return err
+	}
+	var buf [8]byte
+	for _, f := range v.data[from : from+n] {
+		switch v.typ {
+		case Byte:
+			w.WriteByte(byte(int8(f)))
+		case Short:
+			binary.BigEndian.PutUint16(buf[:2], uint16(int16(f)))
+			w.Write(buf[:2])
+		case Int:
+			binary.BigEndian.PutUint32(buf[:4], uint32(int32(f)))
+			w.Write(buf[:4])
+		case Float:
+			binary.BigEndian.PutUint32(buf[:4], math.Float32bits(float32(f)))
+			w.Write(buf[:4])
+		case Double:
+			binary.BigEndian.PutUint64(buf[:8], math.Float64bits(f))
+			w.Write(buf[:8])
+		default:
+			return fmt.Errorf("netcdf: bad type %d", v.typ)
+		}
+	}
+	return nil
+}
+
+// encodeHeaderWithOffsets builds the header bytes; begins may be nil during
+// the sizing pass.
+func (b *Builder) encodeHeaderWithOffsets(begins []int64) []byte {
+	var out []byte
+	w32 := func(v int32) { out = binary.BigEndian.AppendUint32(out, uint32(v)) }
+	w64 := func(v int64) { out = binary.BigEndian.AppendUint64(out, uint64(v)) }
+	name := func(s string) {
+		w32(int32(len(s)))
+		out = append(out, s...)
+		for len(out)%4 != 0 {
+			out = append(out, 0)
+		}
+	}
+	attrs := func(list []Attr) {
+		if len(list) == 0 {
+			w32(0)
+			w32(0)
+			return
+		}
+		w32(tagAttribute)
+		w32(int32(len(list)))
+		for _, a := range list {
+			name(a.Name)
+			w32(int32(a.Type))
+			raw, count := encodeValues(a.Type, a.Values)
+			w32(int32(count))
+			out = append(out, raw...)
+			for len(out)%4 != 0 {
+				out = append(out, 0)
+			}
+		}
+	}
+
+	out = append(out, 'C', 'D', 'F', byte(b.version))
+	w32(int32(b.numRecs))
+	// dim_list
+	if len(b.dims) == 0 {
+		w32(0)
+		w32(0)
+	} else {
+		w32(tagDimension)
+		w32(int32(len(b.dims)))
+		for _, d := range b.dims {
+			name(d.Name)
+			w32(int32(d.Len))
+		}
+	}
+	attrs(b.gattrs)
+	// var_list
+	if len(b.vars) == 0 {
+		w32(0)
+		w32(0)
+	} else {
+		w32(tagVariable)
+		w32(int32(len(b.vars)))
+		for i := range b.vars {
+			v := &b.vars[i]
+			name(v.name)
+			w32(int32(len(v.dims)))
+			for _, d := range v.dims {
+				w32(int32(d))
+			}
+			attrs(v.attrs)
+			w32(int32(v.typ))
+			w32(int32(b.vsizeOf(v)))
+			var begin int64
+			if begins != nil {
+				begin = begins[i]
+			}
+			if b.version == 1 {
+				w32(int32(begin))
+			} else {
+				w64(begin)
+			}
+		}
+	}
+	return out
+}
+
+// encodeValues serializes attribute values, returning the raw bytes and the
+// element count.
+func encodeValues(typ Type, values any) ([]byte, int) {
+	var out []byte
+	switch typ {
+	case Char:
+		s, _ := values.(string)
+		return []byte(s), len(s)
+	case Byte:
+		vs, _ := values.([]int8)
+		for _, v := range vs {
+			out = append(out, byte(v))
+		}
+		return out, len(vs)
+	case Short:
+		vs, _ := values.([]int16)
+		for _, v := range vs {
+			out = binary.BigEndian.AppendUint16(out, uint16(v))
+		}
+		return out, len(vs)
+	case Int:
+		vs, _ := values.([]int32)
+		for _, v := range vs {
+			out = binary.BigEndian.AppendUint32(out, uint32(v))
+		}
+		return out, len(vs)
+	case Float:
+		vs, _ := values.([]float32)
+		for _, v := range vs {
+			out = binary.BigEndian.AppendUint32(out, math.Float32bits(v))
+		}
+		return out, len(vs)
+	case Double:
+		vs, _ := values.([]float64)
+		for _, v := range vs {
+			out = binary.BigEndian.AppendUint64(out, math.Float64bits(v))
+		}
+		return out, len(vs)
+	}
+	return nil, 0
+}

@@ -1,0 +1,149 @@
+package object
+
+import "sort"
+
+// EmptySet is the empty set {}.
+var EmptySet = Value{Kind: KSet}
+
+// EmptyBag is the empty bag {||}.
+var EmptyBag = Value{Kind: KBag}
+
+// Set returns the canonical set containing the given elements: sorted by the
+// total order Compare and deduplicated. The argument slice is not retained.
+func Set(elems ...Value) Value {
+	return Value{Kind: KSet, Elems: canonicalize(elems, true)}
+}
+
+// SetFromSorted wraps an already sorted, already deduplicated slice as a set
+// without copying. The caller must not mutate the slice afterwards; this is
+// the fast path for operations that produce canonical output directly
+// (merges, filters over canonical input).
+func SetFromSorted(elems []Value) Value { return Value{Kind: KSet, Elems: elems} }
+
+// Bag returns the canonical bag containing the given elements with their
+// multiplicities: sorted by Compare, duplicates preserved.
+func Bag(elems ...Value) Value {
+	return Value{Kind: KBag, Elems: canonicalize(elems, false)}
+}
+
+// BagFromSorted wraps an already sorted slice as a bag without copying.
+func BagFromSorted(elems []Value) Value { return Value{Kind: KBag, Elems: elems} }
+
+// canonicalize sorts (and optionally dedups) a copy of elems.
+func canonicalize(elems []Value, dedup bool) []Value {
+	if len(elems) == 0 {
+		return nil
+	}
+	out := make([]Value, len(elems))
+	copy(out, elems)
+	sort.SliceStable(out, func(i, j int) bool { return Compare(out[i], out[j]) < 0 })
+	if !dedup {
+		return out
+	}
+	w := 1
+	for i := 1; i < len(out); i++ {
+		if Compare(out[i], out[w-1]) != 0 {
+			out[w] = out[i]
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// Union returns the set union a ∪ b of two canonical sets, by linear merge.
+func Union(a, b Value) (Value, error) {
+	if a.Kind != KSet || b.Kind != KSet {
+		return Value{}, kindError2("union", a, b, KSet)
+	}
+	merged := make([]Value, 0, len(a.Elems)+len(b.Elems))
+	i, j := 0, 0
+	for i < len(a.Elems) && j < len(b.Elems) {
+		switch Compare(a.Elems[i], b.Elems[j]) {
+		case -1:
+			merged = append(merged, a.Elems[i])
+			i++
+		case 1:
+			merged = append(merged, b.Elems[j])
+			j++
+		default:
+			merged = append(merged, a.Elems[i])
+			i++
+			j++
+		}
+	}
+	merged = append(merged, a.Elems[i:]...)
+	merged = append(merged, b.Elems[j:]...)
+	return SetFromSorted(merged), nil
+}
+
+// BagUnion returns the additive bag union a ⊎ b (multiplicities add), by
+// linear merge of the two sorted element slices.
+func BagUnion(a, b Value) (Value, error) {
+	if a.Kind != KBag || b.Kind != KBag {
+		return Value{}, kindError2("bag union", a, b, KBag)
+	}
+	merged := make([]Value, 0, len(a.Elems)+len(b.Elems))
+	i, j := 0, 0
+	for i < len(a.Elems) && j < len(b.Elems) {
+		if Compare(a.Elems[i], b.Elems[j]) <= 0 {
+			merged = append(merged, a.Elems[i])
+			i++
+		} else {
+			merged = append(merged, b.Elems[j])
+			j++
+		}
+	}
+	merged = append(merged, a.Elems[i:]...)
+	merged = append(merged, b.Elems[j:]...)
+	return BagFromSorted(merged), nil
+}
+
+// Member reports whether x ∈ s, by binary search over the canonical order.
+func Member(x, s Value) (bool, error) {
+	if s.Kind != KSet && s.Kind != KBag {
+		return false, kindError("membership test", s, KSet)
+	}
+	elems := s.Elems
+	lo, hi := 0, len(elems)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if Compare(elems[mid], x) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(elems) && Compare(elems[lo], x) == 0, nil
+}
+
+// Card returns the cardinality of a set or bag (counting multiplicities).
+func Card(s Value) (int, error) {
+	if s.Kind != KSet && s.Kind != KBag {
+		return 0, kindError("cardinality", s, KSet)
+	}
+	return len(s.Elems), nil
+}
+
+func kindError(op string, v Value, want Kind) error {
+	return &TypeError{Op: op, Got: v.Kind, Want: want}
+}
+
+func kindError2(op string, a, b Value, want Kind) error {
+	if a.Kind != want {
+		return kindError(op, a, want)
+	}
+	return kindError(op, b, want)
+}
+
+// TypeError reports a runtime kind mismatch. Well-typed queries never
+// produce one; they arise only from misuse of the object API by external
+// primitives.
+type TypeError struct {
+	Op   string
+	Got  Kind
+	Want Kind
+}
+
+func (e *TypeError) Error() string {
+	return "object: " + e.Op + ": expected " + e.Want.String() + ", got " + e.Got.String()
+}

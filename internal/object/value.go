@@ -1,0 +1,353 @@
+// Package object implements the complex-object library of the AQL system
+// (Libkin, Machlin, Wong, SIGMOD 1996, section 4.1): the runtime values that
+// queries evaluate to.
+//
+// A complex object is a boolean, a natural number, a real, a string, a value
+// of an uninterpreted base type, a k-tuple of complex objects, a finite set
+// of complex objects, a finite bag of complex objects (used by the
+// expressiveness constructions of section 6), a k-dimensional array of
+// complex objects, or the error value ⊥. Function values also appear at
+// runtime (lambda closures and registered external primitives — the paper's
+// CO.Funct), but they are not objects: they cannot be stored in collections
+// whose contents must be linearly ordered.
+//
+// Sets are kept canonical — sorted by the total linear order Compare and
+// deduplicated — so set equality is structural equality and the order-based
+// constructs of section 6 (rank, ⋃_r) are well defined. Bags are kept sorted
+// with multiplicities preserved. Arrays are dense and row-major.
+package object
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Kind discriminates the run-time alternatives of a Value.
+type Kind int
+
+// The kinds of runtime values. The zero kind is KInvalid, so that the zero
+// Value is not mistaken for any legal object (in particular not for ⊥).
+const (
+	KInvalid Kind = iota // zero value of Value; never a legal object
+	KBottom              // ⊥, the error value
+	KBool
+	KNat
+	KReal
+	KString
+	KBase  // value of an uninterpreted base type: a (type name, literal) pair
+	KTuple // k-tuple, k >= 2 (or unit when len(Elems) == 0)
+	KSet   // canonical: sorted, deduplicated
+	KBag   // sorted, duplicates preserved
+	KArray // dense row-major k-dimensional array
+	KFunc  // closure or external primitive; not an object type
+)
+
+// String returns the kind name, for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case KInvalid:
+		return "invalid"
+	case KBottom:
+		return "bottom"
+	case KBool:
+		return "bool"
+	case KNat:
+		return "nat"
+	case KReal:
+		return "real"
+	case KString:
+		return "string"
+	case KBase:
+		return "base"
+	case KTuple:
+		return "tuple"
+	case KSet:
+		return "set"
+	case KBag:
+		return "bag"
+	case KArray:
+		return "array"
+	case KFunc:
+		return "function"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Value is a runtime complex object. Values are immutable by convention:
+// no code in this module mutates a Value after construction, so values may
+// be shared freely (including across goroutines).
+type Value struct {
+	Kind  Kind
+	B     bool                       // KBool
+	N     int64                      // KNat: always >= 0
+	R     float64                    // KReal
+	S     string                     // KString; KBase: the literal; KBottom: optional diagnostic
+	Base  string                     // KBase: the base-type name
+	Elems []Value                    // KTuple components; KSet/KBag elements (canonical order)
+	Shape []int                      // KArray: dimension lengths, len(Shape) == k >= 1
+	Data  []Value                    // KArray: row-major values, len == product(Shape)
+	Fn    func(Value) (Value, error) // KFunc
+}
+
+// Bottom is the error value ⊥. The message is carried for diagnostics only;
+// all bottoms are equal as values.
+func Bottom(msg string) Value { return Value{Kind: KBottom, S: msg} }
+
+// IsBottom reports whether v is the error value.
+func (v Value) IsBottom() bool { return v.Kind == KBottom }
+
+// Bool returns a boolean object.
+func Bool(b bool) Value { return Value{Kind: KBool, B: b} }
+
+// Nat returns a natural-number object. Negative arguments are a programming
+// error in the evaluator (naturals are closed under the paper's operations:
+// subtraction is monus) and panic.
+func Nat(n int64) Value {
+	if n < 0 {
+		panic(fmt.Sprintf("object.Nat: negative value %d", n))
+	}
+	return Value{Kind: KNat, N: n}
+}
+
+// Real returns a real-number object.
+func Real(r float64) Value { return Value{Kind: KReal, R: r} }
+
+// String_ returns a string object. (Named with a trailing underscore to
+// avoid colliding with the Stringer method.)
+func String_(s string) Value { return Value{Kind: KString, S: s} }
+
+// Base returns a value of the uninterpreted base type named typ with the
+// given literal representation.
+func Base(typ, lit string) Value { return Value{Kind: KBase, Base: typ, S: lit} }
+
+// Tuple returns a k-tuple object. Following the paper's convention, products
+// have arity >= 2; a 0-ary tuple is the unit value and a 1-ary "tuple" is
+// the component itself.
+func Tuple(elems ...Value) Value {
+	if len(elems) == 1 {
+		return elems[0]
+	}
+	return Value{Kind: KTuple, Elems: elems}
+}
+
+// Unit is the empty tuple.
+var Unit = Value{Kind: KTuple}
+
+// Func wraps a Go function as a runtime function value.
+func Func(fn func(Value) (Value, error)) Value { return Value{Kind: KFunc, Fn: fn} }
+
+// True and False are the boolean constants.
+var (
+	True  = Bool(true)
+	False = Bool(false)
+)
+
+// AsNat returns the natural-number payload, or an error if v is not a nat.
+func (v Value) AsNat() (int64, error) {
+	if v.Kind != KNat {
+		return 0, fmt.Errorf("expected nat, got %s", v.Kind)
+	}
+	return v.N, nil
+}
+
+// AsBool returns the boolean payload, or an error if v is not a bool.
+func (v Value) AsBool() (bool, error) {
+	if v.Kind != KBool {
+		return false, fmt.Errorf("expected bool, got %s", v.Kind)
+	}
+	return v.B, nil
+}
+
+// AsReal returns the real payload. A nat is promoted to real, matching the
+// numeric overloading of the surface language.
+func (v Value) AsReal() (float64, error) {
+	switch v.Kind {
+	case KReal:
+		return v.R, nil
+	case KNat:
+		return float64(v.N), nil
+	}
+	return 0, fmt.Errorf("expected real, got %s", v.Kind)
+}
+
+// Proj returns the i-th component (0-based) of a tuple.
+func (v Value) Proj(i int) (Value, error) {
+	if v.Kind != KTuple {
+		return Value{}, fmt.Errorf("projection from non-tuple %s", v.Kind)
+	}
+	if i < 0 || i >= len(v.Elems) {
+		return Value{}, fmt.Errorf("projection index %d out of range for %d-tuple", i+1, len(v.Elems))
+	}
+	return v.Elems[i], nil
+}
+
+// IsFinite reports whether a real value is finite; used by drivers that must
+// reject NaN (NaN breaks the total order).
+func IsFinite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
+
+// GoString renders the value for debugging; same as String.
+func (v Value) GoString() string { return v.String() }
+
+// String renders the value in the complex-object data exchange format of
+// section 3 of the paper, extended with bag brackets {| |} and with
+// k-dimensional arrays in the row-major literal form
+// [[ n1,...,nk ; v0, v1, ... ]]. One-dimensional arrays print as plain
+// [[v0, v1, ...]]. The output is accepted by package exchange.
+func (v Value) String() string {
+	var b strings.Builder
+	v.write(&b)
+	return b.String()
+}
+
+func (v Value) write(b *strings.Builder) {
+	switch v.Kind {
+	case KBottom:
+		b.WriteString("_|_")
+		if v.S != "" {
+			fmt.Fprintf(b, "(* %s *)", v.S)
+		}
+	case KBool:
+		if v.B {
+			b.WriteString("true")
+		} else {
+			b.WriteString("false")
+		}
+	case KNat:
+		fmt.Fprintf(b, "%d", v.N)
+	case KReal:
+		s := fmt.Sprintf("%g", v.R)
+		b.WriteString(s)
+		// Guarantee the literal re-reads as a real, not a nat.
+		if !strings.ContainsAny(s, ".eE") && !strings.Contains(s, "Inf") && !strings.Contains(s, "NaN") {
+			b.WriteString(".0")
+		}
+	case KString:
+		fmt.Fprintf(b, "%q", v.S)
+	case KBase:
+		fmt.Fprintf(b, "%s#%q", v.Base, v.S)
+	case KTuple:
+		b.WriteString("(")
+		for i, e := range v.Elems {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			e.write(b)
+		}
+		b.WriteString(")")
+	case KSet:
+		b.WriteString("{")
+		for i, e := range v.Elems {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			e.write(b)
+		}
+		b.WriteString("}")
+	case KBag:
+		b.WriteString("{|")
+		for i, e := range v.Elems {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			e.write(b)
+		}
+		b.WriteString("|}")
+	case KArray:
+		b.WriteString("[[")
+		if len(v.Shape) > 1 {
+			for i, n := range v.Shape {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				fmt.Fprintf(b, "%d", n)
+			}
+			b.WriteString("; ")
+		}
+		for i, e := range v.Data {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			e.write(b)
+		}
+		b.WriteString("]]")
+	case KFunc:
+		b.WriteString("fn")
+	default:
+		fmt.Fprintf(b, "<bad kind %d>", v.Kind)
+	}
+}
+
+// Pretty renders the value the way the paper's read-eval-print loop does,
+// with arrays shown as (index):value pairs, truncated to at most max entries
+// per array:
+//
+//	[[(0):0, (1):31, (2):28, ...]]
+func (v Value) Pretty(max int) string {
+	var b strings.Builder
+	v.pretty(&b, max)
+	return b.String()
+}
+
+func (v Value) pretty(b *strings.Builder, max int) {
+	switch v.Kind {
+	case KArray:
+		b.WriteString("[[")
+		n := len(v.Data)
+		shown := n
+		if max > 0 && shown > max {
+			shown = max
+		}
+		for i := 0; i < shown; i++ {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			idx := unflatten(i, v.Shape)
+			b.WriteString("(")
+			for j, x := range idx {
+				if j > 0 {
+					b.WriteString(",")
+				}
+				fmt.Fprintf(b, "%d", x)
+			}
+			b.WriteString("):")
+			v.Data[i].pretty(b, max)
+		}
+		if shown < n {
+			b.WriteString(", ...")
+		}
+		b.WriteString("]]")
+	case KTuple:
+		b.WriteString("(")
+		for i, e := range v.Elems {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			e.pretty(b, max)
+		}
+		b.WriteString(")")
+	case KSet, KBag:
+		open, close := "{", "}"
+		if v.Kind == KBag {
+			open, close = "{|", "|}"
+		}
+		b.WriteString(open)
+		n := len(v.Elems)
+		shown := n
+		if max > 0 && shown > max {
+			shown = max
+		}
+		for i := 0; i < shown; i++ {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			v.Elems[i].pretty(b, max)
+		}
+		if shown < n {
+			b.WriteString(", ...")
+		}
+		b.WriteString(close)
+	default:
+		v.write(b)
+	}
+}

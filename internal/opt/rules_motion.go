@@ -1,0 +1,155 @@
+package opt
+
+import (
+	"github.com/aqldb/aql/internal/ast"
+)
+
+// MotionRules returns the code-motion phase (mentioned as a later phase in
+// section 5): loop-invariant collection-valued subexpressions of loop
+// bodies are hoisted into a binding evaluated once. The β guard in the
+// normalization phase deliberately refuses to re-inline such bindings, so
+// hoisted work stays hoisted.
+func MotionRules() []Rule {
+	return []Rule{
+		{Name: "loop-invariant-hoist", Apply: hoistRule},
+	}
+}
+
+// hoistRule rewrites a loop whose body contains an expensive subexpression
+// E with no free occurrence of the loop variables into
+//
+//	(λz. loop-with-E-replaced-by-z)(E)
+//
+// replacing all alpha-equal occurrences of E in the body at once (a
+// by-product is common-subexpression elimination across the body).
+func hoistRule(e ast.Expr) (ast.Expr, bool) {
+	var bound []string
+	switch n := e.(type) {
+	case *ast.BigUnion:
+		bound = []string{n.Var}
+	case *ast.BigBagUnion:
+		bound = []string{n.Var}
+	case *ast.Sum:
+		bound = []string{n.Var}
+	case *ast.RankUnion:
+		bound = []string{n.Var, n.RankVar}
+	case *ast.RankBagUnion:
+		bound = []string{n.Var, n.RankVar}
+	case *ast.ArrayTab:
+		bound = n.Idx
+	default:
+		return e, false
+	}
+	head := e.Children()[0]
+	target := findInvariant(head, bound)
+	if target == nil {
+		return e, false
+	}
+	z := ast.Fresh("h")
+	newHead, n := replaceAll(head, target, &ast.Var{Name: z})
+	if n == 0 {
+		return e, false
+	}
+	kids := e.Children()
+	newKids := make([]ast.Expr, len(kids))
+	copy(newKids, kids)
+	newKids[0] = newHead
+	return &ast.App{
+		Fn:  &ast.Lam{Param: z, Body: e.WithChildren(newKids)},
+		Arg: target,
+	}, true
+}
+
+// expensive reports whether evaluating e repeatedly is worth a hoist:
+// loops, collection constructions and applications are; scalars and
+// variable references are not.
+func expensive(e ast.Expr) bool {
+	switch e.(type) {
+	case *ast.BigUnion, *ast.BigBagUnion, *ast.Sum, *ast.RankUnion,
+		*ast.RankBagUnion, *ast.ArrayTab, *ast.Index, *ast.Gen, *ast.App,
+		*ast.Union, *ast.BagUnion, *ast.MkArray, *ast.Get:
+		return true
+	}
+	return false
+}
+
+// findInvariant returns the outermost expensive subexpression of e that
+// uses none of the blocked variables (the loop's own variables plus every
+// binder between the loop body and the occurrence), or nil.
+func findInvariant(e ast.Expr, blocked []string) ast.Expr {
+	if expensive(e) && noneFree(blocked, e) {
+		return e
+	}
+	kids := e.Children()
+	binders := e.Binders()
+	for i, kid := range kids {
+		inner := blocked
+		if len(binders[i]) > 0 {
+			inner = make([]string, 0, len(blocked)+len(binders[i]))
+			inner = append(inner, blocked...)
+			inner = append(inner, binders[i]...)
+		}
+		if found := findInvariant(kid, inner); found != nil {
+			return found
+		}
+	}
+	return nil
+}
+
+func noneFree(names []string, e ast.Expr) bool {
+	free := ast.FreeVars(e)
+	for _, n := range names {
+		if free[n] {
+			return false
+		}
+	}
+	return true
+}
+
+// replaceAll replaces every alpha-equal occurrence of target in e with
+// repl, skipping occurrences under binders that capture a free variable of
+// target or of repl.
+func replaceAll(e, target, repl ast.Expr) (ast.Expr, int) {
+	avoid := ast.FreeVars(target)
+	for v := range ast.FreeVars(repl) {
+		avoid[v] = true
+	}
+	return replaceAllGo(e, target, repl, avoid)
+}
+
+func replaceAllGo(e, target, repl ast.Expr, avoid map[string]bool) (ast.Expr, int) {
+	if ast.AlphaEqual(e, target) {
+		return repl, 1
+	}
+	kids := e.Children()
+	if len(kids) == 0 {
+		return e, 0
+	}
+	binders := e.Binders()
+	total := 0
+	newKids := make([]ast.Expr, len(kids))
+	changed := false
+	for i, kid := range kids {
+		captured := false
+		for _, b := range binders[i] {
+			if avoid[b] {
+				captured = true
+				break
+			}
+		}
+		if captured {
+			newKids[i] = kid
+			continue
+		}
+		nk, n := replaceAllGo(kid, target, repl, avoid)
+		newKids[i] = nk
+		total += n
+		if nk != kid {
+			changed = true
+		}
+	}
+	if !changed {
+		return e, 0
+	}
+	return e.WithChildren(newKids), total
+}

@@ -1,0 +1,55 @@
+package parser
+
+import "testing"
+
+// FuzzParseExpr asserts the parser never panics, and that anything it
+// accepts survives the print → parse → print fixpoint.
+func FuzzParseExpr(f *testing.F) {
+	seeds := []string{
+		`{d | \d <- gen!30, d % 7 = 0}`,
+		`{d | [(\h,_,_):\t] <- T, \d == h/24+1, t > 85.0}`,
+		`fn (\m,\d,\y) => d + summap(fn \i => months[i])!(gen!m)`,
+		`[[ A[i+k] | \k < (j+1)-i ]]`,
+		`let val \x = 1 in x end`,
+		`[[2, 2; 1, 2, 3, 4]]`,
+		`{| x | \x <- B |}`,
+		`A[B[i]]`,
+		`-2.5 + -x`,
+		`(* comment *) 1`,
+		`_|_`,
+		"\\", "{", "[[", "]]", "!!", "f!!", "1e", "\"", "{|", "%",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := ParseExpr(src)
+		if err != nil {
+			return
+		}
+		out := Print(e)
+		e2, err := ParseExpr(out)
+		if err != nil {
+			t.Fatalf("accepted %q but printed form %q does not re-parse: %v", src, out, err)
+		}
+		if out2 := Print(e2); out != out2 {
+			t.Fatalf("print not a fixpoint for %q:\n 1: %s\n 2: %s", src, out, out2)
+		}
+	})
+}
+
+// FuzzParseProgram asserts the statement parser never panics.
+func FuzzParseProgram(f *testing.F) {
+	seeds := []string{
+		`val \x = 1; macro \m = fn \y => y; x;`,
+		`readval \T using NETCDF3 at ("f", "v", (0,0,0), (1,1,1));`,
+		`writeval x using W at "p";`,
+		`val`, `;;;`, `macro = 1;`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		_, _ = ParseProgram(src)
+	})
+}

@@ -1,0 +1,163 @@
+package parser
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// reprint asserts the print → parse → print fixpoint.
+func reprint(t *testing.T, src string) string {
+	t.Helper()
+	e, err := ParseExpr(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	out := Print(e)
+	e2, err := ParseExpr(out)
+	if err != nil {
+		t.Fatalf("re-parse of printed %q failed: %v", out, err)
+	}
+	out2 := Print(e2)
+	if out != out2 {
+		t.Fatalf("print not a fixpoint:\n 1: %s\n 2: %s", out, out2)
+	}
+	return out
+}
+
+func TestPrintBasics(t *testing.T) {
+	tests := []struct{ src, want string }{
+		{"x", "x"},
+		{"42", "42"},
+		{"85.0", "85.0"},
+		{`"nc"`, `"nc"`},
+		{"true", "true"},
+		{"_|_", "_|_"},
+		{"(1, 2)", "(1, 2)"},
+		{"{1, 2}", "{1, 2}"},
+		{"{||}", "{||}"},
+		{"[[1, 2]]", "[[1, 2]]"},
+		{"[[2, 2; 1, 2, 3, 4]]", "[[2, 2; 1, 2, 3, 4]]"},
+		{"1 + 2 * 3", "1 + 2 * 3"},
+		{"(1 + 2) * 3", "(1 + 2) * 3"},
+		{"1 - 2 - 3", "1 - 2 - 3"},
+		{"1 - (2 - 3)", "1 - (2 - 3)"},
+		{"a < b and c < d or e", "a < b and c < d or e"},
+		{"not a and b", "not a and b"},
+		{"f!x!y", "f!x!y"},
+		{"A[i, j]", "A[i, j]"},
+		{"A[i][j]", "A[i][j]"},
+		{"x mem S", "x mem S"},
+		{"A union B", "A union B"},
+		{"fn \\x => x + 1", "fn \\x => x + 1"},
+		{"summap(fn \\i => i)!(gen!5)", "summap(fn \\i => i)!(gen!5)"},
+	}
+	for _, tt := range tests {
+		if got := reprint(t, tt.src); got != tt.want {
+			t.Errorf("Print(%q) = %q, want %q", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestPrintGreedyFormsParenthesized(t *testing.T) {
+	// if/fn/let in operand position need parentheses to survive re-parsing.
+	srcs := []string{
+		"1 + (if a then 2 else 3)",
+		"(if a then 1 else 2) + 3",
+		"(fn \\x => x)!5",
+		"(let val \\x = 1 in x end) * 2",
+		"d + (if m > 2 and y % 4 = 0 then 1 else 0)",
+	}
+	for _, src := range srcs {
+		reprint(t, src)
+	}
+}
+
+func TestPrintComprehensionsAndPatterns(t *testing.T) {
+	srcs := []string{
+		`{x | \x <- S}`,
+		`{(x, y) | (\x, \y) <- R, (y, \z) <- S, z > 0}`,
+		`{x | (_, 0, \x) <- R}`,
+		`{i | [\i : \x] <- A, x > 90}`,
+		`{d | [(\h, _, _) : \t] <- T, \d == h / 24 + 1, t > 85.0}`,
+		`{| x * 2 | \x <- B |}`,
+		`[[ A[i + k] | \k < (j + 1) - i ]]`,
+		`[[ M[i, j] | \j < dim_2_2!M, \i < dim_1_2!M ]]`,
+		`let val \x = 1 val (\a, \b) = p in a + b + x end`,
+		`fn (\m, \d, \y) => d + summap(fn \i => months[i])!(gen!m)`,
+	}
+	for _, src := range srcs {
+		reprint(t, src)
+	}
+}
+
+func TestPrintPat(t *testing.T) {
+	e := mustExpr(t, `{x | (\a, _, 0, b) <- S, \x == a}`).(*Comp)
+	gen := e.Quals[0].(*GenQ)
+	if got := PrintPat(gen.Pat); got != `(\a, _, 0, b)` {
+		t.Errorf("PrintPat = %q", got)
+	}
+}
+
+// randomSurface builds a random surface expression for the fixpoint
+// property test.
+func randomSurface(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return &Ident{Name: string(rune('a' + rng.Intn(6)))}
+		case 1:
+			return &NatLit{Val: int64(rng.Intn(100))}
+		case 2:
+			return &RealLit{Val: float64(rng.Intn(100)) / 4}
+		default:
+			return &BoolLit{Val: rng.Intn(2) == 0}
+		}
+	}
+	sub := func() Expr { return randomSurface(rng, depth-1) }
+	switch rng.Intn(12) {
+	case 0:
+		ops := []string{"+", "-", "*", "/", "%", "and", "or", "=", "<", "<=", "mem", "union"}
+		return &Bin{Op: ops[rng.Intn(len(ops))], L: sub(), R: sub()}
+	case 1:
+		return &Not{E: sub()}
+	case 2:
+		return &IfE{Cond: sub(), Then: sub(), Else: sub()}
+	case 3:
+		return &AppE{Fn: &Ident{Name: "f"}, Arg: sub()}
+	case 4:
+		return &SubE{Arr: &Ident{Name: "A"}, Indices: []Expr{sub()}}
+	case 5:
+		return &TupleE{Elems: []Expr{sub(), sub()}}
+	case 6:
+		return &SetE{Elems: []Expr{sub()}}
+	case 7:
+		return &Fn{Pat: &PVar{Name: "x"}, Body: sub()}
+	case 8:
+		return &TabE{Head: sub(), Idx: []string{"i"}, Bounds: []Expr{sub()}}
+	case 9:
+		return &Comp{Head: sub(), Quals: []Qual{
+			&GenQ{Pat: &PVar{Name: "x"}, Src: sub()},
+			&FilterQ{E: sub()},
+		}}
+	case 10:
+		return &Let{Decls: []LetDecl{{Pat: &PVar{Name: "v"}, E: sub()}}, Body: sub()}
+	default:
+		return &SumMap{F: sub(), Over: &Ident{Name: "S"}}
+	}
+}
+
+func TestPropPrintParseFixpoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 500; trial++ {
+		e := randomSurface(rng, 4)
+		out := Print(e)
+		e2, err := ParseExpr(out)
+		if err != nil {
+			t.Fatalf("trial %d: printed form does not re-parse: %v\n%s", trial, err, out)
+		}
+		out2 := Print(e2)
+		if out != out2 {
+			t.Fatalf("trial %d: not a fixpoint:\n 1: %s\n 2: %s", trial, out, out2)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package repl
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/aqldb/aql/internal/env"
+	"github.com/aqldb/aql/internal/exchange"
+	"github.com/aqldb/aql/internal/netcdf"
+	"github.com/aqldb/aql/internal/object"
+)
+
+// RegisterNetCDF registers the NetCDF readers of section 4.1: NETCDF1,
+// NETCDF2, NETCDF3 and NETCDF4 input k-dimensional subslabs. Each takes
+// (filename, variable, lower, upper) where lower and upper are inclusive
+// index bounds — a nat for k = 1, k-tuples of nats otherwise — exactly as
+// the session example uses NETCDF3. A fifth reader, NETCDF, reads a whole
+// variable at its natural rank.
+func RegisterNetCDF(e *env.Env) {
+	for k := 1; k <= 4; k++ {
+		e.RegisterReader(fmt.Sprintf("NETCDF%d", k), netcdfSlabReader(k))
+	}
+	e.RegisterReader("NETCDF", netcdfWholeReader)
+}
+
+// netcdfSlabReader builds the k-dimensional subslab reader.
+func netcdfSlabReader(k int) env.Reader {
+	return func(arg object.Value) (object.Value, error) {
+		if arg.Kind != object.KTuple || len(arg.Elems) != 4 {
+			return object.Value{}, fmt.Errorf("NETCDF%d: expected (file, variable, lower, upper)", k)
+		}
+		if arg.Elems[0].Kind != object.KString || arg.Elems[1].Kind != object.KString {
+			return object.Value{}, fmt.Errorf("NETCDF%d: file and variable must be strings", k)
+		}
+		path, varName := arg.Elems[0].S, arg.Elems[1].S
+		lower, err := object.IndexOf(arg.Elems[2], k)
+		if err != nil {
+			return object.Value{}, fmt.Errorf("NETCDF%d: lower bound: %w", k, err)
+		}
+		upper, err := object.IndexOf(arg.Elems[3], k)
+		if err != nil {
+			return object.Value{}, fmt.Errorf("NETCDF%d: upper bound: %w", k, err)
+		}
+		f, err := netcdf.Open(path)
+		if err != nil {
+			return object.Value{}, err
+		}
+		defer f.Close()
+		v, err := f.Var(varName)
+		if err != nil {
+			return object.Value{}, err
+		}
+		if len(v.Dims) != k {
+			return object.Value{}, fmt.Errorf("NETCDF%d: variable %q has rank %d", k, varName, len(v.Dims))
+		}
+		start := make([]int, k)
+		count := make([]int, k)
+		for d := 0; d < k; d++ {
+			if upper[d] < lower[d] {
+				return object.Value{}, fmt.Errorf("NETCDF%d: empty bound range in dimension %d", k, d+1)
+			}
+			start[d] = lower[d]
+			count[d] = upper[d] - lower[d] + 1
+		}
+		slab, err := f.ReadSlab(varName, start, count)
+		if err != nil {
+			return object.Value{}, err
+		}
+		return slabToArray(slab)
+	}
+}
+
+// netcdfWholeReader reads (file, variable) in full.
+func netcdfWholeReader(arg object.Value) (object.Value, error) {
+	if arg.Kind != object.KTuple || len(arg.Elems) != 2 ||
+		arg.Elems[0].Kind != object.KString || arg.Elems[1].Kind != object.KString {
+		return object.Value{}, fmt.Errorf("NETCDF: expected (file, variable)")
+	}
+	f, err := netcdf.Open(arg.Elems[0].S)
+	if err != nil {
+		return object.Value{}, err
+	}
+	defer f.Close()
+	slab, err := f.ReadAll(arg.Elems[1].S)
+	if err != nil {
+		return object.Value{}, err
+	}
+	return slabToArray(slab)
+}
+
+// slabToArray converts a numeric NetCDF slab into an AQL array of reals.
+func slabToArray(slab *netcdf.Slab) (object.Value, error) {
+	if slab.Type == netcdf.Char {
+		return object.Value{}, fmt.Errorf("netcdf: char variables have no array representation; read them as attributes")
+	}
+	data := make([]object.Value, len(slab.Values))
+	for i, f := range slab.Values {
+		if !object.IsFinite(f) {
+			data[i] = object.Bottom("non-finite value in NetCDF data")
+			continue
+		}
+		data[i] = object.Real(f)
+	}
+	shape := slab.Shape
+	if len(shape) == 0 {
+		shape = []int{1}
+	}
+	return object.Array(shape, data)
+}
+
+// RegisterNetCDFWriter registers the NETCDF writer: `writeval E using
+// NETCDF at (file, variable)` writes a k-dimensional array of reals (or
+// nats) as a double variable in a new classic-format file, with dimensions
+// named dim1..dimk. Together with the readers this closes the loop: AQL
+// results can feed other NetCDF tools.
+func RegisterNetCDFWriter(e *env.Env) {
+	e.RegisterWriter("NETCDF", func(arg, data object.Value) error {
+		if arg.Kind != object.KTuple || len(arg.Elems) != 2 ||
+			arg.Elems[0].Kind != object.KString || arg.Elems[1].Kind != object.KString {
+			return fmt.Errorf("NETCDF writer: expected (file, variable)")
+		}
+		if data.Kind != object.KArray {
+			return fmt.Errorf("NETCDF writer: expected an array, got %s", data.Kind)
+		}
+		vals := make([]float64, len(data.Data))
+		for i, v := range data.Data {
+			f, err := v.AsReal()
+			if err != nil {
+				return fmt.Errorf("NETCDF writer: element %d: %w", i, err)
+			}
+			vals[i] = f
+		}
+		b := netcdf.NewBuilder()
+		dims := make([]int, len(data.Shape))
+		for d, n := range data.Shape {
+			id, err := b.AddDim(fmt.Sprintf("dim%d", d+1), n)
+			if err != nil {
+				return fmt.Errorf("NETCDF writer: %w", err)
+			}
+			dims[d] = id
+		}
+		if err := b.AddVar(arg.Elems[1].S, netcdf.Double, dims, nil, vals); err != nil {
+			return fmt.Errorf("NETCDF writer: %w", err)
+		}
+		return b.WriteFile(arg.Elems[0].S)
+	})
+}
+
+// RegisterPrint registers the PRINT writer: `writeval E using PRINT at
+// label` pretty-prints the value to w with the given label.
+func RegisterPrint(e *env.Env, w io.Writer) {
+	e.RegisterWriter("PRINT", func(arg, data object.Value) error {
+		label := ""
+		if arg.Kind == object.KString {
+			label = arg.S + " = "
+		}
+		_, err := fmt.Fprintf(w, "%s%s\n", label, data.Pretty(24))
+		return err
+	})
+}
+
+// RegisterExchange registers the EXCHANGE reader and writer for the
+// complex-object data exchange format of section 3: any driver that
+// produces this format can feed the system (section 4.1).
+func RegisterExchange(e *env.Env) {
+	e.RegisterReader("EXCHANGE", func(arg object.Value) (object.Value, error) {
+		if arg.Kind != object.KString {
+			return object.Value{}, fmt.Errorf("EXCHANGE: expected a file name")
+		}
+		f, err := os.Open(arg.S)
+		if err != nil {
+			return object.Value{}, err
+		}
+		defer f.Close()
+		return exchange.Read(f)
+	})
+	e.RegisterWriter("EXCHANGE", func(arg, data object.Value) error {
+		if arg.Kind != object.KString {
+			return fmt.Errorf("EXCHANGE: expected a file name")
+		}
+		f, err := os.Create(arg.S)
+		if err != nil {
+			return err
+		}
+		if err := exchange.Write(f, data); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	})
+}

@@ -1,0 +1,279 @@
+// Package repl drives the AQL query pipeline of section 4.1 of the paper:
+//
+//	parse -> desugar (figure 2) -> macro substitution -> typecheck ->
+//	optimize (section 5) -> evaluate -> complex object
+//
+// and implements the top-level declaration forms of the read-eval-print
+// loop: val, macro, readval, writeval, and bare queries. A Session holds
+// the open environment; both "views" of the system — the host-language API
+// and the AQL loop — operate on the same Session, as the SML prototype's
+// two read-eval-print loops did.
+package repl
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/aqldb/aql/internal/ast"
+	"github.com/aqldb/aql/internal/desugar"
+	"github.com/aqldb/aql/internal/env"
+	"github.com/aqldb/aql/internal/eval"
+	"github.com/aqldb/aql/internal/object"
+	"github.com/aqldb/aql/internal/parser"
+	"github.com/aqldb/aql/internal/typecheck"
+	"github.com/aqldb/aql/internal/types"
+)
+
+// Session is a live AQL session.
+type Session struct {
+	Env *env.Env
+	// SkipOptimizer evaluates un-normalized queries; the benchmark harness
+	// uses it to measure the optimizer's effect.
+	SkipOptimizer bool
+	// MaxSteps, when positive, aborts queries that exceed the step budget;
+	// a guard for interactive use.
+	MaxSteps int64
+	// LastSteps reports the evaluator steps of the most recent query.
+	LastSteps int64
+}
+
+// Result is the outcome of one top-level statement, carrying what the
+// paper's loop echoes: the declared name, its type, and its value.
+type Result struct {
+	Kind     string // "val", "macro", "readval", "writeval", "query"
+	Name     string
+	Type     *types.Type
+	Value    object.Value
+	HasValue bool
+	// Source is the pretty-printed definition, set for macros so the loop
+	// can echo what was registered.
+	Source string
+}
+
+// New returns a session with the standard environment: builtins, the
+// standard primitives, the standard macros of section 3 (dom, rng, subseq,
+// zip, transpose, ...), the NetCDF readers, and the exchange-format
+// reader/writer.
+func New() (*Session, error) {
+	s := &Session{Env: env.New()}
+	RegisterNetCDF(s.Env)
+	RegisterNetCDFWriter(s.Env)
+	RegisterExchange(s.Env)
+	RegisterPrint(s.Env, os.Stdout)
+	if _, err := s.Exec(StandardMacros); err != nil {
+		return nil, fmt.Errorf("repl: standard macros: %w", err)
+	}
+	if _, err := s.Exec(ODMGMacros); err != nil {
+		return nil, fmt.Errorf("repl: ODMG macros: %w", err)
+	}
+	return s, nil
+}
+
+// StandardMacros defines the derived operators that section 3 lists as
+// programmer-convenience macros, written in AQL itself.
+const StandardMacros = `
+macro \dom = fn \A => gen!(len!A);
+macro \rng = fn \A => {x | [_ : \x] <- A};
+macro \subseq = fn (\A, \i, \j) => [[ A[i+k] | \k < (j+1)-i ]];
+macro \zip = fn (\A, \B) => [[ (A[m], B[m]) | \m < min!{len!A, len!B} ]];
+macro \zip_3 = fn (\A, \B, \C) =>
+  [[ (A[m], B[m], C[m]) | \m < min!{len!A, len!B, len!C} ]];
+macro \reverse = fn \A => [[ A[len!A - i - 1] | \i < len!A ]];
+macro \evenpos = fn \A => [[ A[i*2] | \i < len!A / 2 ]];
+macro \oddpos = fn \A => [[ A[i*2+1] | \i < len!A / 2 ]];
+macro \transpose = fn \M => [[ M[i, j] | \j < dim_2_2!M, \i < dim_1_2!M ]];
+macro \proj_col = fn (\M, \c) => [[ M[i, c] | \i < dim_1_2!M ]];
+macro \proj_row = fn (\M, \r) => [[ M[r, j] | \j < dim_2_2!M ]];
+macro \fst = fn (\a, _) => a;
+macro \snd = fn (_, \b) => b;
+macro \filter = fn (\P, \X) => {x | \x <- X, P!x};
+macro \forall_in = fn (\P, \X) => count!{x | \x <- X, not P!x} = 0;
+macro \exists_in = fn (\P, \X) => count!{x | \x <- X, P!x} > 0;
+macro \append = fn (\A, \B) =>
+  [[ if i < len!A then A[i] else B[i - len!A] | \i < len!A + len!B ]];
+macro \sort = fn \X =>
+  let val \g = index_1!{(i - 1, x) | (\x, \i) <- rank!X}
+  in [[ get!(g[j]) | \j < len!g ]] end;
+`
+
+// ODMGMacros simulates the ODMG-93 one-dimensional array operations —
+// creating, inserting, updating, subscripting and resizing — in AQL, as
+// section 7 claims is easy ("Our array query language can also easily
+// simulate all ODMG array primitives"). ODMG arrays are mutable; the
+// simulations are the standard persistent versions, each a single
+// tabulation.
+const ODMGMacros = `
+macro \odmg_create = fn (\n, \v) => [[ v | \i < n ]];
+macro \odmg_subscript = fn (\A, \i) => A[i];
+macro \odmg_update = fn (\A, \i, \v) =>
+  [[ if j = i then v else A[j] | \j < len!A ]];
+macro \odmg_insert = fn (\A, \i, \v) =>
+  [[ if j < i then A[j] else if j = i then v else A[j-1] | \j < len!A + 1 ]];
+macro \odmg_remove = fn (\A, \i) =>
+  [[ if j < i then A[j] else A[j+1] | \j < len!A - 1 ]];
+macro \odmg_resize = fn (\A, \n, \fill) =>
+  [[ if i < len!A then A[i] else fill | \i < n ]];
+`
+
+// Compile runs parse, desugar, macro expansion and typechecking on a
+// single expression, returning the core query and its type. The optimizer
+// is NOT applied; see Optimize.
+func (s *Session) Compile(src string) (ast.Expr, *types.Type, error) {
+	se, err := parser.ParseExpr(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s.compileSurface(se)
+}
+
+func (s *Session) compileSurface(se parser.Expr) (ast.Expr, *types.Type, error) {
+	core, err := desugar.Expr(se)
+	if err != nil {
+		return nil, nil, err
+	}
+	core = s.Env.ExpandMacros(core)
+	typ, err := typecheck.Infer(core, s.Env.GlobalTypes())
+	if err != nil {
+		return nil, nil, err
+	}
+	return core, typ, nil
+}
+
+// Optimize applies the session's optimizer unless SkipOptimizer is set.
+func (s *Session) Optimize(core ast.Expr) ast.Expr {
+	if s.SkipOptimizer {
+		return core
+	}
+	return s.Env.Optimizer.Optimize(core)
+}
+
+// Eval evaluates a core query against the session's globals.
+func (s *Session) Eval(core ast.Expr) (object.Value, error) {
+	ev := eval.New(s.Env.Globals())
+	ev.MaxSteps = s.MaxSteps
+	v, err := ev.Eval(core, nil)
+	s.LastSteps = ev.Steps
+	return v, err
+}
+
+// Query runs the full pipeline on a single expression and binds the result
+// to `it`, as the read-eval-print loop does.
+func (s *Session) Query(src string) (object.Value, *types.Type, error) {
+	core, typ, err := s.Compile(src)
+	if err != nil {
+		return object.Value{}, nil, err
+	}
+	v, err := s.Eval(s.Optimize(core))
+	if err != nil {
+		return object.Value{}, nil, err
+	}
+	s.Env.SetVal("it", v, typ)
+	return v, typ, nil
+}
+
+// Exec runs a sequence of top-level statements.
+func (s *Session) Exec(src string) ([]Result, error) {
+	stmts, err := parser.ParseProgram(src)
+	if err != nil {
+		return nil, err
+	}
+	var results []Result
+	for _, stmt := range stmts {
+		r, err := s.execStmt(stmt)
+		if err != nil {
+			return results, err
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+func (s *Session) execStmt(stmt parser.Stmt) (Result, error) {
+	switch n := stmt.(type) {
+	case *parser.ValDecl:
+		core, typ, err := s.compileSurface(n.E)
+		if err != nil {
+			return Result{}, fmt.Errorf("val %s: %w", n.Name, err)
+		}
+		v, err := s.Eval(s.Optimize(core))
+		if err != nil {
+			return Result{}, fmt.Errorf("val %s: %w", n.Name, err)
+		}
+		s.Env.SetVal(n.Name, v, typ)
+		return Result{Kind: "val", Name: n.Name, Type: typ, Value: v, HasValue: true}, nil
+
+	case *parser.MacroDecl:
+		core, typ, err := s.compileSurface(n.E)
+		if err != nil {
+			return Result{}, fmt.Errorf("macro %s: %w", n.Name, err)
+		}
+		// Macros are substituted un-normalized; the optimizer sees the
+		// whole query after substitution (section 4.1's pipeline order).
+		s.Env.DefineMacro(n.Name, core, typ)
+		return Result{Kind: "macro", Name: n.Name, Type: typ, Source: parser.Print(n.E)}, nil
+
+	case *parser.ReadVal:
+		reader, err := s.Env.Reader(n.Reader)
+		if err != nil {
+			return Result{}, err
+		}
+		core, _, err := s.compileSurface(n.At)
+		if err != nil {
+			return Result{}, fmt.Errorf("readval %s: %w", n.Name, err)
+		}
+		arg, err := s.Eval(s.Optimize(core))
+		if err != nil {
+			return Result{}, fmt.Errorf("readval %s: %w", n.Name, err)
+		}
+		v, err := reader(arg)
+		if err != nil {
+			return Result{}, fmt.Errorf("readval %s using %s: %w", n.Name, n.Reader, err)
+		}
+		typ, err := typecheck.TypeOf(v)
+		if err != nil {
+			return Result{}, fmt.Errorf("readval %s: %w", n.Name, err)
+		}
+		s.Env.SetVal(n.Name, v, typ)
+		return Result{Kind: "readval", Name: n.Name, Type: typ, Value: v, HasValue: true}, nil
+
+	case *parser.WriteVal:
+		writer, err := s.Env.Writer(n.Writer)
+		if err != nil {
+			return Result{}, err
+		}
+		dataCore, _, err := s.compileSurface(n.E)
+		if err != nil {
+			return Result{}, fmt.Errorf("writeval: %w", err)
+		}
+		data, err := s.Eval(s.Optimize(dataCore))
+		if err != nil {
+			return Result{}, fmt.Errorf("writeval: %w", err)
+		}
+		atCore, _, err := s.compileSurface(n.At)
+		if err != nil {
+			return Result{}, fmt.Errorf("writeval: %w", err)
+		}
+		arg, err := s.Eval(s.Optimize(atCore))
+		if err != nil {
+			return Result{}, fmt.Errorf("writeval: %w", err)
+		}
+		if err := writer(arg, data); err != nil {
+			return Result{}, fmt.Errorf("writeval using %s: %w", n.Writer, err)
+		}
+		return Result{Kind: "writeval"}, nil
+
+	case *parser.ExprStmt:
+		core, typ, err := s.compileSurface(n.E)
+		if err != nil {
+			return Result{}, err
+		}
+		v, err := s.Eval(s.Optimize(core))
+		if err != nil {
+			return Result{}, err
+		}
+		// Bind `it`, as the SML-style loop does.
+		s.Env.SetVal("it", v, typ)
+		return Result{Kind: "query", Name: "it", Type: typ, Value: v, HasValue: true}, nil
+	}
+	return Result{}, fmt.Errorf("repl: unhandled statement %T", stmt)
+}

@@ -1,0 +1,208 @@
+package types
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse parses a type written in the paper's concrete syntax, as produced by
+// Type.String:
+//
+//	bool | nat | real | string | ident          base types
+//	t1 * t2 * ... * tk                           products
+//	{t}                                          sets
+//	{|t|}                                        bags
+//	[[t]] | [[t]]_k                              arrays
+//	t1 -> t2                                     functions (right associative)
+//	(t)                                          grouping
+//	't                                           type variables
+func Parse(src string) (*Type, error) {
+	p := &typeParser{src: src}
+	t, err := p.arrow()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("type %q: trailing input at offset %d", src, p.pos)
+	}
+	return t, nil
+}
+
+// MustParse is Parse that panics on error; for tests and static tables.
+func MustParse(src string) *Type {
+	t, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+type typeParser struct {
+	src string
+	pos int
+}
+
+func (p *typeParser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *typeParser) has(s string) bool {
+	p.skipSpace()
+	if strings.HasPrefix(p.src[p.pos:], s) {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}
+
+func (p *typeParser) errf(format string, args ...any) error {
+	return fmt.Errorf("type %q at offset %d: %s", p.src, p.pos, fmt.Sprintf(format, args...))
+}
+
+// arrow ::= product ('->' arrow)?
+func (p *typeParser) arrow() (*Type, error) {
+	left, err := p.product()
+	if err != nil {
+		return nil, err
+	}
+	if p.has("->") {
+		right, err := p.arrow()
+		if err != nil {
+			return nil, err
+		}
+		return Func(left, right), nil
+	}
+	return left, nil
+}
+
+// product ::= atom ('*' atom)*
+func (p *typeParser) product() (*Type, error) {
+	first, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	elts := []*Type{first}
+	for p.has("*") {
+		next, err := p.atom()
+		if err != nil {
+			return nil, err
+		}
+		elts = append(elts, next)
+	}
+	if len(elts) == 1 {
+		return first, nil
+	}
+	return Tuple(elts...), nil
+}
+
+func (p *typeParser) atom() (*Type, error) {
+	p.skipSpace()
+	switch {
+	case p.has("[["):
+		elem, err := p.arrow()
+		if err != nil {
+			return nil, err
+		}
+		if !p.has("]]") {
+			return nil, p.errf("expected ]]")
+		}
+		k := 1
+		if p.has("_") {
+			n, err := p.number()
+			if err != nil {
+				return nil, err
+			}
+			k = n
+		}
+		if k < 1 {
+			return nil, p.errf("array dimensionality must be >= 1, got %d", k)
+		}
+		return Array(elem, k), nil
+	case p.has("{|"):
+		elem, err := p.arrow()
+		if err != nil {
+			return nil, err
+		}
+		if !p.has("|}") {
+			return nil, p.errf("expected |}")
+		}
+		return Bag(elem), nil
+	case p.has("{"):
+		elem, err := p.arrow()
+		if err != nil {
+			return nil, err
+		}
+		if !p.has("}") {
+			return nil, p.errf("expected }")
+		}
+		return Set(elem), nil
+	case p.has("("):
+		t, err := p.arrow()
+		if err != nil {
+			return nil, err
+		}
+		if !p.has(")") {
+			return nil, p.errf("expected )")
+		}
+		return t, nil
+	case p.has("'"):
+		name := p.ident()
+		if name == "" {
+			return nil, p.errf("expected type-variable name after '")
+		}
+		return Var(name), nil
+	default:
+		name := p.ident()
+		switch name {
+		case "":
+			return nil, p.errf("expected a type")
+		case "bool":
+			return Bool, nil
+		case "nat", "int": // the paper's session output prints nat as int in places
+			return Nat, nil
+		case "real":
+			return Real, nil
+		case "string":
+			return String, nil
+		case "unit":
+			return Unit, nil
+		default:
+			return Base(name), nil
+		}
+	}
+}
+
+func (p *typeParser) ident() string {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := rune(p.src[p.pos])
+		if unicode.IsLetter(c) || c == '_' || (p.pos > start && unicode.IsDigit(c)) {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *typeParser) number() (int, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) && unicode.IsDigit(rune(p.src[p.pos])) {
+		p.pos++
+	}
+	if start == p.pos {
+		return 0, p.errf("expected a number")
+	}
+	n, err := strconv.Atoi(p.src[start:p.pos])
+	if err != nil {
+		return 0, p.errf("bad number: %v", err)
+	}
+	return n, nil
+}

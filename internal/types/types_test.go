@@ -1,0 +1,254 @@
+package types
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestStringRendering(t *testing.T) {
+	tests := []struct {
+		typ  *Type
+		want string
+	}{
+		{Bool, "bool"},
+		{Nat, "nat"},
+		{Real, "real"},
+		{String, "string"},
+		{Unit, "unit"},
+		{Base("temp"), "temp"},
+		{Set(Nat), "{nat}"},
+		{Bag(Nat), "{|nat|}"},
+		{Array(Real, 1), "[[real]]"},
+		{Array(Real, 3), "[[real]]_3"},
+		{Tuple(Nat, Bool), "nat * bool"},
+		{Tuple(Nat, Tuple(Bool, Real)), "nat * (bool * real)"},
+		{Func(Nat, Bool), "nat -> bool"},
+		{Func(Tuple(Real, Real, Nat), Nat), "(real * real * nat) -> nat"},
+		{Func(Nat, Func(Nat, Nat)), "nat -> nat -> nat"},
+		{Func(Func(Nat, Nat), Nat), "(nat -> nat) -> nat"},
+		{Set(Tuple(Nat, Set(Nat))), "{nat * {nat}}"},
+		{Array(Tuple(Real, Real, Real), 2), "[[real * real * real]]_2"},
+		{Var("a"), "'a"},
+	}
+	for _, tt := range tests {
+		if got := tt.typ.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	srcs := []string{
+		"bool", "nat", "real", "string", "temp",
+		"{nat}", "{|nat|}", "[[real]]", "[[real]]_3",
+		"nat * bool", "nat * (bool * real)", "nat * bool * real",
+		"nat -> bool", "(real * real * nat) -> nat",
+		"nat -> nat -> nat", "(nat -> nat) -> nat",
+		"{nat * {nat}}", "[[real * real * real]]_2",
+		"[[{nat}]]_2", "{[[nat]]_4}", "'a", "'a -> {'b}",
+	}
+	for _, src := range srcs {
+		typ, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		back, err := Parse(typ.String())
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", typ.String(), err)
+		}
+		if !Equal(typ, back) {
+			t.Errorf("round trip of %q: got %s then %s", src, typ, back)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "{nat", "[[nat]", "[[nat]]_0", "nat *", "-> nat", "(nat", "{|nat}", "nat )", "'",
+	}
+	for _, src := range bad {
+		if typ, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) = %s, want error", src, typ)
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := Array(Tuple(Nat, Real), 2)
+	b := Array(Tuple(Nat, Real), 2)
+	if !Equal(a, b) {
+		t.Error("structurally equal arrays reported unequal")
+	}
+	if Equal(a, Array(Tuple(Nat, Real), 3)) {
+		t.Error("arrays of different dimensionality reported equal")
+	}
+	if Equal(Set(Nat), Bag(Nat)) {
+		t.Error("set and bag reported equal")
+	}
+	if Equal(Base("a"), Base("b")) {
+		t.Error("distinct base types reported equal")
+	}
+	if Equal(nil, Nat) || !Equal(nil, nil) {
+		t.Error("nil handling wrong")
+	}
+}
+
+func TestTupleConventions(t *testing.T) {
+	if Tuple() != Unit {
+		t.Error("0-ary tuple should be Unit")
+	}
+	if Tuple(Nat) != Nat {
+		t.Error("1-ary tuple should be its component")
+	}
+	if got := Tuple(Nat, Nat).Arity(); got != 2 {
+		t.Errorf("Arity = %d, want 2", got)
+	}
+	if got := Nat.Arity(); got != 1 {
+		t.Errorf("Arity(nat) = %d, want 1", got)
+	}
+	if got := Unit.Arity(); got != 0 {
+		t.Errorf("Arity(unit) = %d, want 0", got)
+	}
+}
+
+func TestNatTuple(t *testing.T) {
+	if NatTuple(1) != Nat {
+		t.Error("NatTuple(1) should be Nat")
+	}
+	want := Tuple(Nat, Nat, Nat)
+	if !Equal(NatTuple(3), want) {
+		t.Errorf("NatTuple(3) = %s, want %s", NatTuple(3), want)
+	}
+}
+
+func TestIsObjectAndOrderable(t *testing.T) {
+	if !Set(Tuple(Nat, Array(Real, 2))).IsObject() {
+		t.Error("nested object type reported non-object")
+	}
+	if Func(Nat, Nat).IsObject() {
+		t.Error("function type reported object")
+	}
+	if Set(Func(Nat, Nat)).IsObject() {
+		t.Error("set of functions reported object")
+	}
+	if !Array(Set(Nat), 2).Orderable() {
+		t.Error("array of sets should be orderable")
+	}
+	if Var("a").Orderable() {
+		t.Error("type variable should not be orderable")
+	}
+}
+
+func TestUnify(t *testing.T) {
+	s := Subst{}
+	// 'a * nat  ~  bool * 'b
+	if err := s.Unify(Tuple(Var("a"), Nat), Tuple(Bool, Var("b"))); err != nil {
+		t.Fatalf("Unify: %v", err)
+	}
+	if got := s.Apply(Var("a")); !Equal(got, Bool) {
+		t.Errorf("'a = %s, want bool", got)
+	}
+	if got := s.Apply(Var("b")); !Equal(got, Nat) {
+		t.Errorf("'b = %s, want nat", got)
+	}
+}
+
+func TestUnifyTransitive(t *testing.T) {
+	s := Subst{}
+	if err := s.Unify(Var("a"), Var("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Unify(Var("b"), Set(Nat)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Apply(Var("a")); !Equal(got, Set(Nat)) {
+		t.Errorf("'a = %s, want {nat}", got)
+	}
+}
+
+func TestUnifyOccursCheck(t *testing.T) {
+	s := Subst{}
+	if err := s.Unify(Var("a"), Set(Var("a"))); err == nil {
+		t.Error("expected occurs-check failure for 'a ~ {'a}")
+	}
+}
+
+func TestUnifyMismatch(t *testing.T) {
+	cases := [][2]*Type{
+		{Nat, Bool},
+		{Set(Nat), Bag(Nat)},
+		{Array(Nat, 1), Array(Nat, 2)},
+		{Tuple(Nat, Nat), Tuple(Nat, Nat, Nat)},
+		{Base("a"), Base("b")},
+	}
+	for _, c := range cases {
+		s := Subst{}
+		if err := s.Unify(c[0], c[1]); err == nil {
+			t.Errorf("Unify(%s, %s) succeeded, want error", c[0], c[1])
+		}
+	}
+}
+
+func TestSubstApplyIdempotentOnGround(t *testing.T) {
+	s := Subst{"a": Nat}
+	g := Array(Tuple(Real, Set(Bool)), 2)
+	if s.Apply(g) != g {
+		t.Error("Apply should return ground types unchanged (same pointer)")
+	}
+}
+
+// genType builds a deterministic ground type from a seed; used by the
+// property test below.
+func genType(seed uint64, depth int) *Type {
+	bases := []*Type{Bool, Nat, Real, String, Base("b0"), Base("b1")}
+	if depth <= 0 {
+		return bases[seed%uint64(len(bases))]
+	}
+	switch seed % 5 {
+	case 0:
+		return bases[(seed/5)%uint64(len(bases))]
+	case 1:
+		return Set(genType(seed/5, depth-1))
+	case 2:
+		return Bag(genType(seed/5, depth-1))
+	case 3:
+		return Array(genType(seed/5, depth-1), int(seed/7%3)+1)
+	default:
+		return Tuple(genType(seed/5, depth-1), genType(seed/11, depth-1))
+	}
+}
+
+func TestPropParsePrintIdentity(t *testing.T) {
+	f := func(seed uint64) bool {
+		typ := genType(seed, 4)
+		back, err := Parse(typ.String())
+		return err == nil && Equal(typ, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropUnifyReflexive(t *testing.T) {
+	f := func(seed uint64) bool {
+		typ := genType(seed, 4)
+		s := Subst{}
+		return s.Unify(typ, typ) == nil && len(s) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFreeVars(t *testing.T) {
+	typ := Func(Var("a"), Set(Tuple(Var("b"), Var("a"))))
+	vars := map[string]bool{}
+	typ.FreeVars(vars)
+	if len(vars) != 2 || !vars["a"] || !vars["b"] {
+		t.Errorf("FreeVars = %v, want {a, b}", vars)
+	}
+	if !strings.Contains(typ.String(), "'a") {
+		t.Errorf("variable rendering missing quote: %s", typ)
+	}
+}

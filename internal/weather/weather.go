@@ -1,0 +1,161 @@
+// Package weather synthesizes the meteorological inputs of the paper's
+// motivating example (section 1): a month of NYC June weather as
+//
+//   - T:  a one-dimensional array of hourly surface temperatures,
+//   - RH: a one-dimensional array of hourly relative humidities,
+//   - WS: a two-dimensional array of half-hourly wind speeds over a range
+//     of altitudes (note the extra dimension and the finer gridding).
+//
+// The paper used real observations; this generator is the substitution
+// documented in DESIGN.md. It produces a deterministic diurnal model —
+// a sinusoidal daily temperature cycle with per-day offsets, humidity
+// anticorrelated with temperature, and altitude-increasing wind — so the
+// downstream query exercises exactly the same code paths (regridding,
+// projection, zip_3, subseq, external heat-index filter) as real data
+// would, with known "unbearably hot" days for verification.
+package weather
+
+import (
+	"fmt"
+	"math"
+	"path/filepath"
+
+	"github.com/aqldb/aql/internal/netcdf"
+)
+
+// Config parameterizes the synthetic month.
+type Config struct {
+	Days      int   // days in the month (30 for June)
+	Altitudes int   // number of altitude levels in WS
+	HotDays   []int // 0-based days made dangerously hot
+	Seed      int64 // perturbation seed
+}
+
+// DefaultConfig is the motivating example's June: 30 days, 5 altitude
+// levels, with days 11, 17 and 18 unbearably hot.
+func DefaultConfig() Config {
+	return Config{Days: 30, Altitudes: 5, HotDays: []int{11, 17, 18}, Seed: 1996}
+}
+
+// Month is the generated data.
+type Month struct {
+	Cfg Config
+	T   []float64 // hourly temperature (°F), Days*24 values
+	RH  []float64 // hourly relative humidity (%), Days*24 values
+	WS  []float64 // half-hourly wind speed (mph), row-major (Days*48) x Altitudes
+}
+
+// Generate builds the month.
+func Generate(cfg Config) *Month {
+	hot := map[int]bool{}
+	for _, d := range cfg.HotDays {
+		hot[d] = true
+	}
+	hours := cfg.Days * 24
+	m := &Month{
+		Cfg: cfg,
+		T:   make([]float64, hours),
+		RH:  make([]float64, hours),
+		WS:  make([]float64, cfg.Days*48*cfg.Altitudes),
+	}
+	rng := newLCG(cfg.Seed)
+	for h := 0; h < hours; h++ {
+		day := h / 24
+		hourOfDay := float64(h % 24)
+		// Diurnal cycle peaking at 15:00.
+		base := 78 + 9*math.Sin(2*math.Pi*(hourOfDay-9)/24)
+		if hot[day] {
+			base += 14 // a heat wave day
+		}
+		jitter := rng.symmetric() * 1.5
+		m.T[h] = base + jitter
+		// Humidity anticorrelated with temperature; hot days are also muggy.
+		rh := 95 - 0.75*(m.T[h]-60)
+		if hot[day] {
+			rh += 18
+		}
+		m.RH[h] = clamp(rh+rng.symmetric()*4, 20, 100)
+	}
+	for s := 0; s < cfg.Days*48; s++ {
+		hourOfDay := float64(s%48) / 2
+		for a := 0; a < cfg.Altitudes; a++ {
+			// Wind strengthens with altitude and in the afternoon.
+			w := 4 + 2.5*float64(a) + 2*math.Sin(2*math.Pi*(hourOfDay-12)/24)
+			m.WS[s*cfg.Altitudes+a] = math.Max(0, w+rng.symmetric())
+		}
+	}
+	return m
+}
+
+// WriteNetCDF writes T, RH and WS as three NetCDF classic files in dir,
+// named temp.nc, rh.nc and wind.nc, returning their paths. The files are
+// genuine .nc bytes readable by any NetCDF implementation.
+func (m *Month) WriteNetCDF(dir string) (tPath, rhPath, wsPath string, err error) {
+	tPath = filepath.Join(dir, "temp.nc")
+	rhPath = filepath.Join(dir, "rh.nc")
+	wsPath = filepath.Join(dir, "wind.nc")
+
+	write1d := func(path, name, units string, data []float64) error {
+		b := netcdf.NewBuilder()
+		dim, err := b.AddDim("time", len(data))
+		if err != nil {
+			return err
+		}
+		attrs := []netcdf.Attr{{Name: "units", Type: netcdf.Char, Values: units}}
+		if err := b.AddVar(name, netcdf.Double, []int{dim}, attrs, data); err != nil {
+			return err
+		}
+		return b.WriteFile(path)
+	}
+	if err = write1d(tPath, "temp", "degF", m.T); err != nil {
+		return "", "", "", fmt.Errorf("weather: %w", err)
+	}
+	if err = write1d(rhPath, "rh", "percent", m.RH); err != nil {
+		return "", "", "", fmt.Errorf("weather: %w", err)
+	}
+	b := netcdf.NewBuilder()
+	td, err := b.AddDim("halfhour", m.Cfg.Days*48)
+	if err != nil {
+		return "", "", "", fmt.Errorf("weather: %w", err)
+	}
+	ad, err := b.AddDim("altitude", m.Cfg.Altitudes)
+	if err != nil {
+		return "", "", "", fmt.Errorf("weather: %w", err)
+	}
+	attrs := []netcdf.Attr{{Name: "units", Type: netcdf.Char, Values: "mph"}}
+	if err = b.AddVar("wind", netcdf.Double, []int{td, ad}, attrs, m.WS); err != nil {
+		return "", "", "", fmt.Errorf("weather: %w", err)
+	}
+	if err = b.WriteFile(wsPath); err != nil {
+		return "", "", "", fmt.Errorf("weather: %w", err)
+	}
+	return tPath, rhPath, wsPath, nil
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// lcg is a small deterministic generator so the data does not depend on
+// math/rand's version-specific stream.
+type lcg struct{ state uint64 }
+
+func newLCG(seed int64) *lcg {
+	return &lcg{state: uint64(seed)*6364136223846793005 + 1442695040888963407}
+}
+
+func (l *lcg) next() uint64 {
+	l.state = l.state*6364136223846793005 + 1442695040888963407
+	return l.state
+}
+
+// symmetric returns a value in [-1, 1).
+func (l *lcg) symmetric() float64 {
+	return float64(l.next()>>11)/float64(1<<53)*2 - 1
+}

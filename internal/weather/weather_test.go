@@ -1,0 +1,126 @@
+package weather
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/aqldb/aql/internal/netcdf"
+	"github.com/aqldb/aql/internal/prim"
+)
+
+func TestGenerateShapes(t *testing.T) {
+	cfg := DefaultConfig()
+	m := Generate(cfg)
+	if len(m.T) != 720 || len(m.RH) != 720 {
+		t.Fatalf("T/RH lengths = %d/%d, want 720", len(m.T), len(m.RH))
+	}
+	if len(m.WS) != 30*48*cfg.Altitudes {
+		t.Fatalf("WS length = %d", len(m.WS))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(DefaultConfig())
+	b := Generate(DefaultConfig())
+	for i := range a.T {
+		if a.T[i] != b.T[i] {
+			t.Fatal("generation is not deterministic")
+		}
+	}
+}
+
+func TestPhysicalPlausibility(t *testing.T) {
+	m := Generate(DefaultConfig())
+	for h, temp := range m.T {
+		if temp < 40 || temp > 115 {
+			t.Fatalf("T[%d] = %.1f out of plausible range", h, temp)
+		}
+		if m.RH[h] < 15 || m.RH[h] > 100 {
+			t.Fatalf("RH[%d] = %.1f out of range", h, m.RH[h])
+		}
+	}
+	for i, w := range m.WS {
+		if w < 0 || w > 60 {
+			t.Fatalf("WS[%d] = %.1f out of range", i, w)
+		}
+	}
+	// Wind increases with altitude on average.
+	cfg := DefaultConfig()
+	var lo, hi float64
+	for s := 0; s < cfg.Days*48; s++ {
+		lo += m.WS[s*cfg.Altitudes]
+		hi += m.WS[s*cfg.Altitudes+cfg.Altitudes-1]
+	}
+	if hi <= lo {
+		t.Error("wind should increase with altitude")
+	}
+}
+
+func TestHotDaysAreUnbearable(t *testing.T) {
+	cfg := DefaultConfig()
+	m := Generate(cfg)
+	hot := map[int]bool{}
+	for _, d := range cfg.HotDays {
+		hot[d] = true
+	}
+	// Day-maximum heat index must separate hot days from normal ones.
+	for d := 0; d < cfg.Days; d++ {
+		maxHI := -1e9
+		for h := d * 24; h < (d+1)*24; h++ {
+			if hi := prim.HeatIndex(m.T[h], m.RH[h]); hi > maxHI {
+				maxHI = hi
+			}
+		}
+		if hot[d] && maxHI < 105 {
+			t.Errorf("hot day %d has max heat index %.1f < 105", d, maxHI)
+		}
+		if !hot[d] && maxHI >= 105 {
+			t.Errorf("normal day %d has max heat index %.1f >= 105", d, maxHI)
+		}
+	}
+}
+
+func TestWriteNetCDF(t *testing.T) {
+	dir := t.TempDir()
+	m := Generate(DefaultConfig())
+	tPath, rhPath, wsPath, err := m.WriteNetCDF(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(tPath) != "temp.nc" {
+		t.Errorf("tPath = %s", tPath)
+	}
+	// The files parse and round-trip the data.
+	f, err := netcdf.Open(tPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	slab, err := f.ReadAll("temp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slab.Values) != len(m.T) {
+		t.Fatalf("read %d temps, want %d", len(slab.Values), len(m.T))
+	}
+	for i := range m.T {
+		if slab.Values[i] != m.T[i] {
+			t.Fatalf("temp[%d] = %v, want %v", i, slab.Values[i], m.T[i])
+		}
+	}
+	w, err := netcdf.Open(wsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	wv, err := w.Var("wind")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wv.Dims) != 2 {
+		t.Errorf("wind rank = %d, want 2", len(wv.Dims))
+	}
+	if _, err := netcdf.Open(rhPath); err != nil {
+		t.Fatal(err)
+	}
+}
