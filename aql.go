@@ -27,11 +27,13 @@
 package aql
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/aqldb/aql/internal/ast"
 	"github.com/aqldb/aql/internal/coord"
 	"github.com/aqldb/aql/internal/env"
+	"github.com/aqldb/aql/internal/eval"
 	"github.com/aqldb/aql/internal/object"
 	"github.com/aqldb/aql/internal/opt"
 	"github.com/aqldb/aql/internal/repl"
@@ -62,6 +64,33 @@ type Writer = env.Writer
 // Rule is an optimizer rewrite rule; register with AddRule.
 type Rule = opt.Rule
 
+// Limits bounds the resources one query may consume: evaluator steps,
+// collection/array cells, recursion depth, and wall-clock time. The zero
+// value is unlimited. Install with Session.SetLimits.
+type Limits = eval.Limits
+
+// ResourceError is the structured error returned when a query exceeds a
+// resource budget, times out, or is cancelled; its Kind field
+// distinguishes steps, cells, depth, timeout and cancelled. Unwrap with
+// errors.As.
+type ResourceError = eval.ResourceError
+
+// ResourceKind names the budget a ResourceError reports against.
+type ResourceKind = eval.ResourceKind
+
+// The possible ResourceError kinds.
+const (
+	ResourceSteps     = eval.ResourceSteps
+	ResourceCells     = eval.ResourceCells
+	ResourceDepth     = eval.ResourceDepth
+	ResourceTimeout   = eval.ResourceTimeout
+	ResourceCancelled = eval.ResourceCancelled
+)
+
+// PanicError is the error returned when an internal panic was recovered at
+// the session boundary; it carries the query source and a stack trace.
+type PanicError = repl.PanicError
+
 // Session is a live AQL environment: the top-level read-eval-print state
 // of section 4 of the paper.
 type Session struct {
@@ -88,10 +117,27 @@ func (s *Session) Query(src string) (Value, *Type, error) {
 	return s.s.Query(src)
 }
 
+// QueryCtx is Query under a context: cancelling ctx (or exceeding its
+// deadline) interrupts the evaluation itself, returning a *ResourceError.
+func (s *Session) QueryCtx(ctx context.Context, src string) (Value, *Type, error) {
+	return s.s.QueryCtx(ctx, src)
+}
+
 // Exec runs a sequence of top-level statements (`val`, `macro`, `readval`,
 // `writeval`, and bare queries), each terminated by a semicolon.
 func (s *Session) Exec(src string) ([]Result, error) {
 	return s.s.Exec(src)
+}
+
+// ExecCtx is Exec under a context; a cancelled statement aborts the
+// sequence, returning the results completed so far.
+func (s *Session) ExecCtx(ctx context.Context, src string) ([]Result, error) {
+	return s.s.ExecCtx(ctx, src)
+}
+
+// EvalCtx evaluates a compiled query under a context.
+func (s *Session) EvalCtx(ctx context.Context, e Expr) (Value, error) {
+	return s.s.EvalCtx(ctx, e)
 }
 
 // Compile runs the front half of the pipeline — parse, desugar (figure 2),
@@ -112,12 +158,23 @@ func (s *Session) Eval(e Expr) (Value, error) { return s.s.Eval(e) }
 func (s *Session) SetOptimizerEnabled(on bool) { s.s.SkipOptimizer = !on }
 
 // LastSteps reports the evaluator step count of the most recent query —
-// a machine-independent work measure.
+// a machine-independent work measure. It is reported even for queries
+// aborted by a budget, cancellation, or recovered panic.
 func (s *Session) LastSteps() int64 { return s.s.LastSteps }
 
+// LastCells reports the collection/array cells charged by the most recent
+// query, on the same terms as LastSteps.
+func (s *Session) LastCells() int64 { return s.s.LastCells }
+
 // SetMaxSteps bounds the evaluator steps per query (0 = unlimited); queries
-// that exceed the budget fail with an error instead of running away.
+// that exceed the budget fail with a *ResourceError instead of running
+// away. Equivalent to SetLimits with only MaxSteps set.
 func (s *Session) SetMaxSteps(n int64) { s.s.MaxSteps = n }
+
+// SetLimits installs per-query resource budgets; the zero Limits removes
+// them. Queries that exceed a budget fail with a *ResourceError whose Kind
+// names the exhausted resource.
+func (s *Session) SetLimits(l Limits) { s.s.Limits = l }
 
 // RegisterPrimitive makes a Go function available as an AQL primitive with
 // the given type (in concrete syntax, e.g. "(real * real * nat) -> nat") —

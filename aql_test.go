@@ -1,8 +1,11 @@
 package aql
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
+	"time"
 )
 
 func newSession(t *testing.T) *Session {
@@ -176,5 +179,94 @@ func TestRegisterAxisPublicAPI(t *testing.T) {
 	}
 	if err := s.RegisterAxis("bad", []float64{1, 1}); err == nil {
 		t.Error("non-monotone axis accepted")
+	}
+}
+
+// The acceptance scenario for resource governance: a tabulation demanding
+// 10^9 cells under a million-cell budget must die on the budget — quickly,
+// before the array is allocated — and report a typed error.
+func TestAcceptanceRunawayTabulate(t *testing.T) {
+	s := newSession(t)
+	s.SetLimits(Limits{MaxCells: 1_000_000, Timeout: time.Second})
+	start := time.Now()
+	_, _, err := s.Query(`[[ i | \i < 1000000000 ]]`)
+	elapsed := time.Since(start)
+	var re *ResourceError
+	if !errors.As(err, &re) {
+		t.Fatalf("expected *ResourceError, got %T: %v", err, err)
+	}
+	if re.Kind != ResourceCells {
+		t.Errorf("kind = %s, want %s (cell budget should trip before the timeout)", re.Kind, ResourceCells)
+	}
+	if elapsed > time.Second {
+		t.Errorf("abort took %s; the pre-allocation charge should fail fast", elapsed)
+	}
+	if s.LastCells() < 1_000_000 {
+		t.Errorf("LastCells = %d, want the charged demand visible on abort", s.LastCells())
+	}
+}
+
+func TestMaxCellsNestedSetComprehension(t *testing.T) {
+	s := newSession(t)
+	s.SetLimits(Limits{MaxCells: 10_000})
+	// 1000 inner sets of 1000 elements: 10^6 cells of demand.
+	_, _, err := s.Query(`{ {i * 1000 + j | \j <- gen!1000} | \i <- gen!1000 }`)
+	var re *ResourceError
+	if !errors.As(err, &re) {
+		t.Fatalf("expected *ResourceError, got %T: %v", err, err)
+	}
+	if re.Kind != ResourceCells {
+		t.Errorf("kind = %s, want %s", re.Kind, ResourceCells)
+	}
+}
+
+func TestTimeoutStepHeavyQuery(t *testing.T) {
+	s := newSession(t)
+	s.SetLimits(Limits{Timeout: 30 * time.Millisecond})
+	_, _, err := s.Query(`summap(fn \i => summap(fn \j => i*j)!(gen!1000))!(gen!100000)`)
+	var re *ResourceError
+	if !errors.As(err, &re) {
+		t.Fatalf("expected *ResourceError, got %T: %v", err, err)
+	}
+	if re.Kind != ResourceTimeout {
+		t.Errorf("kind = %s, want %s", re.Kind, ResourceTimeout)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Error("timeout should unwrap to context.DeadlineExceeded")
+	}
+}
+
+func TestQueryCtxPublicAPI(t *testing.T) {
+	s := newSession(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	_, _, err := s.QueryCtx(ctx, `summap(fn \i => summap(fn \j => i*j)!(gen!1000))!(gen!100000)`)
+	var re *ResourceError
+	if !errors.As(err, &re) {
+		t.Fatalf("expected *ResourceError, got %T: %v", err, err)
+	}
+	if re.Kind != ResourceCancelled {
+		t.Errorf("kind = %s, want %s", re.Kind, ResourceCancelled)
+	}
+}
+
+func TestPanicErrorPublicAPI(t *testing.T) {
+	s := newSession(t)
+	if err := s.RegisterPrimitive("explode", "nat -> nat", func(Value) (Value, error) {
+		panic("internal invariant violated")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := s.Query("explode!1")
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("expected *PanicError, got %T: %v", err, err)
+	}
+	// The session survives the recovered panic.
+	if _, _, err := s.Query("2 * 3"); err != nil {
+		t.Errorf("session dead after recovered panic: %v", err)
 	}
 }

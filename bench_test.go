@@ -6,12 +6,16 @@
 package aql
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"testing"
 
 	"github.com/aqldb/aql/internal/ast"
+	"time"
+
 	"github.com/aqldb/aql/internal/bench"
+	"github.com/aqldb/aql/internal/eval"
 	"github.com/aqldb/aql/internal/netcdf"
 	"github.com/aqldb/aql/internal/object"
 	"github.com/aqldb/aql/internal/opt"
@@ -464,6 +468,50 @@ func BenchmarkAblationBetaGuard(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := s.Eval(core); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkGuardrailOverhead measures the cost of the execution guardrails
+// (amortized cancellation checks, step/cell accounting) against the same
+// query run with no limits and no context. The target is <5% on the
+// guarded path: the hot loop pays two integer compares per node plus one
+// ctx.Err() every 256 steps.
+func BenchmarkGuardrailOverhead(b *testing.B) {
+	const src = `summap(fn \i => i*i)!(gen!10000)`
+	b.Run("baseline", func(b *testing.B) {
+		s := bench.MustSession()
+		core, _, err := s.Compile(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		core = s.Env.Optimizer.Optimize(core)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Eval(core); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("guardrails", func(b *testing.B) {
+		s := bench.MustSession()
+		s.Limits = eval.Limits{
+			MaxSteps: 1 << 40,
+			MaxCells: 1 << 40,
+			MaxDepth: 1 << 20,
+			Timeout:  time.Hour,
+		}
+		core, _, err := s.Compile(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		core = s.Env.Optimizer.Optimize(core)
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.EvalCtx(ctx, core); err != nil {
 				b.Fatal(err)
 			}
 		}

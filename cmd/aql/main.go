@@ -11,16 +11,23 @@
 //	: {d | \d <- gen!30, d % 7 = 0};
 //	typ it : {nat}
 //	val it = {0, 7, 14, 21, 28}
+//
+// Ctrl-C while a query is running cancels that query (the evaluator aborts
+// with a structured cancellation error) and returns to the prompt; Ctrl-C
+// at an idle prompt exits as usual. The -maxsteps, -maxcells, -maxdepth and
+// -timeout flags bound what any single query may consume.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"github.com/aqldb/aql"
+	"github.com/aqldb/aql/internal/repl"
 )
 
 func main() {
@@ -28,6 +35,9 @@ func main() {
 	query := flag.String("q", "", "run a single query and exit")
 	limit := flag.Int("limit", 12, "maximum collection elements to print (0 = all)")
 	maxSteps := flag.Int64("maxsteps", 0, "abort queries after this many evaluator steps (0 = unlimited)")
+	maxCells := flag.Int64("maxcells", 0, "abort queries that allocate more than this many collection/array cells (0 = unlimited)")
+	maxDepth := flag.Int("maxdepth", 0, "abort queries that recurse deeper than this many evaluator frames (0 = unlimited)")
+	timeout := flag.Duration("timeout", 0, "abort queries that run longer than this, e.g. 5s (0 = unlimited)")
 	flag.Parse()
 
 	s, err := aql.NewSession()
@@ -35,11 +45,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "aql:", err)
 		os.Exit(1)
 	}
-	s.SetMaxSteps(*maxSteps)
+	s.SetLimits(aql.Limits{
+		MaxSteps: *maxSteps,
+		MaxCells: *maxCells,
+		MaxDepth: *maxDepth,
+		Timeout:  *timeout,
+	})
 
 	switch {
 	case *query != "":
-		v, typ, err := s.Query(*query)
+		v, typ, err := func() (aql.Value, *aql.Type, error) {
+			ctx, stop := repl.NotifyInterrupt(context.Background())
+			defer stop()
+			return s.QueryCtx(ctx, *query)
+		}()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "aql:", err)
 			os.Exit(1)
@@ -52,7 +71,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "aql:", err)
 			os.Exit(1)
 		}
-		results, err := s.Exec(string(src))
+		results, err := func() ([]aql.Result, error) {
+			ctx, stop := repl.NotifyInterrupt(context.Background())
+			defer stop()
+			return s.ExecCtx(ctx, string(src))
+		}()
 		for _, r := range results {
 			printResult(r, *limit)
 		}
@@ -66,10 +89,12 @@ func main() {
 }
 
 // interact runs the interactive loop, accumulating input lines until a
-// statement-terminating semicolon.
+// statement-terminating semicolon. Each statement batch runs under a
+// SIGINT-cancelled context so Ctrl-C aborts the running query and the loop
+// survives to read the next one.
 func interact(s *aql.Session, limit int) {
 	fmt.Println("AQL — a query language for multidimensional arrays (SIGMOD 1996)")
-	fmt.Println(`End statements with ';'. Ctrl-D exits.`)
+	fmt.Println(`End statements with ';'. Ctrl-D exits; Ctrl-C cancels a running query.`)
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -87,9 +112,14 @@ func interact(s *aql.Session, limit int) {
 			prompt = ":: "
 			continue
 		}
-		results, err := s.Exec(buf.String())
+		src := buf.String()
 		buf.Reset()
 		prompt = ": "
+		results, err := func() ([]aql.Result, error) {
+			ctx, stop := repl.NotifyInterrupt(context.Background())
+			defer stop()
+			return s.ExecCtx(ctx, src)
+		}()
 		for _, r := range results {
 			printResult(r, limit)
 		}

@@ -13,8 +13,11 @@
 package eval
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"github.com/aqldb/aql/internal/ast"
 	"github.com/aqldb/aql/internal/object"
@@ -54,8 +57,23 @@ type Evaluator struct {
 	// Steps counts evaluated nodes; reset it before a measurement.
 	Steps int64
 	// MaxSteps, when positive, aborts evaluation after that many steps;
-	// a guard against runaway queries in interactive use.
+	// a guard against runaway queries in interactive use. Limits.MaxSteps
+	// is honored as well; either tripping aborts the query.
 	MaxSteps int64
+	// Limits bounds the resources of this evaluation; the zero value is
+	// unlimited. Exhaustion yields a *ResourceError.
+	Limits Limits
+	// Cells counts collection/array cells charged by constructors,
+	// tabulation, gen and index; reset it before a measurement.
+	Cells int64
+
+	// ctx and deadline carry per-evaluation interrupt state; set by
+	// EvalCtx and checked amortized in Eval.
+	ctx      context.Context
+	deadline time.Time
+	// depth is the current Eval recursion depth, tracked only when
+	// Limits.MaxDepth is set.
+	depth int
 }
 
 // New returns an evaluator over the given globals (which may be nil).
@@ -66,15 +84,95 @@ func New(globals map[string]object.Value) *Evaluator {
 	return &Evaluator{Globals: globals}
 }
 
+// EvalCtx evaluates e in env under ctx: cancelling ctx, exceeding its
+// deadline, or exceeding Limits.Timeout aborts evaluation with a
+// *ResourceError. The interrupt checks are amortized over interruptInterval
+// steps so the per-node cost of guarding stays negligible.
+func (ev *Evaluator) EvalCtx(ctx context.Context, e ast.Expr, env *Env) (object.Value, error) {
+	ev.ctx = ctx
+	if ev.Limits.Timeout > 0 {
+		ev.deadline = time.Now().Add(ev.Limits.Timeout)
+	}
+	// Clear the interrupt state on the way out: closures that escape this
+	// evaluation (top-level vals of function type) capture ev, and a later
+	// call through them must not observe a stale context or deadline.
+	defer func() {
+		ev.ctx = nil
+		ev.deadline = time.Time{}
+	}()
+	return ev.Eval(e, env)
+}
+
+// interruptInterval is how many evaluator steps pass between context /
+// deadline checks; a power of two so the check reduces to a mask test.
+const interruptInterval = 256
+
+// checkInterrupt reports cancellation or deadline expiry as a
+// *ResourceError; called amortized from Eval.
+func (ev *Evaluator) checkInterrupt() error {
+	if ev.ctx != nil {
+		if err := ev.ctx.Err(); err != nil {
+			kind := ResourceCancelled
+			if errors.Is(err, context.DeadlineExceeded) {
+				kind = ResourceTimeout
+			}
+			return &ResourceError{Kind: kind, Cause: err}
+		}
+	}
+	if !ev.deadline.IsZero() && time.Now().After(ev.deadline) {
+		return &ResourceError{Kind: ResourceTimeout, Limit: int64(ev.Limits.Timeout), Cause: context.DeadlineExceeded}
+	}
+	return nil
+}
+
+// chargeCells charges n cells against the cell budget, saturating rather
+// than overflowing the counter. Constructors charge BEFORE allocating, so
+// a budget violation aborts without the allocation ever happening.
+func (ev *Evaluator) chargeCells(n int64) error {
+	if n > math.MaxInt64-ev.Cells {
+		ev.Cells = math.MaxInt64
+	} else {
+		ev.Cells += n
+	}
+	if max := ev.Limits.MaxCells; max > 0 && ev.Cells > max {
+		return &ResourceError{Kind: ResourceCells, Limit: max, Used: ev.Cells}
+	}
+	return nil
+}
+
 // Eval evaluates e in env. Language-level partiality (out-of-bounds
 // subscripts, get on a non-singleton, division by zero) yields the ⊥ value;
 // Go errors are reserved for conditions a well-typed query cannot produce
-// (unbound variables, kind mismatches in external primitives).
+// (unbound variables, kind mismatches in external primitives) and for
+// resource-budget exhaustion (*ResourceError).
 func (ev *Evaluator) Eval(e ast.Expr, env *Env) (object.Value, error) {
 	ev.Steps++
 	if ev.MaxSteps > 0 && ev.Steps > ev.MaxSteps {
-		return object.Value{}, fmt.Errorf("eval: step budget %d exhausted", ev.MaxSteps)
+		return object.Value{}, &ResourceError{Kind: ResourceSteps, Limit: ev.MaxSteps, Used: ev.Steps}
 	}
+	if l := ev.Limits.MaxSteps; l > 0 && ev.Steps > l {
+		return object.Value{}, &ResourceError{Kind: ResourceSteps, Limit: l, Used: ev.Steps}
+	}
+	if ev.Steps&(interruptInterval-1) == 0 && (ev.ctx != nil || !ev.deadline.IsZero()) {
+		if err := ev.checkInterrupt(); err != nil {
+			return object.Value{}, err
+		}
+	}
+	if max := ev.Limits.MaxDepth; max > 0 {
+		ev.depth++
+		if ev.depth > max {
+			ev.depth--
+			return object.Value{}, &ResourceError{Kind: ResourceDepth, Limit: int64(max), Used: int64(max) + 1}
+		}
+		v, err := ev.eval(e, env)
+		ev.depth--
+		return v, err
+	}
+	return ev.eval(e, env)
+}
+
+// eval dispatches on the node kind; the per-node guards live in Eval.
+func (ev *Evaluator) eval(e ast.Expr, env *Env) (object.Value, error) {
 	switch n := e.(type) {
 	case *ast.Var:
 		if v, ok := env.Lookup(n.Name); ok {
@@ -147,6 +245,9 @@ func (ev *Evaluator) Eval(e ast.Expr, env *Env) (object.Value, error) {
 		if v.IsBottom() {
 			return v, nil
 		}
+		if err := ev.chargeCells(1); err != nil {
+			return object.Value{}, err
+		}
 		return object.Set(v), nil
 
 	case *ast.Union:
@@ -163,6 +264,9 @@ func (ev *Evaluator) Eval(e ast.Expr, env *Env) (object.Value, error) {
 		}
 		if r.IsBottom() {
 			return r, nil
+		}
+		if err := ev.chargeCells(int64(len(l.Elems) + len(r.Elems))); err != nil {
+			return object.Value{}, err
 		}
 		return object.Union(l, r)
 
@@ -278,6 +382,9 @@ func (ev *Evaluator) Eval(e ast.Expr, env *Env) (object.Value, error) {
 		if err != nil {
 			return object.Value{}, fmt.Errorf("eval: gen: %w", err)
 		}
+		if err := ev.chargeCells(m); err != nil {
+			return object.Value{}, err
+		}
 		elems := make([]object.Value, m)
 		for i := int64(0); i < m; i++ {
 			elems[i] = object.Nat(i)
@@ -325,6 +432,7 @@ func (ev *Evaluator) Eval(e ast.Expr, env *Env) (object.Value, error) {
 
 	case *ast.ArrayTab:
 		shape := make([]int, len(n.Bounds))
+		size := int64(1)
 		for j, b := range n.Bounds {
 			v, err := ev.Eval(b, env)
 			if err != nil {
@@ -338,6 +446,16 @@ func (ev *Evaluator) Eval(e ast.Expr, env *Env) (object.Value, error) {
 				return object.Value{}, fmt.Errorf("eval: tabulation bound %d: %w", j+1, err)
 			}
 			shape[j] = int(m)
+			if m > 0 && size > math.MaxInt64/m {
+				size = math.MaxInt64 // saturate; the charge below will trip
+			} else {
+				size *= m
+			}
+		}
+		// Charge the whole tabulation before Tabulate allocates it: this is
+		// the fail-fast path for [[ ... | i < 10^9 ]] under a cell budget.
+		if err := ev.chargeCells(size); err != nil {
+			return object.Value{}, err
 		}
 		var bottom object.Value
 		sawBottom := false
@@ -404,7 +522,7 @@ func (ev *Evaluator) Eval(e ast.Expr, env *Env) (object.Value, error) {
 		if s.IsBottom() {
 			return s, nil
 		}
-		return object.Index(s, n.K)
+		return object.IndexChecked(s, n.K, ev.chargeCells)
 
 	case *ast.MkArray:
 		shape := make([]int, len(n.Dims))
@@ -429,6 +547,9 @@ func (ev *Evaluator) Eval(e ast.Expr, env *Env) (object.Value, error) {
 			// expressions doesn't match the product of the dimension
 			// expressions" (section 3).
 			return object.Bottom(fmt.Sprintf("array literal: %d values for shape %v", len(n.Elems), shape)), nil
+		}
+		if err := ev.chargeCells(int64(len(n.Elems))); err != nil {
+			return object.Value{}, err
 		}
 		data := make([]object.Value, len(n.Elems))
 		for i, x := range n.Elems {
@@ -461,6 +582,9 @@ func (ev *Evaluator) Eval(e ast.Expr, env *Env) (object.Value, error) {
 		if v.IsBottom() {
 			return v, nil
 		}
+		if err := ev.chargeCells(1); err != nil {
+			return object.Value{}, err
+		}
 		return object.Bag(v), nil
 
 	case *ast.BagUnion:
@@ -477,6 +601,9 @@ func (ev *Evaluator) Eval(e ast.Expr, env *Env) (object.Value, error) {
 		}
 		if r.IsBottom() {
 			return r, nil
+		}
+		if err := ev.chargeCells(int64(len(l.Elems) + len(r.Elems))); err != nil {
+			return object.Value{}, err
 		}
 		return object.BagUnion(l, r)
 
@@ -518,6 +645,9 @@ func (ev *Evaluator) bigUnion(head ast.Expr, varName string, over ast.Expr, env 
 		if v.Kind != object.KSet {
 			return object.Value{}, fmt.Errorf("eval: big union body produced %s", v.Kind)
 		}
+		if err := ev.chargeCells(int64(len(v.Elems))); err != nil {
+			return object.Value{}, err
+		}
 		all = append(all, v.Elems...)
 	}
 	return object.Set(all...), nil
@@ -545,6 +675,9 @@ func (ev *Evaluator) bigBagUnion(head ast.Expr, varName string, over ast.Expr, e
 		}
 		if v.Kind != object.KBag {
 			return object.Value{}, fmt.Errorf("eval: big bag union body produced %s", v.Kind)
+		}
+		if err := ev.chargeCells(int64(len(v.Elems))); err != nil {
+			return object.Value{}, err
 		}
 		all = append(all, v.Elems...)
 	}
@@ -582,6 +715,9 @@ func (ev *Evaluator) rankUnion(head ast.Expr, varName, rankVar string, over ast.
 		}
 		if v.Kind != wantKind {
 			return object.Value{}, fmt.Errorf("eval: %s body produced %s", wantName, v.Kind)
+		}
+		if err := ev.chargeCells(int64(len(v.Elems))); err != nil {
+			return object.Value{}, err
 		}
 		all = append(all, v.Elems...)
 	}

@@ -61,6 +61,10 @@ func NewCachedReaderAt(r io.ReaderAt, blockSize, numBlocks int) *CachedReaderAt 
 	}
 }
 
+// Size exposes the underlying reader's size so the header parser's
+// bounds checks keep working through the cache layer.
+func (c *CachedReaderAt) Size() int64 { return readerSize(c.r) }
+
 // ReadAt implements io.ReaderAt through the cache.
 func (c *CachedReaderAt) ReadAt(p []byte, off int64) (int, error) {
 	n := 0

@@ -1,0 +1,196 @@
+package netcdf
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the default error delivered by a FaultyReaderAt fault.
+var ErrInjected = errors.New("netcdf: injected I/O fault")
+
+// Fault describes the outcome of a single ReadAt call on a FaultyReaderAt.
+// The zero Fault is a clean pass-through, so a schedule like
+// {{}, {Err: ErrInjected}, {}} fails exactly the second read.
+type Fault struct {
+	// Err, when non-nil, fails the call with this error without touching
+	// the underlying reader.
+	Err error
+	// Short, when true, delivers only half the requested bytes and
+	// reports Err (or ErrInjected when Err is nil), simulating a
+	// torn/partial read from flaky storage.
+	Short bool
+	// Delay is slept before the call is served (or failed), simulating
+	// storage latency.
+	Delay time.Duration
+}
+
+// FaultyReaderAt wraps an io.ReaderAt with a deterministic fault schedule:
+// the n-th ReadAt call receives the n-th Fault; calls beyond the schedule
+// pass through untouched. It exists for tests that need reproducible I/O
+// failure sequences and for soak-testing retry logic against simulated
+// flaky storage. Safe for concurrent use.
+type FaultyReaderAt struct {
+	r io.ReaderAt
+
+	mu       sync.Mutex
+	schedule []Fault
+	calls    int64
+	injected int64
+}
+
+// NewFaultyReaderAt wraps r with the given per-call fault schedule.
+func NewFaultyReaderAt(r io.ReaderAt, schedule ...Fault) *FaultyReaderAt {
+	return &FaultyReaderAt{r: r, schedule: schedule}
+}
+
+// ReadAt implements io.ReaderAt, applying the next scheduled fault.
+func (f *FaultyReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	var ft Fault
+	if int(f.calls) < len(f.schedule) {
+		ft = f.schedule[f.calls]
+	}
+	f.calls++
+	if ft.Err != nil || ft.Short {
+		f.injected++
+	}
+	f.mu.Unlock()
+
+	if ft.Delay > 0 {
+		time.Sleep(ft.Delay)
+	}
+	if ft.Err != nil && !ft.Short {
+		return 0, ft.Err
+	}
+	if ft.Short {
+		err := ft.Err
+		if err == nil {
+			err = ErrInjected
+		}
+		n, rerr := f.r.ReadAt(p[:len(p)/2], off)
+		if rerr != nil {
+			return n, rerr
+		}
+		return n, err
+	}
+	return f.r.ReadAt(p, off)
+}
+
+// Calls reports the total number of ReadAt calls observed.
+func (f *FaultyReaderAt) Calls() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+// Injected reports how many calls had a fault injected.
+func (f *FaultyReaderAt) Injected() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// Size exposes the underlying reader's size so the header parser's
+// bounds checks keep working through the fault layer.
+func (f *FaultyReaderAt) Size() int64 { return readerSize(f.r) }
+
+// RetryConfig tunes a RetryingReaderAt. The zero value selects the
+// defaults noted on each field.
+type RetryConfig struct {
+	// MaxRetries is the number of re-attempts after the first failure
+	// (default 4, so up to 5 attempts total).
+	MaxRetries int
+	// BaseDelay is the backoff before the first retry (default 1ms); it
+	// doubles per retry.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff (default 100ms).
+	MaxDelay time.Duration
+	// IsTransient classifies errors worth retrying. The default treats
+	// io.EOF and io.ErrUnexpectedEOF as permanent (re-reading a short
+	// file cannot help) and everything else as transient.
+	IsTransient func(error) bool
+}
+
+func (c *RetryConfig) maxRetries() int {
+	if c.MaxRetries > 0 {
+		return c.MaxRetries
+	}
+	return 4
+}
+
+func (c *RetryConfig) baseDelay() time.Duration {
+	if c.BaseDelay > 0 {
+		return c.BaseDelay
+	}
+	return time.Millisecond
+}
+
+func (c *RetryConfig) maxDelay() time.Duration {
+	if c.MaxDelay > 0 {
+		return c.MaxDelay
+	}
+	return 100 * time.Millisecond
+}
+
+func (c *RetryConfig) isTransient(err error) bool {
+	if c.IsTransient != nil {
+		return c.IsTransient(err)
+	}
+	return !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// RetryingReaderAt wraps an io.ReaderAt and retries transient read errors
+// with capped exponential backoff — an opt-in resilience layer for NetCDF
+// files on flaky storage (network filesystems, object-store gateways):
+//
+//	f, _ := os.Open(path)
+//	nc, err := netcdf.Read(netcdf.NewRetryingReaderAt(f, netcdf.RetryConfig{}))
+//
+// Safe for concurrent use; the retry counter is atomic.
+type RetryingReaderAt struct {
+	r       io.ReaderAt
+	cfg     RetryConfig
+	retries int64 // atomic
+}
+
+// NewRetryingReaderAt wraps r with the given retry policy.
+func NewRetryingReaderAt(r io.ReaderAt, cfg RetryConfig) *RetryingReaderAt {
+	return &RetryingReaderAt{r: r, cfg: cfg}
+}
+
+// ReadAt implements io.ReaderAt, retrying transient failures. A short read
+// with a transient error is retried from scratch (ReadAt is stateless, so
+// re-reading the full range is safe). Permanent errors and budget
+// exhaustion return the last error, wrapped with the attempt count.
+func (r *RetryingReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	delay := r.cfg.baseDelay()
+	maxRetries := r.cfg.maxRetries()
+	var n int
+	var err error
+	for attempt := 0; ; attempt++ {
+		n, err = r.r.ReadAt(p, off)
+		if err == nil || !r.cfg.isTransient(err) {
+			return n, err
+		}
+		if attempt >= maxRetries {
+			return n, fmt.Errorf("netcdf: read failed after %d attempts: %w", attempt+1, err)
+		}
+		atomic.AddInt64(&r.retries, 1)
+		time.Sleep(delay)
+		delay *= 2
+		if max := r.cfg.maxDelay(); delay > max {
+			delay = max
+		}
+	}
+}
+
+// Retries reports how many retry attempts have been made.
+func (r *RetryingReaderAt) Retries() int64 { return atomic.LoadInt64(&r.retries) }
+
+// Size exposes the underlying reader's size so the header parser's
+// bounds checks keep working through the retry layer.
+func (r *RetryingReaderAt) Size() int64 { return readerSize(r.r) }

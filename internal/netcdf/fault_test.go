@@ -1,0 +1,171 @@
+package netcdf
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFaultyReaderSchedule(t *testing.T) {
+	data := []byte("abcdefgh")
+	fr := NewFaultyReaderAt(bytes.NewReader(data),
+		Fault{},                        // call 0: clean
+		Fault{Err: ErrInjected},        // call 1: fails
+		Fault{Short: true},             // call 2: short read
+		Fault{Delay: time.Microsecond}, // call 3: delayed but clean
+	)
+	buf := make([]byte, 4)
+
+	if _, err := fr.ReadAt(buf, 0); err != nil {
+		t.Fatalf("call 0: %v", err)
+	}
+	if _, err := fr.ReadAt(buf, 0); !errors.Is(err, ErrInjected) {
+		t.Fatalf("call 1: err = %v, want ErrInjected", err)
+	}
+	if n, err := fr.ReadAt(buf, 0); n != 2 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("call 2: n=%d err=%v, want short read of 2 with ErrInjected", n, err)
+	}
+	if _, err := fr.ReadAt(buf, 0); err != nil {
+		t.Fatalf("call 3: %v", err)
+	}
+	// Beyond the schedule: pass-through.
+	if _, err := fr.ReadAt(buf, 4); err != nil {
+		t.Fatalf("call 4: %v", err)
+	}
+	if fr.Calls() != 5 || fr.Injected() != 2 {
+		t.Errorf("Calls=%d Injected=%d, want 5 and 2", fr.Calls(), fr.Injected())
+	}
+}
+
+func TestRetryingReaderRecoversTransientFaults(t *testing.T) {
+	data := []byte("the quick brown fox")
+	fr := NewFaultyReaderAt(bytes.NewReader(data),
+		Fault{Err: ErrInjected},
+		Fault{Err: ErrInjected},
+	)
+	rr := NewRetryingReaderAt(fr, RetryConfig{BaseDelay: time.Microsecond})
+	buf := make([]byte, len(data))
+	n, err := rr.ReadAt(buf, 0)
+	if err != nil || n != len(data) {
+		t.Fatalf("ReadAt = %d, %v", n, err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Errorf("data corrupted: %q", buf)
+	}
+	if rr.Retries() < 2 {
+		t.Errorf("Retries = %d, want >= 2", rr.Retries())
+	}
+}
+
+func TestRetryingReaderShortReadRetried(t *testing.T) {
+	data := []byte("0123456789")
+	fr := NewFaultyReaderAt(bytes.NewReader(data), Fault{Short: true})
+	rr := NewRetryingReaderAt(fr, RetryConfig{BaseDelay: time.Microsecond})
+	buf := make([]byte, len(data))
+	n, err := rr.ReadAt(buf, 0)
+	if err != nil || n != len(data) {
+		t.Fatalf("ReadAt = %d, %v", n, err)
+	}
+	if rr.Retries() == 0 {
+		t.Error("short read should have been retried")
+	}
+}
+
+func TestRetryingReaderPermanentErrorNotRetried(t *testing.T) {
+	data := []byte("tiny")
+	rr := NewRetryingReaderAt(bytes.NewReader(data), RetryConfig{BaseDelay: time.Microsecond})
+	buf := make([]byte, 64)
+	// Reading past EOF is permanent: no amount of retrying grows the file.
+	_, err := rr.ReadAt(buf, 0)
+	if err == nil {
+		t.Fatal("read past EOF succeeded")
+	}
+	if rr.Retries() != 0 {
+		t.Errorf("Retries = %d on a permanent error, want 0", rr.Retries())
+	}
+}
+
+func TestRetryingReaderBudgetExhausted(t *testing.T) {
+	faults := make([]Fault, 16)
+	for i := range faults {
+		faults[i] = Fault{Err: ErrInjected}
+	}
+	fr := NewFaultyReaderAt(bytes.NewReader([]byte("x")), faults...)
+	rr := NewRetryingReaderAt(fr, RetryConfig{MaxRetries: 3, BaseDelay: time.Microsecond})
+	_, err := rr.ReadAt(make([]byte, 1), 0)
+	if err == nil {
+		t.Fatal("exhausted retries should fail")
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Errorf("final error %v should wrap the cause", err)
+	}
+	if !strings.Contains(err.Error(), "attempts") {
+		t.Errorf("final error %q should report the attempt count", err)
+	}
+}
+
+// TestReadSlabThroughFaultyStorage is the end-to-end scenario: a NetCDF
+// file on flaky storage, read through the retry layer, survives injected
+// transient faults and returns correct data.
+func TestReadSlabThroughFaultyStorage(t *testing.T) {
+	full := richFile(t)
+	fr := NewFaultyReaderAt(bytes.NewReader(full),
+		Fault{Err: ErrInjected}, // first header read fails
+		Fault{},
+		Fault{Short: true}, // a later read is torn
+	)
+	rr := NewRetryingReaderAt(fr, RetryConfig{BaseDelay: time.Microsecond})
+	f, err := Read(rr)
+	if err != nil {
+		t.Fatalf("Read through faulty storage: %v", err)
+	}
+	if f.fsize != int64(len(full)) {
+		t.Errorf("fsize through retry+fault layers = %d, want %d", f.fsize, len(full))
+	}
+	slab, err := f.ReadSlab("recv", []int{1, 0}, []int{2, 3})
+	if err != nil {
+		t.Fatalf("ReadSlab: %v", err)
+	}
+	want := []float64{10, 11, 12, 20, 21, 22}
+	for i, w := range want {
+		if slab.Values[i] != w {
+			t.Errorf("slab[%d] = %v, want %v", i, slab.Values[i], w)
+		}
+	}
+	if rr.Retries() < 1 {
+		t.Errorf("Retries = %d, want >= 1 (faults were scheduled)", rr.Retries())
+	}
+	if fr.Injected() < 1 {
+		t.Errorf("Injected = %d, want >= 1", fr.Injected())
+	}
+}
+
+// TestFaultyReaderConcurrentUse exercises the mutex under -race.
+func TestFaultyReaderConcurrentUse(t *testing.T) {
+	data := bytes.Repeat([]byte("ab"), 512)
+	faults := make([]Fault, 8)
+	for i := range faults {
+		faults[i] = Fault{Err: ErrInjected}
+	}
+	fr := NewFaultyReaderAt(bytes.NewReader(data), faults...)
+	rr := NewRetryingReaderAt(fr, RetryConfig{BaseDelay: time.Microsecond})
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			buf := make([]byte, 16)
+			for i := 0; i < 32; i++ {
+				if _, err := rr.ReadAt(buf, int64(i*16)); err != nil && !errors.Is(err, io.EOF) {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+}

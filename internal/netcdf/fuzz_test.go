@@ -28,6 +28,34 @@ func FuzzRead(f *testing.F) {
 	f.Add([]byte("CDF\x02\x00\x00\x00\x00"))
 	f.Add([]byte("not netcdf"))
 
+	// A richer seed: attributes, a record dimension and an interleaved
+	// record variable exercise the header paths plain files miss.
+	rb := NewBuilder()
+	rb.AddGlobalAttr(Attr{Name: "title", Type: Char, Values: "fuzz corpus"})
+	rb.AddGlobalAttr(Attr{Name: "version", Type: Int, Values: []int32{2}})
+	rec, _ := rb.AddRecordDim("t", 3)
+	rx, _ := rb.AddDim("y", 2)
+	_ = rb.AddVar("fv", Double, []int{rx},
+		[]Attr{{Name: "units", Type: Char, Values: "degF"}}, []float64{1.5, -2.5})
+	_ = rb.AddVar("rv", Short, []int{rec, rx}, nil, []float64{1, 2, 3, 4, 5, 6})
+	_ = rb.AddCharVar("name", []int{rx}, nil, []byte("ab"))
+	var rbuf bytes.Buffer
+	if err := rb.Encode(&rbuf); err != nil {
+		f.Fatal(err)
+	}
+	rich := rbuf.Bytes()
+	f.Add(rich)
+	// Truncated variants: every prefix stride hits a different parser stage.
+	for cut := 1; cut < len(rich); cut += 5 {
+		f.Add(rich[:cut])
+	}
+	// Single-bit flips across the header region.
+	for off := 0; off < len(rich) && off < 96; off += 3 {
+		flipped := append([]byte(nil), rich...)
+		flipped[off] ^= 0x80
+		f.Add(flipped)
+	}
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		nc, err := Read(bytes.NewReader(data))
 		if err != nil {

@@ -119,6 +119,7 @@ type File struct {
 	closer  io.Closer
 	recSize int64 // bytes per record across all record variables
 	recDim  int   // index of the record dimension, -1 if none
+	fsize   int64 // total size of the data source, -1 if unknown
 
 	// Cache is non-nil when the file was opened with OpenCached; it
 	// exposes the block cache's statistics.
@@ -142,9 +143,29 @@ func Open(path string) (*File, error) {
 
 // Read parses a NetCDF header from r. Variable data is read lazily through
 // r on each slab request.
+//
+// When the total size of r is discoverable (os.File, bytes.Reader,
+// io.SectionReader, the reader wrappers of this package, or anything
+// implementing Size() int64 or Stat()), every header-declared count,
+// offset and record count is validated against it before any allocation,
+// so a truncated or corrupt file is rejected with a descriptive error
+// rather than a panic or a multi-gigabyte allocation.
 func Read(r io.ReaderAt) (*File, error) {
-	p := &headerParser{r: r}
+	p := &headerParser{r: r, size: readerSize(r)}
 	return p.parse()
+}
+
+// readerSize reports the total byte size of r, or -1 if undiscoverable.
+func readerSize(r io.ReaderAt) int64 {
+	switch v := r.(type) {
+	case interface{ Size() int64 }:
+		return v.Size()
+	case interface{ Stat() (os.FileInfo, error) }:
+		if fi, err := v.Stat(); err == nil {
+			return fi.Size()
+		}
+	}
+	return -1
 }
 
 // Close releases the underlying file, if Open created it.
@@ -187,8 +208,9 @@ func (f *File) isRecord(v *Var) bool {
 // --- header parsing -------------------------------------------------------
 
 type headerParser struct {
-	r   io.ReaderAt
-	off int64
+	r    io.ReaderAt
+	off  int64
+	size int64 // total data-source size, -1 if unknown
 }
 
 func (p *headerParser) errf(format string, args ...any) error {
@@ -196,6 +218,15 @@ func (p *headerParser) errf(format string, args ...any) error {
 }
 
 func (p *headerParser) bytes(n int) ([]byte, error) {
+	if n < 0 {
+		return nil, p.errf("negative read length %d", n)
+	}
+	// Validate against the file size BEFORE allocating: a corrupt header
+	// can declare a count whose value block would be gigabytes; without
+	// this check the allocation happens before the read fails at EOF.
+	if p.size >= 0 && p.off+int64(n) > p.size {
+		return nil, p.errf("truncated file: need %d bytes, only %d remain", n, p.size-p.off)
+	}
 	buf := make([]byte, n)
 	if _, err := p.r.ReadAt(buf, p.off); err != nil {
 		return nil, p.errf("read %d bytes: %v", n, err)
@@ -269,7 +300,7 @@ func (p *headerParser) parse() (*File, error) {
 		// STREAMING sentinel; record count must be derived from file size.
 		numRecs = -1
 	}
-	f := &File{Version: version, NumRecs: numRecs, recDim: -1, r: p.r}
+	f := &File{Version: version, NumRecs: numRecs, recDim: -1, r: p.r, fsize: p.size}
 
 	// dim_list
 	dims, err := p.list(tagDimension)
@@ -327,6 +358,13 @@ func (p *headerParser) parse() (*File, error) {
 	if numRecs == -1 {
 		return nil, p.errf("streaming record counts are not supported")
 	}
+	// The record data must physically fit in the file; division avoids
+	// overflow for absurd header values. This rejects the corrupt-numrecs
+	// OOM class: shapes derived from NumRecs size later allocations.
+	if p.size >= 0 && f.recSize > 0 && int64(numRecs) > p.size/f.recSize {
+		return nil, p.errf("record count %d needs %d bytes per record but file has only %d bytes",
+			numRecs, f.recSize, p.size)
+	}
 	return f, nil
 }
 
@@ -348,6 +386,12 @@ func (p *headerParser) list(wantTag int32) (int, error) {
 	}
 	if count < 0 || count > 1<<20 {
 		return 0, p.errf("implausible list count %d", count)
+	}
+	// Every list entry (dimension, attribute, variable) occupies at least 8
+	// bytes in the header, so a count the file cannot physically hold is
+	// rejected before any per-entry allocation.
+	if p.size >= 0 && int64(count)*8 > p.size {
+		return 0, p.errf("list count %d exceeds file size %d", count, p.size)
 	}
 	return int(count), nil
 }
@@ -377,6 +421,10 @@ func (p *headerParser) attrs() ([]Attr, error) {
 		}
 		if count < 0 || count > 1<<24 {
 			return nil, p.errf("attribute %q: implausible count %d", name, count)
+		}
+		if p.size >= 0 && int64(count)*int64(typ.Size()) > p.size {
+			return nil, p.errf("attribute %q: %d values of %s exceed file size %d",
+				name, count, typ, p.size)
 		}
 		raw, err := p.bytes(int(pad4(int64(count) * int64(typ.Size()))))
 		if err != nil {
@@ -446,8 +494,15 @@ func (p *headerParser) variable(f *File) (Var, error) {
 			return Var{}, err
 		}
 	}
+	if begin < 0 || (p.size >= 0 && begin > p.size) {
+		return Var{}, p.errf("variable %q: data offset %d beyond file size %d", name, begin, p.size)
+	}
+	vs := int64(uint32(vsize))
+	if p.size >= 0 && vs > p.size {
+		return Var{}, p.errf("variable %q: vsize %d exceeds file size %d", name, vs, p.size)
+	}
 	return Var{Name: name, Type: typ, Dims: dims, Attrs: attrs,
-		vsize: int64(uint32(vsize)), begin: begin}, nil
+		vsize: vs, begin: begin}, nil
 }
 
 // decodeValues converts big-endian external data into a Go slice (or string

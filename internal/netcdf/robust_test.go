@@ -1,0 +1,208 @@
+package netcdf
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+// richFile builds a well-formed file with attributes, a fixed variable and
+// a record variable — enough header structure that truncating it at any
+// point exercises a different parser stage.
+func richFile(t *testing.T) []byte {
+	t.Helper()
+	b := NewBuilder()
+	b.AddGlobalAttr(Attr{Name: "title", Type: Char, Values: "robustness corpus"})
+	rec, err := b.AddRecordDim("time", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := b.AddDim("x", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddVar("fixedv", Double, []int{x},
+		[]Attr{{Name: "units", Type: Char, Values: "degF"}},
+		[]float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddVar("recv", Int, []int{rec, x}, nil,
+		[]float64{0, 1, 2, 10, 11, 12, 20, 21, 22, 30, 31, 32}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := b.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTruncatedFilesRejected cuts a valid file at every length and demands
+// that the reader either fails with an error or returns correct data —
+// never panics, and never fabricates values. A variable whose data region
+// lies entirely before the cut is legitimately readable; one whose region
+// is cut must be rejected.
+func TestTruncatedFilesRejected(t *testing.T) {
+	full := richFile(t)
+	f0, err := Read(bytes.NewReader(full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][]float64{}
+	for _, name := range []string{"fixedv", "recv"} {
+		slab, err := f0.ReadAll(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[name] = slab.Values
+	}
+	for cut := 0; cut < len(full); cut++ {
+		data := full[:cut]
+		f, err := Read(bytes.NewReader(data))
+		if err != nil {
+			continue // rejected: fine
+		}
+		for _, name := range []string{"fixedv", "recv"} {
+			if _, verr := f.Var(name); verr != nil {
+				continue
+			}
+			slab, rerr := f.ReadAll(name)
+			if rerr != nil {
+				continue // rejected: fine
+			}
+			// A successful read of a truncated file must mean the data was
+			// genuinely all there, with every value intact.
+			w := want[name]
+			if len(slab.Values) != len(w) {
+				t.Errorf("cut=%d: ReadAll(%s) returned %d values, want %d or an error",
+					cut, name, len(slab.Values), len(w))
+				continue
+			}
+			for i := range w {
+				if slab.Values[i] != w[i] {
+					t.Errorf("cut=%d: ReadAll(%s)[%d] = %v, want %v — fabricated data",
+						cut, name, i, slab.Values[i], w[i])
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestTruncatedHeaderMessage spot-checks that a header cut mid-structure
+// produces a descriptive "truncated" error rather than a raw EOF.
+func TestTruncatedHeaderMessage(t *testing.T) {
+	full := richFile(t)
+	// Cut inside the header: past magic+numrecs, inside the dim list.
+	_, err := Read(bytes.NewReader(full[:16]))
+	if err == nil {
+		t.Fatal("16-byte header accepted")
+	}
+	if !strings.Contains(err.Error(), "truncated") && !strings.Contains(err.Error(), "netcdf") {
+		t.Errorf("error %q should be descriptive", err)
+	}
+}
+
+// TestDataTruncationCaughtBeforeAllocation verifies the slab bounds check:
+// a file whose header is intact but whose data region is cut must fail
+// with the truncation diagnostic, up front, not EOF deep in the read loop.
+func TestDataTruncationCaughtBeforeAllocation(t *testing.T) {
+	full := richFile(t)
+	f0, err := Read(bytes.NewReader(full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := f0.Var("recv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep the header and the fixed variable, drop the record data tail.
+	cut := v.begin + 4 // one int of twelve
+	f, err := Read(bytes.NewReader(full[:cut]))
+	if err != nil {
+		t.Skipf("header itself rejected at this cut: %v", err)
+	}
+	_, err = f.ReadAll("recv")
+	if err == nil {
+		t.Fatal("ReadAll on truncated data succeeded")
+	}
+	if !strings.Contains(err.Error(), "truncated") {
+		t.Errorf("error %q should carry the truncation diagnostic", err)
+	}
+}
+
+// patch returns a copy of data with a big-endian uint32 written at off.
+func patch(data []byte, off int, val uint32) []byte {
+	out := append([]byte(nil), data...)
+	binary.BigEndian.PutUint32(out[off:], val)
+	return out
+}
+
+// TestHugeHeaderCountsRejected patches absurd counts into the header and
+// checks the parser refuses them before allocating: the element count of a
+// list can never exceed the file size.
+func TestHugeHeaderCountsRejected(t *testing.T) {
+	full := richFile(t)
+
+	// numrecs at offset 4: claim two billion records.
+	if _, err := Read(bytes.NewReader(patch(full, 4, 2_000_000_000))); err == nil {
+		t.Error("two-billion-record file accepted")
+	}
+
+	// Dim-list count at offset 12 (after magic, numrecs, NC_DIMENSION tag).
+	if _, err := Read(bytes.NewReader(patch(full, 12, 0x40000000))); err == nil {
+		t.Error("billion-entry dimension list accepted")
+	}
+}
+
+// TestNegativeAndHugeVsizeRejected patches a variable's begin offset past
+// the end of file.
+func TestNegativeAndHugeVsizeRejected(t *testing.T) {
+	full := richFile(t)
+	f0, err := Read(bytes.NewReader(full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := f0.Var("fixedv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The begin word sits 4 bytes before the data start in CDF-1 (it is the
+	// last header field of the variable entry); find it by value instead of
+	// hard-coding layout: scan for the encoded begin offset.
+	target := uint32(v.begin)
+	var enc [4]byte
+	binary.BigEndian.PutUint32(enc[:], target)
+	idx := bytes.Index(full, enc[:])
+	if idx < 0 {
+		t.Skip("could not locate begin word")
+	}
+	bad := patch(full, idx, uint32(len(full))+1024)
+	if _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Error("variable beginning past EOF accepted")
+	}
+}
+
+// TestReadAllStillWorksThroughWrappers makes sure the size plumbing keeps
+// valid files readable through the cache layer (Size must pass through, or
+// the new bounds checks would reject valid slabs with fsize == -1 checks
+// disabled — the happy path must stay happy).
+func TestReadAllStillWorksThroughWrappers(t *testing.T) {
+	full := richFile(t)
+	cached := NewCachedReaderAt(bytes.NewReader(full), 64, 8)
+	f, err := Read(cached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.fsize != int64(len(full)) {
+		t.Errorf("fsize through cache = %d, want %d", f.fsize, len(full))
+	}
+	slab, err := f.ReadAll("recv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slab.Values) != 12 || slab.Values[11] != 32 {
+		t.Errorf("values = %v", slab.Values)
+	}
+}

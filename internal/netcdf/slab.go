@@ -56,6 +56,22 @@ func (f *File) ReadSlab(varName string, start, count []int) (*Slab, error) {
 		}
 		total *= count[d]
 	}
+	tsize := int64(v.Type.Size())
+	// When the data source's size is known, reject slabs that extend past
+	// end-of-file before allocating or reading anything: a header may be
+	// intact while the data region is truncated or the declared shapes are
+	// corrupt, and the failure must be a descriptive error, not a huge
+	// allocation followed by an EOF deep in the read loop.
+	if f.fsize >= 0 && total > 0 {
+		last := make([]int, len(shape))
+		for d := range shape {
+			last[d] = start[d] + count[d] - 1
+		}
+		if end, err := f.elementOffset(v, shape, last); err == nil && end+tsize > f.fsize {
+			return nil, fmt.Errorf("netcdf: %s: slab ends at byte %d but file has only %d bytes (truncated?)",
+				varName, end+tsize, f.fsize)
+		}
+	}
 	slab := &Slab{Shape: append([]int(nil), count...), Type: v.Type}
 	// Cap the up-front allocation: a corrupt header can claim a dimension
 	// of billions of elements, and the first read past EOF will fail long
@@ -73,7 +89,6 @@ func (f *File) ReadSlab(varName string, start, count []int) (*Slab, error) {
 		return slab, nil
 	}
 
-	tsize := int64(v.Type.Size())
 	rank := len(shape)
 	if rank == 0 {
 		// Scalar variable.

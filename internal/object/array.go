@@ -164,6 +164,9 @@ func Tabulate(shape []int, f func(idx []int) (Value, error)) (Value, error) {
 		if n < 0 {
 			return Value{}, fmt.Errorf("object: negative dimension length %d", n)
 		}
+		if n > 0 && size > int(^uint(0)>>1)/n {
+			return Value{}, fmt.Errorf("object: tabulation shape %v overflows", shape)
+		}
 		size *= n
 	}
 	data := make([]Value, size)
@@ -223,7 +226,14 @@ func indexValue(idx []int) Value {
 // The input need not be the graph of a function; that is the point of the
 // construct (section 2). Returns ⊥-free output or a kind error if the input
 // is not a set of pairs with natural-number keys.
-func Index(s Value, k int) (Value, error) {
+func Index(s Value, k int) (Value, error) { return IndexChecked(s, k, nil) }
+
+// IndexChecked is Index with an allocation guard: when guard is non-nil it
+// is called with the cell count of the result array BEFORE the array is
+// allocated, and a guard error aborts the construction. The evaluator uses
+// this to enforce cell budgets on index_k, whose result size is data-driven
+// (a single pair {(10^9, x)} demands a billion-cell array).
+func IndexChecked(s Value, k int, guard func(cells int64) error) (Value, error) {
 	if s.Kind != KSet {
 		return Value{}, kindError("index", s, KSet)
 	}
@@ -250,7 +260,15 @@ func Index(s Value, k int) (Value, error) {
 	}
 	size := 1
 	for _, n := range shape {
+		if n > 0 && size > int(^uint(0)>>1)/n {
+			return Value{}, fmt.Errorf("object: index shape %v overflows", shape)
+		}
 		size *= n
+	}
+	if guard != nil {
+		if err := guard(int64(size)); err != nil {
+			return Value{}, err
+		}
 	}
 	// Second pass: group values by flattened key. The input set is
 	// canonical, so the groups come out sorted and deduplicated for free.

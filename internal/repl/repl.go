@@ -11,8 +11,10 @@
 package repl
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"runtime/debug"
 
 	"github.com/aqldb/aql/internal/ast"
 	"github.com/aqldb/aql/internal/desugar"
@@ -31,10 +33,38 @@ type Session struct {
 	// uses it to measure the optimizer's effect.
 	SkipOptimizer bool
 	// MaxSteps, when positive, aborts queries that exceed the step budget;
-	// a guard for interactive use.
+	// a guard for interactive use. Superseded by Limits.MaxSteps but kept
+	// for compatibility; either tripping aborts the query.
 	MaxSteps int64
-	// LastSteps reports the evaluator steps of the most recent query.
+	// Limits bounds the resources of each query evaluated by this session
+	// (steps, cells, recursion depth, wall-clock). The zero value is
+	// unlimited; violations surface as *eval.ResourceError.
+	Limits eval.Limits
+	// LastSteps reports the evaluator steps of the most recent query,
+	// including queries aborted by a budget, cancellation, or panic.
 	LastSteps int64
+	// LastCells reports the collection/array cells charged by the most
+	// recent query, on the same terms as LastSteps.
+	LastCells int64
+}
+
+// PanicError wraps a panic recovered at the session boundary: an internal
+// invariant violation (object.Compare on unordered kinds, types.Elem on a
+// non-collection, a buggy registered primitive) surfaces as an error that
+// carries the query source instead of crashing a process serving other
+// queries.
+type PanicError struct {
+	Src   string // the query source, when known
+	Val   any    // the recovered panic value
+	Stack []byte // stack trace captured at the recovery point
+}
+
+// Error renders the panic with the offending query.
+func (e *PanicError) Error() string {
+	if e.Src != "" {
+		return fmt.Sprintf("aql: internal error evaluating %q: %v", e.Src, e.Val)
+	}
+	return fmt.Sprintf("aql: internal error: %v", e.Val)
 }
 
 // Result is the outcome of one top-level statement, carrying what the
@@ -149,21 +179,48 @@ func (s *Session) Optimize(core ast.Expr) ast.Expr {
 
 // Eval evaluates a core query against the session's globals.
 func (s *Session) Eval(core ast.Expr) (object.Value, error) {
+	return s.EvalCtx(context.Background(), core)
+}
+
+// EvalCtx evaluates a core query under ctx: cancelling ctx or exceeding
+// its deadline aborts evaluation with a *eval.ResourceError.
+func (s *Session) EvalCtx(ctx context.Context, core ast.Expr) (object.Value, error) {
+	return s.evalGuarded(ctx, core, "")
+}
+
+// evalGuarded is the session's guardrail boundary: it applies the resource
+// limits, threads the context, records step/cell consumption even for
+// aborted queries, and converts internal panics into a *PanicError so one
+// bad query can never crash a process serving others.
+func (s *Session) evalGuarded(ctx context.Context, core ast.Expr, src string) (v object.Value, err error) {
 	ev := eval.New(s.Env.Globals())
 	ev.MaxSteps = s.MaxSteps
-	v, err := ev.Eval(core, nil)
-	s.LastSteps = ev.Steps
-	return v, err
+	ev.Limits = s.Limits
+	defer func() {
+		s.LastSteps = ev.Steps
+		s.LastCells = ev.Cells
+		if r := recover(); r != nil {
+			v = object.Value{}
+			err = &PanicError{Src: src, Val: r, Stack: debug.Stack()}
+		}
+	}()
+	return ev.EvalCtx(ctx, core, nil)
 }
 
 // Query runs the full pipeline on a single expression and binds the result
 // to `it`, as the read-eval-print loop does.
 func (s *Session) Query(src string) (object.Value, *types.Type, error) {
+	return s.QueryCtx(context.Background(), src)
+}
+
+// QueryCtx is Query under a context: cancellation and deadlines interrupt
+// the evaluation (not just the wait for it).
+func (s *Session) QueryCtx(ctx context.Context, src string) (object.Value, *types.Type, error) {
 	core, typ, err := s.Compile(src)
 	if err != nil {
 		return object.Value{}, nil, err
 	}
-	v, err := s.Eval(s.Optimize(core))
+	v, err := s.evalGuarded(ctx, s.Optimize(core), src)
 	if err != nil {
 		return object.Value{}, nil, err
 	}
@@ -173,13 +230,19 @@ func (s *Session) Query(src string) (object.Value, *types.Type, error) {
 
 // Exec runs a sequence of top-level statements.
 func (s *Session) Exec(src string) ([]Result, error) {
+	return s.ExecCtx(context.Background(), src)
+}
+
+// ExecCtx is Exec under a context; a cancelled statement aborts the
+// sequence, returning the results completed so far.
+func (s *Session) ExecCtx(ctx context.Context, src string) ([]Result, error) {
 	stmts, err := parser.ParseProgram(src)
 	if err != nil {
 		return nil, err
 	}
 	var results []Result
 	for _, stmt := range stmts {
-		r, err := s.execStmt(stmt)
+		r, err := s.execStmt(ctx, stmt)
 		if err != nil {
 			return results, err
 		}
@@ -188,14 +251,14 @@ func (s *Session) Exec(src string) ([]Result, error) {
 	return results, nil
 }
 
-func (s *Session) execStmt(stmt parser.Stmt) (Result, error) {
+func (s *Session) execStmt(ctx context.Context, stmt parser.Stmt) (Result, error) {
 	switch n := stmt.(type) {
 	case *parser.ValDecl:
 		core, typ, err := s.compileSurface(n.E)
 		if err != nil {
 			return Result{}, fmt.Errorf("val %s: %w", n.Name, err)
 		}
-		v, err := s.Eval(s.Optimize(core))
+		v, err := s.evalGuarded(ctx, s.Optimize(core), parser.Print(n.E))
 		if err != nil {
 			return Result{}, fmt.Errorf("val %s: %w", n.Name, err)
 		}
@@ -221,7 +284,7 @@ func (s *Session) execStmt(stmt parser.Stmt) (Result, error) {
 		if err != nil {
 			return Result{}, fmt.Errorf("readval %s: %w", n.Name, err)
 		}
-		arg, err := s.Eval(s.Optimize(core))
+		arg, err := s.evalGuarded(ctx, s.Optimize(core), parser.Print(n.At))
 		if err != nil {
 			return Result{}, fmt.Errorf("readval %s: %w", n.Name, err)
 		}
@@ -245,7 +308,7 @@ func (s *Session) execStmt(stmt parser.Stmt) (Result, error) {
 		if err != nil {
 			return Result{}, fmt.Errorf("writeval: %w", err)
 		}
-		data, err := s.Eval(s.Optimize(dataCore))
+		data, err := s.evalGuarded(ctx, s.Optimize(dataCore), parser.Print(n.E))
 		if err != nil {
 			return Result{}, fmt.Errorf("writeval: %w", err)
 		}
@@ -253,7 +316,7 @@ func (s *Session) execStmt(stmt parser.Stmt) (Result, error) {
 		if err != nil {
 			return Result{}, fmt.Errorf("writeval: %w", err)
 		}
-		arg, err := s.Eval(s.Optimize(atCore))
+		arg, err := s.evalGuarded(ctx, s.Optimize(atCore), parser.Print(n.At))
 		if err != nil {
 			return Result{}, fmt.Errorf("writeval: %w", err)
 		}
@@ -267,7 +330,7 @@ func (s *Session) execStmt(stmt parser.Stmt) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		v, err := s.Eval(s.Optimize(core))
+		v, err := s.evalGuarded(ctx, s.Optimize(core), parser.Print(n.E))
 		if err != nil {
 			return Result{}, err
 		}

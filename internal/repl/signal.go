@@ -1,0 +1,36 @@
+package repl
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"sync"
+)
+
+// NotifyInterrupt returns a child of parent that is cancelled by the next
+// SIGINT, and a stop function that releases the signal handler. The REPL
+// wraps each statement in one so Ctrl-C cancels the running query — the
+// evaluator notices the cancellation at its amortized check and returns a
+// *eval.ResourceError — instead of killing the process. While no query is
+// running the handler is not installed, so Ctrl-C at the prompt keeps its
+// usual meaning.
+func NotifyInterrupt(parent context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ch:
+			cancel()
+		case <-done:
+		}
+		signal.Stop(ch)
+	}()
+	var once sync.Once
+	stop := func() {
+		once.Do(func() { close(done) })
+		cancel()
+	}
+	return ctx, stop
+}
