@@ -29,6 +29,9 @@ package aql
 import (
 	"context"
 	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
 
 	"github.com/aqldb/aql/internal/ast"
 	"github.com/aqldb/aql/internal/coord"
@@ -37,6 +40,7 @@ import (
 	"github.com/aqldb/aql/internal/object"
 	"github.com/aqldb/aql/internal/opt"
 	"github.com/aqldb/aql/internal/repl"
+	"github.com/aqldb/aql/internal/trace"
 	"github.com/aqldb/aql/internal/typecheck"
 	"github.com/aqldb/aql/internal/types"
 )
@@ -90,6 +94,27 @@ const (
 // PanicError is the error returned when an internal panic was recovered at
 // the session boundary; it carries the query source and a stack trace.
 type PanicError = repl.PanicError
+
+// QueryReport is the per-query observability record: phase wall times,
+// evaluator work counters, NetCDF I/O counters, and the optimizer rule
+// trace. Obtain the most recent one with Session.LastReport.
+type QueryReport = trace.QueryReport
+
+// TraceTotals is the session-cumulative observability counters.
+type TraceTotals = trace.Totals
+
+// TraceSink receives finished QueryReports; install with
+// Session.SetTraceSink. NewSlogSink and NewJSONSink construct the two
+// standard sinks.
+type TraceSink = trace.Sink
+
+// NewSlogSink returns a sink that logs one structured record per query via
+// log/slog.
+func NewSlogSink(l *slog.Logger) TraceSink { return trace.NewSlogSink(l) }
+
+// NewJSONSink returns a sink that writes one JSON object per line per
+// finished query.
+func NewJSONSink(w io.Writer) TraceSink { return trace.NewJSONSink(w) }
 
 // Session is a live AQL environment: the top-level read-eval-print state
 // of section 4 of the paper.
@@ -166,6 +191,51 @@ func (s *Session) LastSteps() int64 { return s.s.LastSteps }
 // query, on the same terms as LastSteps.
 func (s *Session) LastCells() int64 { return s.s.LastCells }
 
+// LastReport returns the full observability report of the most recent
+// query — phase wall times, evaluator counters, I/O counters and the
+// optimizer rule trace — or nil if tracing is disabled or no query has
+// run.
+func (s *Session) LastReport() *QueryReport { return s.s.Trace.Last() }
+
+// TraceTotals returns the session-cumulative observability counters.
+func (s *Session) TraceTotals() TraceTotals { return s.s.Trace.Totals() }
+
+// SetTraceEnabled toggles per-query observability recording. Sessions
+// start with tracing enabled; its disabled-path cost is a few atomic
+// checks per query, and its enabled cost is bounded per query, not per
+// evaluator step.
+func (s *Session) SetTraceEnabled(on bool) { s.s.Trace.SetEnabled(on) }
+
+// SetTraceSink directs finished per-query reports to a sink (nil keeps
+// reports available via LastReport/TraceTotals without emitting them).
+func (s *Session) SetTraceSink(sink TraceSink) { s.s.Trace.SetSink(sink) }
+
+// Explain compiles and optimizes src without evaluating it, returning a
+// rendering of the optimized query and the optimizer rule trace — the
+// REPL's :explain.
+func (s *Session) Explain(src string) (string, error) { return s.s.Explain(src) }
+
+// Profile runs src and returns the finished report's phase/counter table —
+// the REPL's :profile.
+func (s *Session) Profile(ctx context.Context, src string) (string, error) {
+	return s.s.Profile(ctx, src)
+}
+
+// IsCommand reports whether an input line is a session colon-command
+// (":explain", ":profile", ":stats", ":help") rather than an AQL
+// statement.
+func IsCommand(line string) bool { return repl.IsCommand(line) }
+
+// Command executes a colon-command line and returns its rendered output.
+func (s *Session) Command(ctx context.Context, line string) (string, error) {
+	return s.s.Command(ctx, line)
+}
+
+// MetricsHandler returns an http.Handler serving the session's cumulative
+// observability counters and recent per-query summaries as JSON — an
+// expvar-style endpoint for the -metricsaddr flag of cmd/aql.
+func (s *Session) MetricsHandler() http.Handler { return trace.Handler(s.s.Trace) }
+
 // SetMaxSteps bounds the evaluator steps per query (0 = unlimited); queries
 // that exceed the budget fail with a *ResourceError instead of running
 // away. Equivalent to SetLimits with only MaxSteps set.
@@ -198,8 +268,9 @@ func (s *Session) RegisterWriter(name string, w Writer) { s.s.Env.RegisterWriter
 // architecture allows.
 func (s *Session) AddRule(phase string, r Rule) { s.s.Env.Optimizer.AddRule(phase, r) }
 
-// OptimizerStats returns the cumulative rule-firing counters.
-func (s *Session) OptimizerStats() map[string]int { return s.s.Env.Optimizer.Stats }
+// OptimizerStats returns a copy of the cumulative rule-firing counters.
+// Mutating the returned map does not affect the optimizer's own counts.
+func (s *Session) OptimizerStats() map[string]int { return s.s.Env.Optimizer.StatsSnapshot() }
 
 // RegisterAxis installs a coordinate axis (strictly monotone values, e.g.
 // latitudes) as the primitives <name>_index, <name>_coord and

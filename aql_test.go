@@ -3,6 +3,8 @@ package aql
 import (
 	"context"
 	"errors"
+	"io"
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
@@ -268,5 +270,110 @@ func TestPanicErrorPublicAPI(t *testing.T) {
 	// The session survives the recovered panic.
 	if _, _, err := s.Query("2 * 3"); err != nil {
 		t.Errorf("session dead after recovered panic: %v", err)
+	}
+}
+
+func TestOptimizerStatsReturnsCopy(t *testing.T) {
+	s := newSession(t)
+	if _, _, err := s.Query(`[[ i | \i < 10 ]][3]`); err != nil {
+		t.Fatal(err)
+	}
+	stats := s.OptimizerStats()
+	if stats["beta-p"] == 0 {
+		t.Fatal("beta-p should have fired")
+	}
+	// Mutating the returned map must not corrupt the live counters.
+	stats["beta-p"] = -42
+	stats["forged"] = 1
+	again := s.OptimizerStats()
+	if again["beta-p"] <= 0 {
+		t.Errorf("caller mutation leaked into live stats: beta-p = %d", again["beta-p"])
+	}
+	if _, ok := again["forged"]; ok {
+		t.Error("caller-inserted key leaked into live stats")
+	}
+}
+
+func TestLastReportAndTotals(t *testing.T) {
+	s := newSession(t)
+	if s.LastReport() != nil {
+		t.Error("fresh session has a last report")
+	}
+	if _, _, err := s.Query(`[[ i * 2 | \i < 5 ]]`); err != nil {
+		t.Fatal(err)
+	}
+	rep := s.LastReport()
+	if rep == nil {
+		t.Fatal("no report after query")
+	}
+	if rep.Eval.Tabulations != 1 || rep.Eval.Cells != 5 {
+		t.Errorf("counters = %+v", rep.Eval)
+	}
+	if rep.Eval.Steps != s.LastSteps() {
+		t.Errorf("report steps %d != LastSteps %d", rep.Eval.Steps, s.LastSteps())
+	}
+	tot := s.TraceTotals()
+	if tot.Queries != 1 {
+		t.Errorf("totals queries = %d, want 1", tot.Queries)
+	}
+	s.SetTraceEnabled(false)
+	if _, _, err := s.Query("1+1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TraceTotals().Queries; got != 1 {
+		t.Errorf("disabled trace still counted: %d queries", got)
+	}
+	s.SetTraceEnabled(true)
+}
+
+func TestExplainAndProfilePublicAPI(t *testing.T) {
+	s := newSession(t)
+	out, err := s.Explain(`[[ i | \i < 8 ]][2]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "beta-p") {
+		t.Errorf("Explain missing rule trace:\n%s", out)
+	}
+	out, err = s.Profile(context.Background(), `gen!6`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "profile of gen!6") || !strings.Contains(out, "steps") {
+		t.Errorf("Profile output:\n%s", out)
+	}
+}
+
+func TestTraceJSONSink(t *testing.T) {
+	s := newSession(t)
+	var buf strings.Builder
+	s.SetTraceSink(NewJSONSink(&buf))
+	if _, _, err := s.Query("gen!3"); err != nil {
+		t.Fatal(err)
+	}
+	line := strings.TrimSpace(buf.String())
+	if !strings.Contains(line, `"query":"gen!3"`) {
+		t.Errorf("sink received %q", line)
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	s := newSession(t)
+	if _, _, err := s.Query("gen!3"); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.MetricsHandler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), `"totals"`) || !strings.Contains(string(body), "gen!3") {
+		t.Errorf("metrics payload:\n%s", body)
 	}
 }

@@ -517,3 +517,58 @@ func BenchmarkGuardrailOverhead(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkTraceOverhead measures the cost of the observability layer on
+// the evaluator's hot path. The disabled case must stay within ~3% of
+// baseline: the evaluator only increments plain int64 fields (exactly as
+// it already did for steps/cells), and the recorder is consulted a
+// constant number of times per query, never per step. The enabled case
+// additionally pays Begin/End, six phase spans and one counter fold per
+// query.
+func BenchmarkTraceOverhead(b *testing.B) {
+	const src = `summap(fn \i => i*i)!(gen!10000)`
+	run := func(b *testing.B, s *repl.Session) {
+		core, _, err := s.Compile(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		core = s.Env.Optimizer.Optimize(core)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Eval(core); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("baseline", func(b *testing.B) {
+		s := bench.MustSession()
+		s.Trace = nil // no recorder at all: pure nil-check hooks
+		run(b, s)
+	})
+	b.Run("disabled", func(b *testing.B) {
+		s := bench.MustSession()
+		s.Trace.SetEnabled(false)
+		run(b, s)
+	})
+	b.Run("enabled", func(b *testing.B) {
+		s := bench.MustSession()
+		run(b, s)
+	})
+	b.Run("enabled-report", func(b *testing.B) {
+		s := bench.MustSession()
+		core, _, err := s.Compile(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		core = s.Env.Optimizer.Optimize(core)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Trace.Begin(src)
+			_, err := s.Eval(core)
+			s.Trace.End(err)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -16,6 +16,12 @@
 // with a structured cancellation error) and returns to the prompt; Ctrl-C
 // at an idle prompt exits as usual. The -maxsteps, -maxcells, -maxdepth and
 // -timeout flags bound what any single query may consume.
+//
+// Observability: `-explain` and `-profile` (with -q) print the optimizer
+// rule trace or the per-phase timing report for the query; the interactive
+// loop accepts the same as :explain/:profile/:stats commands; and
+// `-metricsaddr :8080` serves cumulative counters and recent per-query
+// summaries as JSON over HTTP.
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 
@@ -38,6 +45,9 @@ func main() {
 	maxCells := flag.Int64("maxcells", 0, "abort queries that allocate more than this many collection/array cells (0 = unlimited)")
 	maxDepth := flag.Int("maxdepth", 0, "abort queries that recurse deeper than this many evaluator frames (0 = unlimited)")
 	timeout := flag.Duration("timeout", 0, "abort queries that run longer than this, e.g. 5s (0 = unlimited)")
+	explain := flag.Bool("explain", false, "with -q: print the optimized query and the optimizer rule trace instead of evaluating")
+	profile := flag.Bool("profile", false, "with -q: after the value, print per-phase wall times and work counters")
+	metricsAddr := flag.String("metricsaddr", "", "serve observability counters as JSON over HTTP on this address, e.g. :8080")
 	flag.Parse()
 
 	s, err := aql.NewSession()
@@ -51,8 +61,22 @@ func main() {
 		MaxDepth: *maxDepth,
 		Timeout:  *timeout,
 	})
+	if *metricsAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, s.MetricsHandler()); err != nil {
+				fmt.Fprintln(os.Stderr, "aql: metrics:", err)
+			}
+		}()
+	}
 
 	switch {
+	case *query != "" && *explain:
+		out, err := s.Explain(*query)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aql:", err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
 	case *query != "":
 		v, typ, err := func() (aql.Value, *aql.Type, error) {
 			ctx, stop := repl.NotifyInterrupt(context.Background())
@@ -65,6 +89,11 @@ func main() {
 		}
 		fmt.Printf("typ it : %s\n", typ)
 		fmt.Printf("val it = %s\n", v.Pretty(*limit))
+		if *profile {
+			if rep := s.LastReport(); rep != nil {
+				fmt.Print(rep.FormatProfile())
+			}
+		}
 	case *file != "":
 		src, err := os.ReadFile(*file)
 		if err != nil {
@@ -95,6 +124,7 @@ func main() {
 func interact(s *aql.Session, limit int) {
 	fmt.Println("AQL — a query language for multidimensional arrays (SIGMOD 1996)")
 	fmt.Println(`End statements with ';'. Ctrl-D exits; Ctrl-C cancels a running query.`)
+	fmt.Println(`Commands: :explain <q>  :profile <q>  :stats  :help`)
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -106,6 +136,21 @@ func interact(s *aql.Session, limit int) {
 			return
 		}
 		line := sc.Text()
+		// Colon-commands are line-oriented: dispatch immediately, no
+		// semicolon needed, and don't mix into a pending statement.
+		if buf.Len() == 0 && aql.IsCommand(line) {
+			out, err := func() (string, error) {
+				ctx, stop := repl.NotifyInterrupt(context.Background())
+				defer stop()
+				return s.Command(ctx, strings.TrimSuffix(strings.TrimSpace(line), ";"))
+			}()
+			if err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Print(out)
+			}
+			continue
+		}
 		buf.WriteString(line)
 		buf.WriteByte('\n')
 		if !strings.Contains(line, ";") {

@@ -8,6 +8,9 @@
 //	aqlbench            run every experiment
 //	aqlbench -exp e7    run one experiment (e4, e6, e7, e8, e9, e10, e11, e15, e17, a1)
 //	aqlbench -quick     smaller sweeps, for smoke testing
+//	aqlbench -report reports.jsonl
+//	                    additionally write one trace.QueryReport JSON object
+//	                    per timed query (phase times, steps, cells, I/O)
 package main
 
 import (
@@ -23,13 +26,32 @@ import (
 	"github.com/aqldb/aql/internal/netcdf"
 	"github.com/aqldb/aql/internal/opt"
 	"github.com/aqldb/aql/internal/repl"
+	"github.com/aqldb/aql/internal/trace"
 )
 
 var quick = flag.Bool("quick", false, "smaller sweeps")
 
+// reportSink, when set by -report, receives one QueryReport per timed
+// query as a line of JSON.
+var reportSink trace.Sink
+
 func main() {
 	exp := flag.String("exp", "", "run a single experiment (e4, e6, e7, e8, e9, e10, e11, e15, e17, a1)")
+	report := flag.String("report", "", "write per-query trace.QueryReport JSON lines to this file (- for stdout)")
 	flag.Parse()
+	if *report != "" {
+		w := os.Stdout
+		if *report != "-" {
+			f, err := os.Create(*report)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "aqlbench:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		reportSink = trace.NewJSONSink(w)
+	}
 
 	all := []struct {
 		id   string
@@ -64,14 +86,23 @@ func main() {
 }
 
 // timeQuery reports wall time and evaluator steps for one evaluation of a
-// compiled query.
-func timeQuery(s *repl.Session, core ast.Expr) (time.Duration, int64) {
+// compiled query. Each evaluation runs under an open trace report labelled
+// for the experiment table, so -report captures phase times and counters
+// per timed query.
+func timeQuery(s *repl.Session, label string, core ast.Expr) (time.Duration, int64) {
+	s.Trace.Begin(label)
 	start := time.Now()
-	if _, err := s.Eval(core); err != nil {
+	_, err := s.Eval(core)
+	d := time.Since(start)
+	rep := s.Trace.End(err)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "aqlbench:", err)
 		os.Exit(1)
 	}
-	return time.Since(start), s.LastSteps
+	if reportSink != nil && rep != nil {
+		reportSink.Emit(rep)
+	}
+	return d, s.LastSteps
 }
 
 func compile(s *repl.Session, src string, optimize bool) ast.Expr {
@@ -90,7 +121,7 @@ func runE4() {
 	s := bench.MustSession()
 	bench.SetupWeather(s)
 	core := compile(s, bench.MotivatingQuery, true)
-	d, steps := timeQuery(s, core)
+	d, steps := timeQuery(s, "e4:motivating", core)
 	v, err := s.Eval(core)
 	if err != nil {
 		panic(err)
@@ -110,8 +141,8 @@ func runE6() {
 		bench.SetupZip(s, n)
 		arr := compile(s, bench.ZipArrayQuery, true)
 		setj := compile(s, bench.ZipSetsQuery, true)
-		dA, stA := timeQuery(s, arr)
-		dS, stS := timeQuery(s, setj)
+		dA, stA := timeQuery(s, fmt.Sprintf("e6:zip-arrays n=%d", n), arr)
+		dS, stS := timeQuery(s, fmt.Sprintf("e6:zip-sets n=%d", n), setj)
 		fmt.Printf("| %d | %v | %d | %v | %d | %.1fx |\n",
 			n, dA.Round(time.Microsecond), stA, dS.Round(time.Microsecond), stS,
 			float64(dS)/float64(dA))
@@ -132,8 +163,8 @@ func runE7() {
 		bench.SetupHist(s, sz.n, sz.m)
 		slow := compile(s, "hist!A", true)
 		fast := compile(s, "hist'!A", true)
-		dS, stS := timeQuery(s, slow)
-		dF, stF := timeQuery(s, fast)
+		dS, stS := timeQuery(s, fmt.Sprintf("e7:hist n=%d m=%d", sz.n, sz.m), slow)
+		dF, stF := timeQuery(s, fmt.Sprintf("e7:hist' n=%d m=%d", sz.n, sz.m), fast)
 		fmt.Printf("| %d | %d | %v | %d | %v | %d | %.1fx |\n",
 			sz.n, sz.m, dS.Round(time.Microsecond), stS, dF.Round(time.Microsecond), stF,
 			float64(dS)/float64(dF))
@@ -150,8 +181,8 @@ func runE8() {
 		s := bench.MustSession()
 		chain := bench.AppendChainExpr(n)
 		row := bench.RowMajorExpr(n)
-		dC, stC := timeQuery(s, chain)
-		dR, stR := timeQuery(s, row)
+		dC, stC := timeQuery(s, fmt.Sprintf("e8:append-chain n=%d", n), chain)
+		dR, stR := timeQuery(s, fmt.Sprintf("e8:row-major n=%d", n), row)
 		fmt.Printf("| %d | %v | %d | %v | %d | %.1fx |\n",
 			n, dC.Round(time.Microsecond), stC, dR.Round(time.Microsecond), stR,
 			float64(dC)/float64(dR))
@@ -176,8 +207,8 @@ func runE9() {
 	for _, r := range rows {
 		s := bench.MustSession()
 		bench.SetupVector(s, n)
-		_, naive := timeQuery(s, r.e)
-		_, opt := timeQuery(s, s.Env.Optimizer.Optimize(r.e))
+		_, naive := timeQuery(s, "e9:"+r.rule+" naive", r.e)
+		_, opt := timeQuery(s, "e9:"+r.rule+" optimized", s.Env.Optimizer.Optimize(r.e))
 		fmt.Printf("| %s | `%s` | %d | %d |\n", r.rule, r.q, naive, opt)
 	}
 }
@@ -191,8 +222,8 @@ func runE10() {
 	bench.SetupTranspose(s, m, n)
 	naive := compile(s, bench.TransposeQuery, false)
 	opt := compile(s, bench.TransposeQuery, true)
-	dN, stN := timeQuery(s, naive)
-	dO, stO := timeQuery(s, opt)
+	dN, stN := timeQuery(s, "e10:transpose naive", naive)
+	dO, stO := timeQuery(s, "e10:transpose fused", opt)
 	fmt.Printf("| variant | wall time | steps |\n|---|---|---|\n")
 	fmt.Printf("| transpose of a %dx%d tabulation, naive | %v | %d |\n", m, n, dN.Round(time.Microsecond), stN)
 	fmt.Printf("| same, after normalization (fused) | %v | %d |\n", dO.Round(time.Microsecond), stO)
@@ -211,7 +242,7 @@ func runE11() {
 		s := bench.MustSession()
 		bench.SetupZipSubseq(s, n)
 		core := compile(s, tc.q, true)
-		d, st := timeQuery(s, core)
+		d, st := timeQuery(s, "e11:"+tc.name, core)
 		fmt.Printf("| %s | %v | %d |\n", tc.name, d.Round(time.Microsecond), st)
 	}
 }
@@ -260,7 +291,7 @@ func runE17() {
 	fmt.Printf("| reader | 50 strided column reads | speedup |\n|---|---|---|\n")
 	fmt.Printf("| uncached | %v | 1.0x |\n", dP.Round(time.Microsecond))
 	fmt.Printf("| cached + readahead | %v | %.1fx |\n", dC.Round(time.Microsecond), float64(dP)/float64(dC))
-	fmt.Printf("\ncache stats: %+v\n", cached.Cache.Stats)
+	fmt.Printf("\nio stats: %+v\n", cached.IOStats())
 }
 
 func runA1() {
@@ -279,7 +310,7 @@ func runA1() {
 		{"normalize only", opt.NewNormalizeOnly().Optimize(core)},
 		{"full pipeline", opt.New().Optimize(core)},
 	} {
-		d, steps := timeQuery(s, variant.e)
+		d, steps := timeQuery(s, "a1:"+variant.name, variant.e)
 		fmt.Printf("| %s | %v | %d |\n", variant.name, d.Round(time.Microsecond), steps)
 	}
 }

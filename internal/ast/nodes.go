@@ -1,0 +1,15 @@
+package ast
+
+// CountNodes returns the number of nodes in the expression tree — the size
+// measure the optimizer trace reports before and after each rewrite, and
+// the EXPLAIN summary reports for the whole query.
+func CountNodes(e Expr) int {
+	if e == nil {
+		return 0
+	}
+	n := 1
+	for _, kid := range e.Children() {
+		n += CountNodes(kid)
+	}
+	return n
+}

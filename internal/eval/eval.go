@@ -66,6 +66,17 @@ type Evaluator struct {
 	// Cells counts collection/array cells charged by constructors,
 	// tabulation, gen and index; reset it before a measurement.
 	Cells int64
+	// Tabs counts array tabulations performed (ArrayTab evaluations) —
+	// the materializations the section 5 array rules exist to avoid, so a
+	// query report can show how many the optimizer left behind.
+	Tabs int64
+	// SetOps counts set/bag algebra operations: unions, big unions,
+	// ranked unions, gen and index.
+	SetOps int64
+	// Iters counts comprehension loop-body evaluations (big unions,
+	// ranked unions, summation) — the intermediate-collection traffic of
+	// a query, on the same terms the paper's section 5 measurements used.
+	Iters int64
 
 	// ctx and deadline carry per-evaluation interrupt state; set by
 	// EvalCtx and checked amortized in Eval.
@@ -251,6 +262,7 @@ func (ev *Evaluator) eval(e ast.Expr, env *Env) (object.Value, error) {
 		return object.Set(v), nil
 
 	case *ast.Union:
+		ev.SetOps++
 		l, err := ev.Eval(n.L, env)
 		if err != nil {
 			return object.Value{}, err
@@ -382,6 +394,7 @@ func (ev *Evaluator) eval(e ast.Expr, env *Env) (object.Value, error) {
 		if err != nil {
 			return object.Value{}, fmt.Errorf("eval: gen: %w", err)
 		}
+		ev.SetOps++
 		if err := ev.chargeCells(m); err != nil {
 			return object.Value{}, err
 		}
@@ -406,6 +419,7 @@ func (ev *Evaluator) eval(e ast.Expr, env *Env) (object.Value, error) {
 		var accN int64
 		var accR float64
 		isReal := false
+		ev.Iters += int64(len(over.Elems))
 		for _, x := range over.Elems {
 			v, err := ev.Eval(n.Head, env.Bind(n.Var, x))
 			if err != nil {
@@ -431,6 +445,7 @@ func (ev *Evaluator) eval(e ast.Expr, env *Env) (object.Value, error) {
 		return object.Nat(accN), nil
 
 	case *ast.ArrayTab:
+		ev.Tabs++
 		shape := make([]int, len(n.Bounds))
 		size := int64(1)
 		for j, b := range n.Bounds {
@@ -515,6 +530,7 @@ func (ev *Evaluator) eval(e ast.Expr, env *Env) (object.Value, error) {
 		return object.DimValue(a)
 
 	case *ast.Index:
+		ev.SetOps++
 		s, err := ev.Eval(n.Set, env)
 		if err != nil {
 			return object.Value{}, err
@@ -588,6 +604,7 @@ func (ev *Evaluator) eval(e ast.Expr, env *Env) (object.Value, error) {
 		return object.Bag(v), nil
 
 	case *ast.BagUnion:
+		ev.SetOps++
 		l, err := ev.Eval(n.L, env)
 		if err != nil {
 			return object.Value{}, err
@@ -633,6 +650,8 @@ func (ev *Evaluator) bigUnion(head ast.Expr, varName string, over ast.Expr, env 
 	if s.Kind != object.KSet {
 		return object.Value{}, fmt.Errorf("eval: big union over %s", s.Kind)
 	}
+	ev.SetOps++
+	ev.Iters += int64(len(s.Elems))
 	var all []object.Value
 	for _, x := range s.Elems {
 		v, err := ev.Eval(head, env.Bind(varName, x))
@@ -664,6 +683,8 @@ func (ev *Evaluator) bigBagUnion(head ast.Expr, varName string, over ast.Expr, e
 	if s.Kind != object.KBag {
 		return object.Value{}, fmt.Errorf("eval: big bag union over %s", s.Kind)
 	}
+	ev.SetOps++
+	ev.Iters += int64(len(s.Elems))
 	var all []object.Value
 	for _, x := range s.Elems {
 		v, err := ev.Eval(head, env.Bind(varName, x))
@@ -703,6 +724,8 @@ func (ev *Evaluator) rankUnion(head ast.Expr, varName, rankVar string, over ast.
 	if s.Kind != wantKind {
 		return object.Value{}, fmt.Errorf("eval: %s over %s", wantName, s.Kind)
 	}
+	ev.SetOps++
+	ev.Iters += int64(len(s.Elems))
 	var all []object.Value
 	for i, x := range s.Elems {
 		e2 := env.Bind(varName, x).Bind(rankVar, object.Nat(int64(i+1)))

@@ -122,8 +122,13 @@ type File struct {
 	fsize   int64 // total size of the data source, -1 if unknown
 
 	// Cache is non-nil when the file was opened with OpenCached; it
-	// exposes the block cache's statistics.
+	// exposes the block cache's statistics. IOStats folds these in, so
+	// most callers never need the concrete cache.
 	Cache *CachedReaderAt
+
+	// stats accumulates slab-read counters; read via IOStats, which also
+	// collects cache/retry/fault counters from the reader stack.
+	stats IOStats
 }
 
 // Open opens and parses a NetCDF file on disk.

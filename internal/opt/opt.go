@@ -54,8 +54,14 @@ type Optimizer struct {
 	// Optimize call, guarding against non-terminating user rules.
 	MaxApplications int
 	// Stats counts rule firings by name, accumulated across Optimize
-	// calls. Reset by ResetStats.
+	// calls. Reset by ResetStats. Callers wanting a stable view should use
+	// StatsSnapshot, which copies.
 	Stats map[string]int
+	// Trace, when non-nil, observes every rule firing: the phase it fired
+	// in, the rule name, and the node count of the rewritten subtree
+	// before and after. Node counting only happens while Trace is
+	// installed, so the hook costs nothing when unset.
+	Trace func(phase, rule string, nodesBefore, nodesAfter int)
 }
 
 // New returns the standard three-phase optimizer.
@@ -100,8 +106,24 @@ func (o *Optimizer) AddRule(phase string, r Rule) {
 // ResetStats clears the firing counters.
 func (o *Optimizer) ResetStats() { o.Stats = map[string]int{} }
 
+// StatsSnapshot returns a copy of the cumulative firing counters, so
+// callers can neither corrupt the live counts nor observe them mid-update.
+func (o *Optimizer) StatsSnapshot() map[string]int {
+	out := make(map[string]int, len(o.Stats))
+	for k, v := range o.Stats {
+		out[k] = v
+	}
+	return out
+}
+
 // Optimize rewrites e through all phases. It never fails: if the
 // application budget runs out the current state is returned.
+//
+// Rule application order is deterministic: phases run in slice order, each
+// phase's rules are tried in slice order at every node of a bottom-up
+// traversal, and the first matching rule wins. Two Optimize calls on equal
+// inputs therefore produce identical rewrites AND identical Trace
+// sequences — which is what makes EXPLAIN output stable and diffable.
 func (o *Optimizer) Optimize(e ast.Expr) ast.Expr {
 	if o.Stats == nil {
 		o.Stats = map[string]int{}
@@ -120,7 +142,7 @@ func (o *Optimizer) Optimize(e ast.Expr) ast.Expr {
 // full pass fires nothing.
 func (o *Optimizer) runPhase(e ast.Expr, ph Phase, fuel *int) ast.Expr {
 	for pass := 0; pass < 200; pass++ {
-		out, fired := o.pass(e, ph.Rules, fuel)
+		out, fired := o.pass(e, ph, fuel)
 		e = out
 		if !fired || *fuel <= 0 {
 			return e
@@ -131,14 +153,14 @@ func (o *Optimizer) runPhase(e ast.Expr, ph Phase, fuel *int) ast.Expr {
 
 // pass transforms e bottom-up once, applying the first matching rule at
 // each node repeatedly (bounded) before moving up.
-func (o *Optimizer) pass(e ast.Expr, rules []Rule, fuel *int) (ast.Expr, bool) {
+func (o *Optimizer) pass(e ast.Expr, ph Phase, fuel *int) (ast.Expr, bool) {
 	anyFired := false
 	kids := e.Children()
 	if len(kids) > 0 {
 		newKids := make([]ast.Expr, len(kids))
 		changed := false
 		for i, kid := range kids {
-			nk, fired := o.pass(kid, rules, fuel)
+			nk, fired := o.pass(kid, ph, fuel)
 			newKids[i] = nk
 			if fired {
 				anyFired = true
@@ -153,17 +175,23 @@ func (o *Optimizer) pass(e ast.Expr, rules []Rule, fuel *int) (ast.Expr, bool) {
 	}
 	for local := 0; local < 20 && *fuel > 0; local++ {
 		fired := false
-		for _, r := range rules {
+		for _, r := range ph.Rules {
 			out, ok := r.Apply(e)
 			if !ok {
 				continue
 			}
 			*fuel--
 			o.Stats[r.Name]++
+			if o.Trace != nil {
+				// Node counts are subtree-local: the firing rewrote e
+				// into out, and counting those two subtrees is cheap
+				// relative to the rewrite itself.
+				o.Trace(ph.Name, r.Name, ast.CountNodes(e), ast.CountNodes(out))
+			}
 			anyFired, fired = true, true
 			// The rewrite may expose redexes below the new root; re-run
 			// the bottom-up pass on it.
-			out, _ = o.pass(out, rules, fuel)
+			out, _ = o.pass(out, ph, fuel)
 			e = out
 			break
 		}

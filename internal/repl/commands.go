@@ -1,0 +1,97 @@
+package repl
+
+import (
+	"context"
+	"fmt"
+	"strings"
+)
+
+// IsCommand reports whether an input line is a session colon-command
+// (":explain", ":profile", ":stats", ":help") rather than an AQL statement.
+func IsCommand(line string) bool {
+	return strings.HasPrefix(strings.TrimSpace(line), ":")
+}
+
+// Command executes a colon-command and returns its rendered output. The
+// supported commands are the observability surface of the session:
+//
+//	:explain <query>   compile and optimize only; show the optimized core
+//	                   query, its type, and the optimizer rule trace
+//	:profile <query>   run the query and show per-phase wall times and
+//	                   evaluator/I/O counters
+//	:stats             session-cumulative totals since startup
+//	:help              list commands
+//
+// Commands that take a query accept it with or without a trailing
+// semicolon.
+func (s *Session) Command(ctx context.Context, line string) (string, error) {
+	line = strings.TrimSpace(line)
+	name, arg, _ := strings.Cut(line, " ")
+	arg = strings.TrimSuffix(strings.TrimSpace(arg), ";")
+	switch name {
+	case ":explain":
+		if arg == "" {
+			return "", fmt.Errorf("usage: :explain <query>")
+		}
+		return s.Explain(arg)
+	case ":profile":
+		if arg == "" {
+			return "", fmt.Errorf("usage: :profile <query>")
+		}
+		return s.Profile(ctx, arg)
+	case ":stats":
+		return s.Trace.Totals().FormatTotals(), nil
+	case ":help":
+		return helpText, nil
+	}
+	return "", fmt.Errorf("unknown command %s (try :help)", name)
+}
+
+const helpText = `commands:
+  :explain <query>   show the optimized query and the optimizer rule trace
+  :profile <query>   run the query; show phase times and work counters
+  :stats             session-cumulative totals
+  :help              this help
+`
+
+// Explain compiles and optimizes src without evaluating it, and renders
+// the optimized core query, its type, and the optimizer rule-firing trace.
+// The compile-only run is recorded like any query (it appears in :stats
+// with zero evaluator work).
+func (s *Session) Explain(src string) (string, error) {
+	s.Trace.Begin(":explain " + src)
+	core, typ, err := s.Compile(src)
+	if err != nil {
+		s.Trace.End(err)
+		return "", err
+	}
+	opt := s.Optimize(core)
+	rep := s.Trace.End(nil)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "type: %s\n", typ)
+	fmt.Fprintf(&b, "core:      %s\n", core)
+	fmt.Fprintf(&b, "optimized: %s\n", opt)
+	if rep != nil {
+		b.WriteString(rep.FormatRules())
+	} else if s.SkipOptimizer {
+		b.WriteString("optimizer disabled\n")
+	}
+	return b.String(), nil
+}
+
+// Profile runs the full pipeline on src and renders the finished report's
+// phase table. The query's effects (binding `it`) happen as usual.
+func (s *Session) Profile(ctx context.Context, src string) (string, error) {
+	_, _, err := s.QueryCtx(ctx, src)
+	rep := s.Trace.Last()
+	if rep == nil {
+		if err != nil {
+			return "", err
+		}
+		return "tracing disabled; enable with Trace.SetEnabled(true)\n", nil
+	}
+	// The error, if any, is part of the report; render it rather than
+	// failing so a profile of a failing query still shows where time went.
+	return rep.FormatProfile(), nil
+}

@@ -9,6 +9,7 @@ import (
 	"github.com/aqldb/aql/internal/exchange"
 	"github.com/aqldb/aql/internal/netcdf"
 	"github.com/aqldb/aql/internal/object"
+	"github.com/aqldb/aql/internal/trace"
 )
 
 // RegisterNetCDF registers the NetCDF readers of section 4.1: NETCDF1,
@@ -17,15 +18,33 @@ import (
 // index bounds — a nat for k = 1, k-tuples of nats otherwise — exactly as
 // the session example uses NETCDF3. A fifth reader, NETCDF, reads a whole
 // variable at its natural rank.
-func RegisterNetCDF(e *env.Env) {
+//
+// Each reader reports the file's I/O counters (slab reads, bytes,
+// cache/retry behaviour) to rec after reading, attributing I/O to the
+// statement that caused it; rec may be nil.
+func RegisterNetCDF(e *env.Env, rec *trace.Recorder) {
 	for k := 1; k <= 4; k++ {
-		e.RegisterReader(fmt.Sprintf("NETCDF%d", k), netcdfSlabReader(k))
+		e.RegisterReader(fmt.Sprintf("NETCDF%d", k), netcdfSlabReader(k, rec))
 	}
-	e.RegisterReader("NETCDF", netcdfWholeReader)
+	e.RegisterReader("NETCDF", netcdfWholeReader(rec))
+}
+
+// recordIO folds a file's I/O counters into the recorder's open report.
+func recordIO(rec *trace.Recorder, f *netcdf.File) {
+	st := f.IOStats()
+	rec.RecordIO(trace.IOCounters{
+		SlabReads:   st.SlabReads,
+		BytesRead:   st.BytesRead,
+		CacheHits:   st.CacheHits,
+		CacheMisses: st.CacheMisses,
+		Prefetches:  st.Prefetches,
+		Retries:     st.Retries,
+		Faults:      st.Faults,
+	})
 }
 
 // netcdfSlabReader builds the k-dimensional subslab reader.
-func netcdfSlabReader(k int) env.Reader {
+func netcdfSlabReader(k int, rec *trace.Recorder) env.Reader {
 	return func(arg object.Value) (object.Value, error) {
 		if arg.Kind != object.KTuple || len(arg.Elems) != 4 {
 			return object.Value{}, fmt.Errorf("NETCDF%d: expected (file, variable, lower, upper)", k)
@@ -47,6 +66,7 @@ func netcdfSlabReader(k int) env.Reader {
 			return object.Value{}, err
 		}
 		defer f.Close()
+		defer recordIO(rec, f)
 		v, err := f.Var(varName)
 		if err != nil {
 			return object.Value{}, err
@@ -71,22 +91,25 @@ func netcdfSlabReader(k int) env.Reader {
 	}
 }
 
-// netcdfWholeReader reads (file, variable) in full.
-func netcdfWholeReader(arg object.Value) (object.Value, error) {
-	if arg.Kind != object.KTuple || len(arg.Elems) != 2 ||
-		arg.Elems[0].Kind != object.KString || arg.Elems[1].Kind != object.KString {
-		return object.Value{}, fmt.Errorf("NETCDF: expected (file, variable)")
+// netcdfWholeReader builds the reader for (file, variable) in full.
+func netcdfWholeReader(rec *trace.Recorder) env.Reader {
+	return func(arg object.Value) (object.Value, error) {
+		if arg.Kind != object.KTuple || len(arg.Elems) != 2 ||
+			arg.Elems[0].Kind != object.KString || arg.Elems[1].Kind != object.KString {
+			return object.Value{}, fmt.Errorf("NETCDF: expected (file, variable)")
+		}
+		f, err := netcdf.Open(arg.Elems[0].S)
+		if err != nil {
+			return object.Value{}, err
+		}
+		defer f.Close()
+		defer recordIO(rec, f)
+		slab, err := f.ReadAll(arg.Elems[1].S)
+		if err != nil {
+			return object.Value{}, err
+		}
+		return slabToArray(slab)
 	}
-	f, err := netcdf.Open(arg.Elems[0].S)
-	if err != nil {
-		return object.Value{}, err
-	}
-	defer f.Close()
-	slab, err := f.ReadAll(arg.Elems[1].S)
-	if err != nil {
-		return object.Value{}, err
-	}
-	return slabToArray(slab)
 }
 
 // slabToArray converts a numeric NetCDF slab into an AQL array of reals.

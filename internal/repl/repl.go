@@ -22,6 +22,7 @@ import (
 	"github.com/aqldb/aql/internal/eval"
 	"github.com/aqldb/aql/internal/object"
 	"github.com/aqldb/aql/internal/parser"
+	"github.com/aqldb/aql/internal/trace"
 	"github.com/aqldb/aql/internal/typecheck"
 	"github.com/aqldb/aql/internal/types"
 )
@@ -46,6 +47,12 @@ type Session struct {
 	// LastCells reports the collection/array cells charged by the most
 	// recent query, on the same terms as LastSteps.
 	LastCells int64
+	// Trace is the session's observability recorder: every top-level
+	// statement produces a trace.QueryReport with per-phase wall times,
+	// evaluator counters, NetCDF I/O counters and the optimizer rule
+	// trace. Created enabled (with no sink) by New; disable with
+	// Trace.SetEnabled(false), or point it somewhere with Trace.SetSink.
+	Trace *trace.Recorder
 }
 
 // PanicError wraps a panic recovered at the session boundary: an internal
@@ -85,8 +92,8 @@ type Result struct {
 // zip, transpose, ...), the NetCDF readers, and the exchange-format
 // reader/writer.
 func New() (*Session, error) {
-	s := &Session{Env: env.New()}
-	RegisterNetCDF(s.Env)
+	s := &Session{Env: env.New(), Trace: trace.NewRecorder(nil)}
+	RegisterNetCDF(s.Env, s.Trace)
 	RegisterNetCDFWriter(s.Env)
 	RegisterExchange(s.Env)
 	RegisterPrint(s.Env, os.Stdout)
@@ -96,6 +103,9 @@ func New() (*Session, error) {
 	if _, err := s.Exec(ODMGMacros); err != nil {
 		return nil, fmt.Errorf("repl: ODMG macros: %w", err)
 	}
+	// The setup statements above went through the instrumented pipeline;
+	// drop them so :stats and the metrics endpoint report only user work.
+	s.Trace.Reset()
 	return s, nil
 }
 
@@ -149,7 +159,9 @@ macro \odmg_resize = fn (\A, \n, \fill) =>
 // single expression, returning the core query and its type. The optimizer
 // is NOT applied; see Optimize.
 func (s *Session) Compile(src string) (ast.Expr, *types.Type, error) {
+	sp := s.Trace.StartPhase(trace.PhaseParse)
 	se, err := parser.ParseExpr(src)
+	sp.End()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -157,12 +169,18 @@ func (s *Session) Compile(src string) (ast.Expr, *types.Type, error) {
 }
 
 func (s *Session) compileSurface(se parser.Expr) (ast.Expr, *types.Type, error) {
+	sp := s.Trace.StartPhase(trace.PhaseDesugar)
 	core, err := desugar.Expr(se)
+	sp.End()
 	if err != nil {
 		return nil, nil, err
 	}
+	sp = s.Trace.StartPhase(trace.PhaseMacro)
 	core = s.Env.ExpandMacros(core)
+	sp.End()
+	sp = s.Trace.StartPhase(trace.PhaseTypecheck)
 	typ, err := typecheck.Infer(core, s.Env.GlobalTypes())
+	sp.End()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -170,11 +188,25 @@ func (s *Session) compileSurface(se parser.Expr) (ast.Expr, *types.Type, error) 
 }
 
 // Optimize applies the session's optimizer unless SkipOptimizer is set.
+// While a trace report is open, the optimizer's rule-firing hook feeds the
+// report, and whole-query AST node counts are recorded around the rewrite;
+// node counting is skipped entirely otherwise.
 func (s *Session) Optimize(core ast.Expr) ast.Expr {
 	if s.SkipOptimizer {
 		return core
 	}
-	return s.Env.Optimizer.Optimize(core)
+	o := s.Env.Optimizer
+	if !s.Trace.Active() {
+		return o.Optimize(core)
+	}
+	sp := s.Trace.StartPhase(trace.PhaseOptimize)
+	defer sp.End()
+	before := ast.CountNodes(core)
+	o.Trace = s.Trace.RuleFired
+	defer func() { o.Trace = nil }()
+	out := o.Optimize(core)
+	s.Trace.RecordNodes(before, ast.CountNodes(out))
+	return out
 }
 
 // Eval evaluates a core query against the session's globals.
@@ -196,9 +228,20 @@ func (s *Session) evalGuarded(ctx context.Context, core ast.Expr, src string) (v
 	ev := eval.New(s.Env.Globals())
 	ev.MaxSteps = s.MaxSteps
 	ev.Limits = s.Limits
+	sp := s.Trace.StartPhase(trace.PhaseEval)
 	defer func() {
 		s.LastSteps = ev.Steps
 		s.LastCells = ev.Cells
+		sp.End()
+		// Work counters are reported even for aborted or panicking
+		// queries — exactly like LastSteps/LastCells.
+		s.Trace.RecordEval(trace.EvalCounters{
+			Steps:       ev.Steps,
+			Cells:       ev.Cells,
+			Tabulations: ev.Tabs,
+			SetOps:      ev.SetOps,
+			Iterations:  ev.Iters,
+		})
 		if r := recover(); r != nil {
 			v = object.Value{}
 			err = &PanicError{Src: src, Val: r, Stack: debug.Stack()}
@@ -216,6 +259,13 @@ func (s *Session) Query(src string) (object.Value, *types.Type, error) {
 // QueryCtx is Query under a context: cancellation and deadlines interrupt
 // the evaluation (not just the wait for it).
 func (s *Session) QueryCtx(ctx context.Context, src string) (object.Value, *types.Type, error) {
+	s.Trace.Begin(src)
+	v, typ, err := s.queryInner(ctx, src)
+	s.Trace.End(err)
+	return v, typ, err
+}
+
+func (s *Session) queryInner(ctx context.Context, src string) (object.Value, *types.Type, error) {
 	core, typ, err := s.Compile(src)
 	if err != nil {
 		return object.Value{}, nil, err
@@ -251,7 +301,34 @@ func (s *Session) ExecCtx(ctx context.Context, src string) ([]Result, error) {
 	return results, nil
 }
 
+// execStmt runs one statement under an open trace report labelled with the
+// statement's shape, so readval I/O and val-declaration evaluations are
+// attributed per statement in :stats and the metrics endpoint.
 func (s *Session) execStmt(ctx context.Context, stmt parser.Stmt) (Result, error) {
+	s.Trace.Begin(stmtLabel(stmt))
+	r, err := s.execStmtInner(ctx, stmt)
+	s.Trace.End(err)
+	return r, err
+}
+
+// stmtLabel renders a compact per-statement label for trace reports.
+func stmtLabel(stmt parser.Stmt) string {
+	switch n := stmt.(type) {
+	case *parser.ValDecl:
+		return "val " + n.Name
+	case *parser.MacroDecl:
+		return "macro " + n.Name
+	case *parser.ReadVal:
+		return fmt.Sprintf("readval %s using %s", n.Name, n.Reader)
+	case *parser.WriteVal:
+		return "writeval using " + n.Writer
+	case *parser.ExprStmt:
+		return parser.Print(n.E)
+	}
+	return fmt.Sprintf("%T", stmt)
+}
+
+func (s *Session) execStmtInner(ctx context.Context, stmt parser.Stmt) (Result, error) {
 	switch n := stmt.(type) {
 	case *parser.ValDecl:
 		core, typ, err := s.compileSurface(n.E)

@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// FormatProfile renders the report as the :profile table: per-phase wall
+// times with their share of the total, then the evaluator and I/O
+// counters.
+func (r *QueryReport) FormatProfile() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "profile of %s\n", r.Query)
+	fmt.Fprintf(&b, "  wall total      %12s\n", fmtDur(r.Wall))
+	for _, name := range PhaseOrder {
+		d := r.Phase(name)
+		if d == 0 {
+			continue
+		}
+		share := 0.0
+		if r.Wall > 0 {
+			share = 100 * float64(d) / float64(r.Wall)
+		}
+		fmt.Fprintf(&b, "  %-15s %12s  %5.1f%%\n", name, fmtDur(d), share)
+	}
+	// Phases outside the standard pipeline (custom instrumentation).
+	for _, p := range r.Phases {
+		if !isStandardPhase(p.Name) {
+			fmt.Fprintf(&b, "  %-15s %12s\n", p.Name, fmtDur(p.Wall))
+		}
+	}
+	fmt.Fprintf(&b, "  steps           %12d\n", r.Eval.Steps)
+	fmt.Fprintf(&b, "  cells           %12d\n", r.Eval.Cells)
+	fmt.Fprintf(&b, "  tabulations     %12d\n", r.Eval.Tabulations)
+	fmt.Fprintf(&b, "  set ops         %12d\n", r.Eval.SetOps)
+	fmt.Fprintf(&b, "  iterations      %12d\n", r.Eval.Iterations)
+	fmt.Fprintf(&b, "  rule firings    %12d  (AST %d -> %d nodes)\n",
+		len(r.Rules)+r.RulesDropped, r.NodesBefore, r.NodesAfter)
+	if !r.IO.IsZero() {
+		fmt.Fprintf(&b, "  slab reads      %12d\n", r.IO.SlabReads)
+		fmt.Fprintf(&b, "  bytes read      %12d\n", r.IO.BytesRead)
+		fmt.Fprintf(&b, "  cache hits      %12d\n", r.IO.CacheHits)
+		fmt.Fprintf(&b, "  cache misses    %12d\n", r.IO.CacheMisses)
+		fmt.Fprintf(&b, "  prefetches      %12d\n", r.IO.Prefetches)
+		if r.IO.Retries > 0 || r.IO.Faults > 0 {
+			fmt.Fprintf(&b, "  retries         %12d\n", r.IO.Retries)
+			fmt.Fprintf(&b, "  faults          %12d\n", r.IO.Faults)
+		}
+	}
+	if r.Err != "" {
+		fmt.Fprintf(&b, "  error: %s\n", r.Err)
+	}
+	return b.String()
+}
+
+// FormatRules renders the optimizer trace as the :explain firing table:
+// one line per firing in application order, then per-rule totals.
+func (r *QueryReport) FormatRules() string {
+	var b strings.Builder
+	if len(r.Rules) == 0 {
+		b.WriteString("no optimizer rules fired\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "rule firings (%d), AST %d -> %d nodes:\n",
+		len(r.Rules)+r.RulesDropped, r.NodesBefore, r.NodesAfter)
+	counts := map[string]int{}
+	for i, f := range r.Rules {
+		fmt.Fprintf(&b, "  %3d. [%s] %-24s %d -> %d nodes\n",
+			i+1, f.Phase, f.Rule, f.NodesBefore, f.NodesAfter)
+		counts[f.Rule]++
+	}
+	if r.RulesDropped > 0 {
+		fmt.Fprintf(&b, "  ... %d further firings not recorded\n", r.RulesDropped)
+	}
+	names := make([]string, 0, len(counts))
+	for name := range counts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	b.WriteString("totals by rule:\n")
+	for _, name := range names {
+		fmt.Fprintf(&b, "  %-28s %d\n", name, counts[name])
+	}
+	return b.String()
+}
+
+// FormatTotals renders session-cumulative counters for :stats.
+func (t Totals) FormatTotals() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "session totals over %d queries (%d errors)\n", t.Queries, t.Errors)
+	fmt.Fprintf(&b, "  wall total      %12s\n", fmtDur(t.Wall))
+	for _, name := range PhaseOrder {
+		if d, ok := t.PhaseWall[name]; ok && d > 0 {
+			fmt.Fprintf(&b, "  %-15s %12s\n", name, fmtDur(d))
+		}
+	}
+	fmt.Fprintf(&b, "  steps           %12d\n", t.Eval.Steps)
+	fmt.Fprintf(&b, "  cells           %12d\n", t.Eval.Cells)
+	fmt.Fprintf(&b, "  tabulations     %12d\n", t.Eval.Tabulations)
+	fmt.Fprintf(&b, "  set ops         %12d\n", t.Eval.SetOps)
+	fmt.Fprintf(&b, "  iterations      %12d\n", t.Eval.Iterations)
+	fmt.Fprintf(&b, "  rule firings    %12d\n", t.RuleFirings)
+	if !t.IO.IsZero() {
+		fmt.Fprintf(&b, "  slab reads      %12d\n", t.IO.SlabReads)
+		fmt.Fprintf(&b, "  bytes read      %12d\n", t.IO.BytesRead)
+		fmt.Fprintf(&b, "  cache hits      %12d\n", t.IO.CacheHits)
+		fmt.Fprintf(&b, "  cache misses    %12d\n", t.IO.CacheMisses)
+		fmt.Fprintf(&b, "  prefetches      %12d\n", t.IO.Prefetches)
+		fmt.Fprintf(&b, "  retries         %12d\n", t.IO.Retries)
+	}
+	return b.String()
+}
+
+func isStandardPhase(name string) bool {
+	for _, p := range PhaseOrder {
+		if p == name {
+			return true
+		}
+	}
+	return false
+}
+
+// fmtDur rounds a duration for table display.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	}
+	return d.String()
+}

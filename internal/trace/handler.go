@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// metricsPayload is the JSON document the metrics endpoint serves:
+// expvar-style cumulative counters plus recent per-query summaries.
+type metricsPayload struct {
+	Totals Totals         `json:"totals"`
+	Recent []querySummary `json:"recent"`
+}
+
+// querySummary is the compact per-query line of the metrics endpoint; the
+// full optimizer trace stays out of it (fetch reports via a JSON sink for
+// that).
+type querySummary struct {
+	Query       string       `json:"query"`
+	WallNanos   int64        `json:"wall_ns"`
+	Eval        EvalCounters `json:"eval"`
+	IO          IOCounters   `json:"io,omitempty"`
+	RuleFirings int          `json:"rule_firings"`
+	NodesBefore int          `json:"nodes_before"`
+	NodesAfter  int          `json:"nodes_after"`
+	Err         string       `json:"err,omitempty"`
+}
+
+// Handler serves the recorder's cumulative totals and recent per-query
+// summaries as JSON on any GET — the -metricsaddr endpoint of cmd/aql.
+func Handler(r *Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		recent := r.Recent()
+		payload := metricsPayload{Totals: r.Totals(), Recent: make([]querySummary, 0, len(recent))}
+		for i := range recent {
+			rep := &recent[i]
+			payload.Recent = append(payload.Recent, querySummary{
+				Query:       rep.Query,
+				WallNanos:   int64(rep.Wall),
+				Eval:        rep.Eval,
+				IO:          rep.IO,
+				RuleFirings: len(rep.Rules) + rep.RulesDropped,
+				NodesBefore: rep.NodesBefore,
+				NodesAfter:  rep.NodesAfter,
+				Err:         rep.Err,
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(payload)
+	})
+}

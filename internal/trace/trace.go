@@ -1,0 +1,211 @@
+// Package trace is the query observability layer: it records, per query,
+// where the time, the evaluator work, and the I/O bytes went.
+//
+// Section 5 of the paper justifies the optimizer empirically — rule
+// firings, intermediate-result sizes and I/O volume are what Libkin,
+// Machlin and Wong measured by hand. A QueryReport captures exactly those
+// dimensions for every query a Session runs:
+//
+//   - per-phase wall times for the section 4.1 pipeline
+//     (parse -> desugar -> macro -> typecheck -> optimize -> eval)
+//   - evaluator counters: steps, cells, tabulations, set operations,
+//     comprehension iterations
+//   - NetCDF I/O counters: slab reads, bytes, cache hits/misses/prefetches,
+//     retries, injected faults
+//   - the optimizer trace: each rule firing with its phase and the AST
+//     node count of the rewritten subtree before and after
+//
+// Reports flow through a pluggable Sink (no-op by default; slog and
+// JSON-lines sinks ship in the package) and accumulate into
+// session-cumulative Totals served by the HTTP Handler.
+package trace
+
+import (
+	"time"
+)
+
+// Pipeline phase names, in pipeline order. PhaseParse covers scanning and
+// parsing together (the parser lexes inline).
+const (
+	PhaseParse     = "parse"
+	PhaseDesugar   = "desugar"
+	PhaseMacro     = "macro"
+	PhaseTypecheck = "typecheck"
+	PhaseOptimize  = "optimize"
+	PhaseEval      = "eval"
+)
+
+// PhaseOrder lists the pipeline phases in execution order, for stable
+// rendering of reports.
+var PhaseOrder = []string{
+	PhaseParse, PhaseDesugar, PhaseMacro, PhaseTypecheck, PhaseOptimize, PhaseEval,
+}
+
+// PhaseTime is one timed pipeline phase.
+type PhaseTime struct {
+	Name  string        `json:"name"`
+	Wall  time.Duration `json:"wall_ns"`
+	Count int           `json:"count"` // number of spans folded in (readval compiles twice)
+}
+
+// EvalCounters is the evaluator's work, in machine-independent units.
+type EvalCounters struct {
+	// Steps counts evaluated core-calculus nodes.
+	Steps int64 `json:"steps"`
+	// Cells counts collection/array cells charged by constructors,
+	// tabulation, gen and index.
+	Cells int64 `json:"cells"`
+	// Tabulations counts array tabulations performed ([[ e | i < n ]]).
+	Tabulations int64 `json:"tabulations"`
+	// SetOps counts set/bag algebra operations (unions, big unions, gen,
+	// index, ranked unions).
+	SetOps int64 `json:"set_ops"`
+	// Iterations counts comprehension loop-body evaluations (big unions,
+	// ranked unions, summation).
+	Iterations int64 `json:"iterations"`
+}
+
+// Add accumulates other into c.
+func (c *EvalCounters) Add(other EvalCounters) {
+	c.Steps += other.Steps
+	c.Cells += other.Cells
+	c.Tabulations += other.Tabulations
+	c.SetOps += other.SetOps
+	c.Iterations += other.Iterations
+}
+
+// IOCounters is the NetCDF I/O work observed while a query ran.
+type IOCounters struct {
+	// SlabReads counts hyperslab read requests served.
+	SlabReads int64 `json:"slab_reads"`
+	// BytesRead counts external data bytes delivered to slab decoding.
+	BytesRead int64 `json:"bytes_read"`
+	// CacheHits / CacheMisses / Prefetches report block-cache behaviour
+	// when a file was opened through a CachedReaderAt.
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	Prefetches  int64 `json:"prefetches"`
+	// Retries counts transient-error re-reads by a RetryingReaderAt.
+	Retries int64 `json:"retries"`
+	// Faults counts injected faults observed by a FaultyReaderAt (tests
+	// and soak runs).
+	Faults int64 `json:"faults"`
+}
+
+// Add accumulates other into c.
+func (c *IOCounters) Add(other IOCounters) {
+	c.SlabReads += other.SlabReads
+	c.BytesRead += other.BytesRead
+	c.CacheHits += other.CacheHits
+	c.CacheMisses += other.CacheMisses
+	c.Prefetches += other.Prefetches
+	c.Retries += other.Retries
+	c.Faults += other.Faults
+}
+
+// IsZero reports whether no I/O was observed.
+func (c IOCounters) IsZero() bool { return c == IOCounters{} }
+
+// RuleFiring records one optimizer rule application: which rule, in which
+// phase, and the node count of the rewritten subtree before and after —
+// the per-rewrite size accounting that makes EXPLAIN output diffable.
+type RuleFiring struct {
+	Phase       string `json:"phase"`
+	Rule        string `json:"rule"`
+	NodesBefore int    `json:"nodes_before"`
+	NodesAfter  int    `json:"nodes_after"`
+}
+
+// QueryReport is the observability record of one query (or top-level
+// statement): phase timings, evaluator counters, I/O counters, and the
+// optimizer trace.
+type QueryReport struct {
+	// Query is the source text (or a statement label like "readval x
+	// using NETCDF").
+	Query string `json:"query"`
+	// Start is when the pipeline began; Wall is total elapsed time.
+	Start time.Time     `json:"start"`
+	Wall  time.Duration `json:"wall_ns"`
+	// Phases holds per-phase wall times in pipeline order.
+	Phases []PhaseTime `json:"phases"`
+	// Eval and IO are the work counters.
+	Eval EvalCounters `json:"eval"`
+	IO   IOCounters   `json:"io"`
+	// Rules is the optimizer trace; RulesDropped counts firings beyond
+	// the recording cap.
+	Rules        []RuleFiring `json:"rules,omitempty"`
+	RulesDropped int          `json:"rules_dropped,omitempty"`
+	// NodesBefore/NodesAfter are whole-query AST node counts around the
+	// optimizer.
+	NodesBefore int `json:"nodes_before"`
+	NodesAfter  int `json:"nodes_after"`
+	// Err is the error text when the query failed, "" otherwise.
+	Err string `json:"err,omitempty"`
+}
+
+// Phase returns the accumulated wall time of the named phase.
+func (r *QueryReport) Phase(name string) time.Duration {
+	for _, p := range r.Phases {
+		if p.Name == name {
+			return p.Wall
+		}
+	}
+	return 0
+}
+
+// addPhase folds a span into the named phase's total.
+func (r *QueryReport) addPhase(name string, d time.Duration) {
+	for i := range r.Phases {
+		if r.Phases[i].Name == name {
+			r.Phases[i].Wall += d
+			r.Phases[i].Count++
+			return
+		}
+	}
+	r.Phases = append(r.Phases, PhaseTime{Name: name, Wall: d, Count: 1})
+}
+
+// Totals is the session-cumulative view served by the metrics handler and
+// the REPL's :stats command.
+type Totals struct {
+	// Queries counts finished reports; Errors counts the failed ones.
+	Queries int64 `json:"queries"`
+	Errors  int64 `json:"errors"`
+	// Wall is total pipeline wall time across reports.
+	Wall time.Duration `json:"wall_ns"`
+	// PhaseWall is cumulative wall time by phase name.
+	PhaseWall map[string]time.Duration `json:"phase_wall_ns"`
+	// Eval and IO accumulate the per-query counters.
+	Eval EvalCounters `json:"eval"`
+	IO   IOCounters   `json:"io"`
+	// RuleFirings counts optimizer rewrites across queries.
+	RuleFirings int64 `json:"rule_firings"`
+}
+
+// add folds one finished report into the totals.
+func (t *Totals) add(r *QueryReport) {
+	t.Queries++
+	if r.Err != "" {
+		t.Errors++
+	}
+	t.Wall += r.Wall
+	if t.PhaseWall == nil {
+		t.PhaseWall = map[string]time.Duration{}
+	}
+	for _, p := range r.Phases {
+		t.PhaseWall[p.Name] += p.Wall
+	}
+	t.Eval.Add(r.Eval)
+	t.IO.Add(r.IO)
+	t.RuleFirings += int64(len(r.Rules) + r.RulesDropped)
+}
+
+// clone returns a deep copy safe to hand out under no lock.
+func (t *Totals) clone() Totals {
+	out := *t
+	out.PhaseWall = make(map[string]time.Duration, len(t.PhaseWall))
+	for k, v := range t.PhaseWall {
+		out.PhaseWall[k] = v
+	}
+	return out
+}
