@@ -236,6 +236,17 @@ func (s *Session) Command(ctx context.Context, line string) (string, error) {
 // expvar-style endpoint for the -metricsaddr flag of cmd/aql.
 func (s *Session) MetricsHandler() http.Handler { return trace.Handler(s.s.Trace) }
 
+// SetEngine selects the execution engine for subsequent queries:
+// "compiled" (the default — core queries are lowered to Go closures with
+// slot-resolved variables and parallel tabulation) or "interp" (the
+// tree-walking reference interpreter). The engines are observationally
+// identical; interp exists as the executable semantics and differential
+// baseline.
+func (s *Session) SetEngine(name string) error { return s.s.SetEngine(name) }
+
+// EngineName reports the execution engine subsequent queries will use.
+func (s *Session) EngineName() string { return s.s.Engine }
+
 // SetMaxSteps bounds the evaluator steps per query (0 = unlimited); queries
 // that exceed the budget fail with a *ResourceError instead of running
 // away. Equivalent to SetLimits with only MaxSteps set.

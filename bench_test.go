@@ -195,6 +195,38 @@ func BenchmarkE11ZipSubseq(b *testing.B) {
 	}
 }
 
+// --- E19: execution engines -----------------------------------------------------------
+
+// BenchmarkE19TabulateEngines times the tabulation-heavy workloads under
+// the tree-walking interpreter and the compiled engine. The acceptance
+// target for the compiled engine is >=2x on the pure-tabulation workload;
+// CI's bench-smoke job fails if compiled is ever slower than interp here.
+func BenchmarkE19TabulateEngines(b *testing.B) {
+	workloads := []struct{ name, query string }{
+		{"puretab", bench.PureTabQuery},
+		{"matmul", bench.MatmulQuery},
+	}
+	for _, w := range workloads {
+		for _, eng := range []string{repl.EngineInterp, repl.EngineCompiled} {
+			b.Run(fmt.Sprintf("%s/engine=%s", w.name, eng), func(b *testing.B) {
+				s := bench.MustSession()
+				if err := s.SetEngine(eng); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.Exec(bench.EngineSetup); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := s.Exec(w.query); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // --- E15: NetCDF subslab reads --------------------------------------------------------
 
 func BenchmarkE15NetCDFSubslab(b *testing.B) {

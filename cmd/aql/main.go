@@ -17,6 +17,10 @@
 // at an idle prompt exits as usual. The -maxsteps, -maxcells, -maxdepth and
 // -timeout flags bound what any single query may consume.
 //
+// Queries run on the compiled execution engine by default; `-engine interp`
+// selects the reference tree-walking interpreter instead, and the
+// interactive `:engine` command switches mid-session.
+//
 // Observability: `-explain` and `-profile` (with -q) print the optimizer
 // rule trace or the per-phase timing report for the query; the interactive
 // loop accepts the same as :explain/:profile/:stats commands; and
@@ -48,10 +52,15 @@ func main() {
 	explain := flag.Bool("explain", false, "with -q: print the optimized query and the optimizer rule trace instead of evaluating")
 	profile := flag.Bool("profile", false, "with -q: after the value, print per-phase wall times and work counters")
 	metricsAddr := flag.String("metricsaddr", "", "serve observability counters as JSON over HTTP on this address, e.g. :8080")
+	engine := flag.String("engine", "compiled", "execution engine: compiled (closure-compiled, parallel tabulation) or interp (reference interpreter)")
 	flag.Parse()
 
 	s, err := aql.NewSession()
 	if err != nil {
+		fmt.Fprintln(os.Stderr, "aql:", err)
+		os.Exit(1)
+	}
+	if err := s.SetEngine(*engine); err != nil {
 		fmt.Fprintln(os.Stderr, "aql:", err)
 		os.Exit(1)
 	}
@@ -124,7 +133,7 @@ func main() {
 func interact(s *aql.Session, limit int) {
 	fmt.Println("AQL — a query language for multidimensional arrays (SIGMOD 1996)")
 	fmt.Println(`End statements with ';'. Ctrl-D exits; Ctrl-C cancels a running query.`)
-	fmt.Println(`Commands: :explain <q>  :profile <q>  :stats  :help`)
+	fmt.Println(`Commands: :explain <q>  :profile <q>  :stats  :engine [name]  :help`)
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder

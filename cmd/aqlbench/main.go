@@ -6,18 +6,28 @@
 // Usage:
 //
 //	aqlbench            run every experiment
-//	aqlbench -exp e7    run one experiment (e4, e6, e7, e8, e9, e10, e11, e15, e17, a1)
+//	aqlbench -exp e7    run one experiment (e4, e6, e7, e8, e9, e10, e11, e15, e17, e19, a1)
 //	aqlbench -quick     smaller sweeps, for smoke testing
 //	aqlbench -report reports.jsonl
 //	                    additionally write one trace.QueryReport JSON object
-//	                    per timed query (phase times, steps, cells, I/O)
+//	                    per timed query (phase times, steps, cells, I/O);
+//	                    each line records which execution engine evaluated it
+//	aqlbench -engine interp
+//	                    run the experiments on the named engine (interp or
+//	                    compiled) instead of the session default
+//	aqlbench -exp e19 -engjson BENCH_engine.json -failworse
+//	                    compare the engines on the tabulation workloads, write
+//	                    the comparison as JSON, and fail if compiled is slower
+//	                    than interp on the pure-tabulation workload
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -36,9 +46,15 @@ var quick = flag.Bool("quick", false, "smaller sweeps")
 var reportSink trace.Sink
 
 func main() {
-	exp := flag.String("exp", "", "run a single experiment (e4, e6, e7, e8, e9, e10, e11, e15, e17, a1)")
+	exp := flag.String("exp", "", "run a single experiment (e4, e6, e7, e8, e9, e10, e11, e15, e17, e19, a1)")
 	report := flag.String("report", "", "write per-query trace.QueryReport JSON lines to this file (- for stdout)")
+	engine := flag.String("engine", "", "execution engine for the experiments: interp or compiled (default: the session default)")
+	engJSON := flag.String("engjson", "", "with e19: write the engine-comparison results as JSON to this file (e.g. BENCH_engine.json)")
+	failWorse := flag.Bool("failworse", false, "with e19: exit nonzero if the compiled engine is slower than interp on the pure-tabulation workload")
 	flag.Parse()
+	if *engine != "" {
+		bench.Engine = *engine
+	}
 	if *report != "" {
 		w := os.Stdout
 		if *report != "-" {
@@ -65,6 +81,7 @@ func main() {
 		{"e9", "the array rules beta^p / eta^p / delta^p (section 5)", runE9},
 		{"e10", "fused transpose (section 5)", runE10},
 		{"e11", "zip-subseq commutation (sections 1 and 5)", runE11},
+		{"e19", "execution engines: interp vs compiled on tabulation workloads", runE19},
 		{"e15", "NetCDF subslab reads (section 4.1)", runE15},
 		{"e17", "predictive caching for strided reads (section 7)", runE17},
 		{"a1", "ablation: optimizer phase structure", runA1},
@@ -82,6 +99,100 @@ func main() {
 	if !ran {
 		fmt.Fprintf(os.Stderr, "aqlbench: unknown experiment %q\n", *exp)
 		os.Exit(1)
+	}
+	if *engJSON != "" {
+		if engResults == nil {
+			fmt.Fprintln(os.Stderr, "aqlbench: -engjson requires the e19 experiment to have run")
+			os.Exit(1)
+		}
+		data, err := json.MarshalIndent(engResults, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aqlbench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*engJSON, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "aqlbench:", err)
+			os.Exit(1)
+		}
+	}
+	if *failWorse && engResults != nil {
+		for _, eb := range engResults.Benchmarks {
+			if eb.Name == "puretab" && eb.Speedup < 1.0 {
+				fmt.Fprintf(os.Stderr, "aqlbench: compiled engine slower than interp on %s (%.2fx)\n", eb.Name, eb.Speedup)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// engineBench is one row of the e19 comparison; ns_per_op figures are the
+// best of the measurement repetitions, as in testing.B output.
+type engineBench struct {
+	Name       string  `json:"name"`
+	InterpNs   int64   `json:"interp_ns_per_op"`
+	CompiledNs int64   `json:"compiled_ns_per_op"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// engineReport is the -engjson payload (BENCH_engine.json in CI).
+type engineReport struct {
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Benchmarks []engineBench `json:"benchmarks"`
+}
+
+// engResults holds the e19 measurements for -engjson / -failworse.
+var engResults *engineReport
+
+func runE19() {
+	workloads := []struct{ name, query string }{
+		{"puretab", bench.PureTabQuery},
+		{"matmul", bench.MatmulQuery},
+	}
+	reps := 5
+	if *quick {
+		reps = 3
+	}
+	engResults = &engineReport{GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	fmt.Printf("| workload | interp | steps | compiled | steps | speedup |\n|---|---|---|---|---|---|\n")
+	for _, w := range workloads {
+		var best [2]time.Duration
+		var steps [2]int64
+		for ei, eng := range []string{repl.EngineInterp, repl.EngineCompiled} {
+			s := bench.MustSession()
+			if err := s.SetEngine(eng); err != nil {
+				panic(err)
+			}
+			if _, err := s.Exec(bench.EngineSetup); err != nil {
+				panic(err)
+			}
+			for r := 0; r < reps; r++ {
+				start := time.Now()
+				if _, err := s.Exec(w.query); err != nil {
+					fmt.Fprintln(os.Stderr, "aqlbench:", err)
+					os.Exit(1)
+				}
+				d := time.Since(start)
+				if r == 0 || d < best[ei] {
+					best[ei] = d
+				}
+				steps[ei] = s.LastSteps
+				if reportSink != nil {
+					if rep := s.Trace.Last(); rep != nil {
+						reportSink.Emit(rep)
+					}
+				}
+			}
+		}
+		speedup := float64(best[0]) / float64(best[1])
+		fmt.Printf("| %s | %v | %d | %v | %d | %.2fx |\n",
+			w.name, best[0].Round(time.Microsecond), steps[0],
+			best[1].Round(time.Microsecond), steps[1], speedup)
+		engResults.Benchmarks = append(engResults.Benchmarks, engineBench{
+			Name:       w.name,
+			InterpNs:   best[0].Nanoseconds(),
+			CompiledNs: best[1].Nanoseconds(),
+			Speedup:    speedup,
+		})
 	}
 }
 

@@ -1,0 +1,238 @@
+// Differential testing of the two execution engines: every query in the
+// corpus (and every fuzz input that compiles) must behave byte-identically
+// under the reference interpreter and the compiled engine — same value
+// rendering, same error text, same resource-error kind, same work counters.
+// This is the enforcement mechanism behind DESIGN.md's rule that the
+// interpreter is the specification and the compiled engine an optimization.
+package aql
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/aqldb/aql/internal/ast"
+	"github.com/aqldb/aql/internal/compile"
+	"github.com/aqldb/aql/internal/eval"
+	"github.com/aqldb/aql/internal/object"
+	"github.com/aqldb/aql/internal/repl"
+)
+
+// diffSetup binds the globals the corpus refers to. It runs under the
+// default (compiled) engine; only the resulting bindings matter here.
+const diffSetup = `
+val A = [[ i * 3 + 1 | \i < 10 ]];
+val M = [[ i * 10 + j | \i < 4, \j < 5 ]];
+val S = gen!6;
+val B = {| 1, 2, 2, 5 |};
+val G = {(0, 10), (1, 20), (2, 30)};
+val f = fn \x => x * x + 1;
+val p = (7, true);
+`
+
+// diffCorpus exercises every construct the surface language can reach —
+// arithmetic, comparisons, tuples, sets, bags, comprehensions, closures,
+// tabulation, subscripting (including the compiled engine's fused 2-D
+// path), indexing, ranking, the standard macros — plus the ⊥ producers
+// (division by zero, out-of-bounds subscripts, get of a non-singleton,
+// aggregate of an empty collection, dimension/element mismatch in array
+// literals) whose diagnostics must render identically.
+var diffCorpus = []string{
+	// Scalars, arithmetic, comparison, conditionals.
+	`1 + 2 * 3 - 4`,
+	`7 / 2 + 7 % 2`,
+	`2 - 5`, // natural subtraction is monus
+	`1.5 + 2.25`,
+	`"con" = "con"`,
+	`if 3 < 4 then 10 else 20`,
+	`if false then 1/0 else 99`, // untaken branch may diverge
+	// Tuples and projections.
+	`((1, 2), 3)`,
+	`fst!p`,
+	`f!(fst!p)`,
+	// Sets, bags, comprehensions.
+	`{1, 2, 2, 3}`,
+	`{| 1, 2, 2 |}`,
+	`{x * 2 | \x <- S}`,
+	`{| x | \x <- B, x > 1 |}`,
+	`{(x, y) | \x <- gen!3, \y <- gen!3, x < y}`,
+	`count!S + count!{x | \x <- gen!4, x > 0}`,
+	`min!S + max!S`,
+	`member!(3, S)`,
+	`summap(fn \x => x * x)!S`,
+	`rank!{30, 10, 20}`,
+	`sort!{5, 3, 9, 1}`,
+	// Arrays: literals, tabulation, subscripting, dims, macros.
+	`[[2, 3; 1, 2, 3, 4, 5, 6]]`,
+	`[[ i * i | \i < 20 ]]`,
+	`[[ A[i] + 1 | \i < len!A ]]`,
+	`A[0] + A[9]`,
+	`M[2, 3]`,
+	`M[1, 4] + M[3, 0]`,
+	`len!A + dim_1_2!M * dim_2_2!M`,
+	`transpose!M`,
+	`zip!(A, reverse!A)`,
+	`subseq!(A, 2, 5)`,
+	`index_1!G`,
+	`odmg_update!(A, 3, 999)`,
+	// ⊥ producers: the payload message must render identically.
+	`1 / 0`,
+	`5 % 0`,
+	`A[100]`,
+	`M[4, 0]`,
+	`M[0, 5]`,
+	`get!S`,
+	`get!{x | \x <- S, x > 100}`,
+	`min!{x | \x <- S, x > 100}`,
+	`[[3; 1, 2]]`,
+	`[[ A[i] | \i < 20 ]]`, // ⊥ inside a tabulation: first in row-major order
+	`(1/0) + 5`,            // strict propagation through arithmetic
+	`{1/0, 2}`,             // ⊥ propagates out of constructors
+}
+
+// diffEngines builds the interpreter and a serial compiled engine over the
+// same globals and limits. Serial because resource-error payloads must be
+// exact for the comparison; parallel counter parity has its own tests in
+// internal/compile.
+func diffEngines(globals map[string]object.Value, maxSteps int64, limits eval.Limits) (*eval.Evaluator, *compile.Engine) {
+	in := eval.New(globals)
+	in.MaxSteps = maxSteps
+	in.Limits = limits
+	ce := compile.New(globals)
+	ce.MaxSteps = maxSteps
+	ce.Limits = limits
+	ce.Threshold = -1
+	return in, ce
+}
+
+// runDiff evaluates core under both engines and reports any observable
+// divergence; it returns the interpreter's outcome for additional checks.
+func runDiff(t *testing.T, globals map[string]object.Value, core ast.Expr, maxSteps int64, limits eval.Limits) (object.Value, error) {
+	t.Helper()
+	in, ce := diffEngines(globals, maxSteps, limits)
+	iv, ierr := in.EvalExpr(context.Background(), core)
+	cv, cerr := ce.EvalExpr(context.Background(), core)
+
+	switch {
+	case ierr != nil && cerr == nil:
+		t.Errorf("interp errored (%v), compiled succeeded (%s)", ierr, cv)
+	case ierr == nil && cerr != nil:
+		t.Errorf("compiled errored (%v), interp succeeded (%s)", cerr, iv)
+	case ierr != nil:
+		var ire, cre *eval.ResourceError
+		if errors.As(ierr, &ire) != errors.As(cerr, &cre) {
+			t.Errorf("error class differs: interp %v, compiled %v", ierr, cerr)
+		} else if ire != nil {
+			if ire.Kind != cre.Kind || ire.Limit != cre.Limit {
+				t.Errorf("resource errors differ: interp %v, compiled %v", ierr, cerr)
+			}
+		} else if ierr.Error() != cerr.Error() {
+			t.Errorf("error text differs:\ninterp   %q\ncompiled %q", ierr, cerr)
+		}
+	default:
+		if iv.String() != cv.String() {
+			t.Errorf("values differ:\ninterp   %s\ncompiled %s", iv, cv)
+		}
+		if ic, cc := in.Counters(), ce.Counters(); ic != cc {
+			t.Errorf("counters differ:\ninterp   %+v\ncompiled %+v", ic, cc)
+		}
+	}
+	return iv, ierr
+}
+
+func diffSession(t *testing.T) *repl.Session {
+	t.Helper()
+	s, err := repl.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec(diffSetup); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestEngineDifferential runs the corpus through both engines, each query
+// both unoptimized and optimized — the engines must agree on every core
+// query the pipeline can hand them, not just post-optimizer forms.
+func TestEngineDifferential(t *testing.T) {
+	s := diffSession(t)
+	globals := s.Env.Globals()
+	for _, src := range diffCorpus {
+		t.Run(src, func(t *testing.T) {
+			core, _, err := s.Compile(src)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			runDiff(t, globals, core, 0, eval.Limits{})
+			runDiff(t, globals, s.Optimize(core), 0, eval.Limits{})
+		})
+	}
+}
+
+// TestEngineDifferentialResourceErrors pins budget-trip parity: both
+// engines must report the same ResourceError kind and limit, at the same
+// consumption, for step, cell and depth budgets.
+func TestEngineDifferentialResourceErrors(t *testing.T) {
+	s := diffSession(t)
+	globals := s.Env.Globals()
+	cases := []struct {
+		name     string
+		src      string
+		maxSteps int64
+		limits   eval.Limits
+		kind     eval.ResourceKind
+	}{
+		{"steps", `summap(fn \i => i)!(gen!100000)`, 5000, eval.Limits{}, eval.ResourceSteps},
+		{"cells", `[[ i | \i < 1000000 ]]`, 0, eval.Limits{MaxCells: 1000}, eval.ResourceCells},
+		{"depth", `[[ f!(f!(f!(f!(f!(f!(f!(f!i))))))) | \i < 10 ]]`, 0, eval.Limits{MaxDepth: 6}, eval.ResourceDepth},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			core, _, err := s.Compile(tc.src)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			_, ierr := runDiff(t, globals, core, tc.maxSteps, tc.limits)
+			var re *eval.ResourceError
+			if !errors.As(ierr, &re) || re.Kind != tc.kind {
+				t.Fatalf("err = %v, want a %v ResourceError (case under-budgeted?)", ierr, tc.kind)
+			}
+		})
+	}
+}
+
+// FuzzEngineDifferential feeds arbitrary source through the full pipeline;
+// whenever it compiles, both engines must agree byte-for-byte. Budgets keep
+// adversarial inputs (huge tabulations, deep nesting) bounded — and budget
+// trips themselves must then agree too.
+func FuzzEngineDifferential(f *testing.F) {
+	for _, src := range diffCorpus {
+		f.Add(src)
+	}
+	f.Add(`let val \x = 3 in x * x end`)
+	f.Add(`{| x + y | \x <- B, \y <- B |}`)
+
+	s, err := repl.New()
+	if err != nil {
+		f.Fatal(err)
+	}
+	if _, err := s.Exec(diffSetup); err != nil {
+		f.Fatal(err)
+	}
+	globals := s.Env.Globals()
+	limits := eval.Limits{MaxCells: 1 << 20, MaxDepth: 10_000}
+
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 2000 || strings.ContainsAny(src, "\x00") {
+			t.Skip()
+		}
+		core, _, err := s.Compile(src)
+		if err != nil {
+			t.Skip() // only well-typed queries reach an engine
+		}
+		runDiff(t, globals, core, 200_000, limits)
+		runDiff(t, globals, s.Optimize(core), 200_000, limits)
+	})
+}

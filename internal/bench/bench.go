@@ -19,12 +19,22 @@ import (
 	"github.com/aqldb/aql/internal/weather"
 )
 
+// Engine, when non-empty, selects the execution engine ("interp" or
+// "compiled") every MustSession installs; cmd/aqlbench sets it from its
+// -engine flag so one binary can measure either engine.
+var Engine string
+
 // MustSession returns a standard session or panics; benchmarks have no
 // error channel worth threading.
 func MustSession() *repl.Session {
 	s, err := repl.New()
 	if err != nil {
 		panic(err)
+	}
+	if Engine != "" {
+		if err := s.SetEngine(Engine); err != nil {
+			panic(err)
+		}
 	}
 	return s
 }
@@ -233,6 +243,26 @@ func SetupZipSubseq(s *repl.Session, n int) {
 	s.Env.SetVal("lo", object.Nat(int64(n/4)), types.Nat)
 	s.Env.SetVal("hi", object.Nat(int64(3*n/4)), types.Nat)
 }
+
+// --- E19: execution engines -------------------------------------------------------------
+
+// The engine-comparison workloads are tabulation-heavy by design — the
+// compiled engine's case — and are written as val declarations so their
+// results are bound (the optimizer's δ^p would erase an unobserved
+// tabulation, and a benchmark of dead code measures nothing).
+
+// EngineSetup binds n and two n×n matrices for the matmul workload.
+const EngineSetup = `val n = 60;
+val A = [[ (i*j + 7) % 93 | \i < n, \j < n ]];
+val B = [[ (i+j) % 41 | \i < n, \j < n ]];`
+
+// PureTabQuery materializes one large flat tabulation: per-element work is
+// tiny, so it isolates the per-node execution overhead of an engine.
+const PureTabQuery = `val T = [[ (i*i + 7) % 93 | \i < 300000 ]];`
+
+// MatmulQuery is the dense matrix product of section 3, with closure
+// application, set generation and summation in the inner loop.
+const MatmulQuery = `val C = [[ summap(fn \k => A[i,k] * B[k,j])!(gen!n) | \i < n, \j < n ]];`
 
 // --- Measurement helper -----------------------------------------------------------------
 

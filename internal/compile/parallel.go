@@ -1,0 +1,140 @@
+package compile
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/aqldb/aql/internal/eval"
+	"github.com/aqldb/aql/internal/object"
+)
+
+// minChunk is the smallest per-worker range worth a goroutine; tabulations
+// spawn at most ceil(size/minChunk) workers even when GOMAXPROCS is larger.
+const minChunk = 2048
+
+// tabulateParallel fans the element loop of a tabulation across workers.
+// Soundness: a tabulation head is a pure function of the index valuation
+// (and the enclosing frame, which workers copy), so elements can be
+// computed in any order into disjoint regions of the shared data slice.
+//
+// Determinism is preserved exactly:
+//
+//   - Each worker owns a contiguous row-major range, so "first ⊥ in
+//     row-major order" — the interpreter's result for a tabulation with an
+//     erroneous element — is the lowest-offset bottom across workers.
+//   - A non-resource error (unbound variable, kind mismatch) does not stop
+//     the other workers: every worker finishes its range or fails at its
+//     own lowest offset, and the lowest-offset error wins, matching the
+//     interpreter's scan order. Resource errors (budget, cancellation) DO
+//     stop everyone early via the failed flag; their payload is
+//     timing-dependent anyway, and aborting fast is the point.
+//
+// Counters are exact: each worker counts on a forked machine and flushes
+// into the parent at join, so the post-join totals equal a serial run's.
+func tabulateParallel(fr *frame, shape []int, size int, idxSlots []int, head compiledExpr) (object.Value, error) {
+	m := fr.m
+	nw := m.workers
+	if max := (size + minChunk - 1) / minChunk; nw > max {
+		nw = max
+	}
+	chunk := (size + nw - 1) / nw
+
+	type workerResult struct {
+		err       error
+		errOff    int
+		bottom    object.Value
+		bottomOff int
+	}
+	results := make([]workerResult, nw)
+	data := make([]object.Value, size)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		start := w * chunk
+		end := start + chunk
+		if end > size {
+			end = size
+		}
+		res := &results[w]
+		res.errOff, res.bottomOff = -1, -1
+		if start >= end {
+			continue
+		}
+		wg.Add(1)
+		go func(start, end int, res *workerResult) {
+			defer wg.Done()
+			wm := m.fork()
+			slots := make([]object.Value, len(fr.slots))
+			copy(slots, fr.slots)
+			wfr := &frame{m: wm, slots: slots}
+			defer wm.flush()
+			idx := unflatten(start, shape)
+			for off := start; off < end; off++ {
+				if failed.Load() {
+					return
+				}
+				for j, s := range idxSlots {
+					wfr.slots[s] = object.Nat(int64(idx[j]))
+				}
+				v, err := head(wfr)
+				if err != nil {
+					res.err, res.errOff = err, off
+					if isResourceErr(err) {
+						failed.Store(true)
+					}
+					return
+				}
+				if v.IsBottom() && res.bottomOff < 0 {
+					res.bottom, res.bottomOff = v, off
+				}
+				data[off] = v
+				advance(idx, shape)
+			}
+		}(start, end, res)
+	}
+	wg.Wait()
+
+	// Workers cover disjoint ascending ranges, so the first hit wins.
+	for i := range results {
+		if results[i].err != nil {
+			return object.Value{}, results[i].err
+		}
+	}
+	for i := range results {
+		if results[i].bottomOff >= 0 {
+			return results[i].bottom, nil
+		}
+	}
+	return object.Value{Kind: object.KArray, Shape: shape, Data: data}, nil
+}
+
+// isResourceErr reports whether err is a *eval.ResourceError — the class of
+// failures where aborting sibling workers early is preferable to finishing
+// the scan for a deterministic lowest-offset error.
+func isResourceErr(err error) bool {
+	_, ok := err.(*eval.ResourceError)
+	return ok
+}
+
+// unflatten converts a row-major offset into a multi-index for shape.
+func unflatten(off int, shape []int) []int {
+	idx := make([]int, len(shape))
+	for d := len(shape) - 1; d >= 0; d-- {
+		if shape[d] > 0 {
+			idx[d] = off % shape[d]
+			off /= shape[d]
+		}
+	}
+	return idx
+}
+
+// advance steps idx to the next row-major position within shape.
+func advance(idx, shape []int) {
+	for d := len(shape) - 1; d >= 0; d-- {
+		idx[d]++
+		if idx[d] < shape[d] {
+			return
+		}
+		idx[d] = 0
+	}
+}

@@ -1,0 +1,180 @@
+package compile
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/aqldb/aql/internal/ast"
+	"github.com/aqldb/aql/internal/eval"
+	"github.com/aqldb/aql/internal/object"
+)
+
+// bigTab is [[ (i*7 + j*3 + 1) % 93 | i < rows, j < cols ]] — a cheap head
+// over enough cells that a parallel run actually fans out.
+func bigTab(rows, cols int64) ast.Expr {
+	mul := func(a ast.Expr, k int64) ast.Expr {
+		return &ast.Arith{Op: ast.OpMul, L: a, R: nat(k)}
+	}
+	head := &ast.Arith{
+		Op: ast.OpMod,
+		L: &ast.Arith{
+			Op: ast.OpAdd,
+			L:  &ast.Arith{Op: ast.OpAdd, L: mul(v("i"), 7), R: mul(v("j"), 3)},
+			R:  nat(1),
+		},
+		R: nat(93),
+	}
+	return &ast.ArrayTab{Head: head, Idx: []string{"i", "j"}, Bounds: []ast.Expr{nat(rows), nat(cols)}}
+}
+
+// engines returns the three configurations whose observable behavior must
+// be identical: the reference interpreter, the compiled engine forced
+// serial, and the compiled engine forced parallel.
+func engines(globals map[string]object.Value) map[string]eval.Engine {
+	serial := New(globals)
+	serial.Threshold = -1
+	par := New(globals)
+	par.Threshold = 1
+	par.Workers = 8
+	return map[string]eval.Engine{
+		"interp":            eval.New(globals),
+		"compiled/serial":   serial,
+		"compiled/parallel": par,
+	}
+}
+
+// TestParallelTabulationParity tabulates a 1e6-cell array under all three
+// configurations and requires byte-identical values AND exactly equal
+// counters — the parallel kernel's forked worker machines must flush their
+// counts so the join total matches a serial run to the step. Run under
+// -race this also exercises the disjoint-write claim of tabulateParallel.
+func TestParallelTabulationParity(t *testing.T) {
+	expr := bigTab(1000, 1000)
+	type outcome struct {
+		val      object.Value
+		counters eval.Counters
+	}
+	results := map[string]outcome{}
+	for name, e := range engines(nil) {
+		v, err := e.EvalExpr(context.Background(), expr)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		results[name] = outcome{v, e.Counters()}
+	}
+	ref := results["interp"]
+	if ref.counters.Cells < 1_000_000 {
+		t.Fatalf("interp charged %d cells, want >= 1e6 (workload too small to test anything)", ref.counters.Cells)
+	}
+	for name, got := range results {
+		if !object.Equal(got.val, ref.val) {
+			t.Errorf("%s: value differs from interp", name)
+		}
+		if got.counters != ref.counters {
+			t.Errorf("%s counters = %+v, want interp's %+v", name, got.counters, ref.counters)
+		}
+	}
+}
+
+// TestParallelFirstBottomDeterministic: when elements past a point are ⊥
+// with offset-dependent payloads, the tabulation's result is the first ⊥ in
+// row-major order — regardless of which worker computed it or finished
+// first. A[i] over a vector shorter than the iteration space produces a
+// distinct out-of-bounds ⊥ per offset, so a wrong winner is visible in the
+// message.
+func TestParallelFirstBottomDeterministic(t *testing.T) {
+	const valid, total = 120_000, 200_000
+	data := make([]object.Value, valid)
+	for i := range data {
+		data[i] = object.Nat(int64(i))
+	}
+	globals := map[string]object.Value{"A": object.Vector(data...)}
+	expr := &ast.ArrayTab{
+		Head:   &ast.Subscript{Arr: v("A"), Index: v("i")},
+		Idx:    []string{"i"},
+		Bounds: []ast.Expr{nat(total)},
+	}
+
+	want, err := eval.New(globals).EvalExpr(context.Background(), expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.IsBottom() {
+		t.Fatalf("interp result = %s, want ⊥ (first OOB at offset %d)", want.Kind, valid)
+	}
+	for name, e := range engines(globals) {
+		got, err := e.EvalExpr(context.Background(), expr)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.String() != want.String() {
+			t.Errorf("%s: ⊥ = %s, want %s", name, got, want)
+		}
+	}
+}
+
+// TestParallelCancellation: a cancelled context aborts a parallel
+// tabulation with a cancellation ResourceError instead of completing the
+// scan; the resource-error early-exit path stops sibling workers.
+func TestParallelCancellation(t *testing.T) {
+	e := New(nil)
+	e.Threshold = 1
+	e.Workers = 8
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := e.EvalExpr(ctx, bigTab(1000, 1000))
+	var re *eval.ResourceError
+	if !errors.As(err, &re) || re.Kind != eval.ResourceCancelled {
+		t.Fatalf("err = %v, want a cancellation ResourceError", err)
+	}
+}
+
+// TestParallelStepBudget: a step budget trips inside a parallel region with
+// the same error Kind as serial execution; the budget overshoot is bounded
+// by workers x InterruptInterval, so the reported Used stays near the limit.
+func TestParallelStepBudget(t *testing.T) {
+	e := New(nil)
+	e.Threshold = 1
+	e.Workers = 8
+	e.MaxSteps = 100_000
+	_, err := e.EvalExpr(context.Background(), bigTab(1000, 1000))
+	var re *eval.ResourceError
+	if !errors.As(err, &re) || re.Kind != eval.ResourceSteps {
+		t.Fatalf("err = %v, want a steps ResourceError", err)
+	}
+	slack := int64(8 * eval.InterruptInterval)
+	if re.Used > re.Limit+slack+1 {
+		t.Errorf("Used = %d, want <= Limit %d + workers*InterruptInterval %d", re.Used, re.Limit, slack)
+	}
+}
+
+// TestMaxDepthForcesSerial: depth tracking is serial-only, so a MaxDepth
+// limit must disable the parallel kernel even below threshold — the run
+// still succeeds and counts exactly like the interpreter with the same
+// limit.
+func TestMaxDepthForcesSerial(t *testing.T) {
+	lim := eval.Limits{MaxDepth: 10_000}
+	c := New(nil)
+	c.Threshold = 1
+	c.Workers = 8
+	c.Limits = lim
+	i := eval.New(nil)
+	i.Limits = lim
+
+	expr := bigTab(200, 200)
+	cv, err := c.EvalExpr(context.Background(), expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv, err := i.EvalExpr(context.Background(), expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !object.Equal(cv, iv) {
+		t.Error("values differ under MaxDepth")
+	}
+	if cc, ic := c.Counters(), i.Counters(); cc != ic {
+		t.Errorf("counters differ under MaxDepth: compiled %+v, interp %+v", cc, ic)
+	}
+}

@@ -14,9 +14,9 @@ package eval
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 	"time"
 
 	"github.com/aqldb/aql/internal/ast"
@@ -54,8 +54,6 @@ type Evaluator struct {
 	// Globals maps names of registered primitives and top-level vals to
 	// their values. Lookup order is locals first, then Globals.
 	Globals map[string]object.Value
-	// Steps counts evaluated nodes; reset it before a measurement.
-	Steps int64
 	// MaxSteps, when positive, aborts evaluation after that many steps;
 	// a guard against runaway queries in interactive use. Limits.MaxSteps
 	// is honored as well; either tripping aborts the query.
@@ -63,20 +61,26 @@ type Evaluator struct {
 	// Limits bounds the resources of this evaluation; the zero value is
 	// unlimited. Exhaustion yields a *ResourceError.
 	Limits Limits
-	// Cells counts collection/array cells charged by constructors,
-	// tabulation, gen and index; reset it before a measurement.
-	Cells int64
-	// Tabs counts array tabulations performed (ArrayTab evaluations) —
-	// the materializations the section 5 array rules exist to avoid, so a
-	// query report can show how many the optimizer left behind.
-	Tabs int64
-	// SetOps counts set/bag algebra operations: unions, big unions,
-	// ranked unions, gen and index.
-	SetOps int64
-	// Iters counts comprehension loop-body evaluations (big unions,
-	// ranked unions, summation) — the intermediate-collection traffic of
-	// a query, on the same terms the paper's section 5 measurements used.
-	Iters int64
+
+	// The work counters are atomic because closures that escape an
+	// evaluation (top-level vals of function type) capture ev, and the
+	// compiled engine's parallel tabulation may call such a closure from
+	// several workers at once. Snapshot them through Counters.
+	//
+	// Steps counts evaluated nodes. Cells counts collection/array cells
+	// charged by constructors, tabulation, gen and index. Tabs counts
+	// array tabulations performed (ArrayTab evaluations) — the
+	// materializations the section 5 array rules exist to avoid. SetOps
+	// counts set/bag algebra operations: unions, big unions, ranked
+	// unions, gen and index. Iters counts comprehension loop-body
+	// evaluations (big unions, ranked unions, summation) — the
+	// intermediate-collection traffic of a query, on the same terms the
+	// paper's section 5 measurements used.
+	Steps  atomic.Int64
+	Cells  atomic.Int64
+	Tabs   atomic.Int64
+	SetOps atomic.Int64
+	Iters  atomic.Int64
 
 	// ctx and deadline carry per-evaluation interrupt state; set by
 	// EvalCtx and checked amortized in Eval.
@@ -114,41 +118,29 @@ func (ev *Evaluator) EvalCtx(ctx context.Context, e ast.Expr, env *Env) (object.
 	return ev.Eval(e, env)
 }
 
-// interruptInterval is how many evaluator steps pass between context /
-// deadline checks; a power of two so the check reduces to a mask test.
-const interruptInterval = 256
-
 // checkInterrupt reports cancellation or deadline expiry as a
 // *ResourceError; called amortized from Eval.
 func (ev *Evaluator) checkInterrupt() error {
-	if ev.ctx != nil {
-		if err := ev.ctx.Err(); err != nil {
-			kind := ResourceCancelled
-			if errors.Is(err, context.DeadlineExceeded) {
-				kind = ResourceTimeout
-			}
-			return &ResourceError{Kind: kind, Cause: err}
-		}
-	}
-	if !ev.deadline.IsZero() && time.Now().After(ev.deadline) {
-		return &ResourceError{Kind: ResourceTimeout, Limit: int64(ev.Limits.Timeout), Cause: context.DeadlineExceeded}
-	}
-	return nil
+	return CheckInterrupt(ev.ctx, ev.deadline, ev.Limits.Timeout)
 }
 
 // chargeCells charges n cells against the cell budget, saturating rather
 // than overflowing the counter. Constructors charge BEFORE allocating, so
 // a budget violation aborts without the allocation ever happening.
 func (ev *Evaluator) chargeCells(n int64) error {
-	if n > math.MaxInt64-ev.Cells {
-		ev.Cells = math.MaxInt64
-	} else {
-		ev.Cells += n
+	for {
+		old := ev.Cells.Load()
+		nw := old + n
+		if n > math.MaxInt64-old {
+			nw = math.MaxInt64
+		}
+		if ev.Cells.CompareAndSwap(old, nw) {
+			if max := ev.Limits.MaxCells; max > 0 && nw > max {
+				return &ResourceError{Kind: ResourceCells, Limit: max, Used: nw}
+			}
+			return nil
+		}
 	}
-	if max := ev.Limits.MaxCells; max > 0 && ev.Cells > max {
-		return &ResourceError{Kind: ResourceCells, Limit: max, Used: ev.Cells}
-	}
-	return nil
 }
 
 // Eval evaluates e in env. Language-level partiality (out-of-bounds
@@ -157,27 +149,37 @@ func (ev *Evaluator) chargeCells(n int64) error {
 // (unbound variables, kind mismatches in external primitives) and for
 // resource-budget exhaustion (*ResourceError).
 func (ev *Evaluator) Eval(e ast.Expr, env *Env) (object.Value, error) {
-	ev.Steps++
-	if ev.MaxSteps > 0 && ev.Steps > ev.MaxSteps {
-		return object.Value{}, &ResourceError{Kind: ResourceSteps, Limit: ev.MaxSteps, Used: ev.Steps}
-	}
-	if l := ev.Limits.MaxSteps; l > 0 && ev.Steps > l {
-		return object.Value{}, &ResourceError{Kind: ResourceSteps, Limit: l, Used: ev.Steps}
-	}
-	if ev.Steps&(interruptInterval-1) == 0 && (ev.ctx != nil || !ev.deadline.IsZero()) {
-		if err := ev.checkInterrupt(); err != nil {
-			return object.Value{}, err
-		}
-	}
+	// Depth is checked outside the step charge so that a depth trip leaves
+	// the tripping node's step uncharged — the compiled engine wraps its
+	// step-charging node closures in a depth guard the same way, and the
+	// two engines must report identical counters in every outcome.
 	if max := ev.Limits.MaxDepth; max > 0 {
 		ev.depth++
 		if ev.depth > max {
 			ev.depth--
 			return object.Value{}, &ResourceError{Kind: ResourceDepth, Limit: int64(max), Used: int64(max) + 1}
 		}
-		v, err := ev.eval(e, env)
+		v, err := ev.evalStep(e, env)
 		ev.depth--
 		return v, err
+	}
+	return ev.evalStep(e, env)
+}
+
+// evalStep charges one step, enforces the step budgets and the amortized
+// interrupt check, then dispatches.
+func (ev *Evaluator) evalStep(e ast.Expr, env *Env) (object.Value, error) {
+	steps := ev.Steps.Add(1)
+	if ev.MaxSteps > 0 && steps > ev.MaxSteps {
+		return object.Value{}, &ResourceError{Kind: ResourceSteps, Limit: ev.MaxSteps, Used: steps}
+	}
+	if l := ev.Limits.MaxSteps; l > 0 && steps > l {
+		return object.Value{}, &ResourceError{Kind: ResourceSteps, Limit: l, Used: steps}
+	}
+	if steps&(InterruptInterval-1) == 0 && (ev.ctx != nil || !ev.deadline.IsZero()) {
+		if err := ev.checkInterrupt(); err != nil {
+			return object.Value{}, err
+		}
 	}
 	return ev.eval(e, env)
 }
@@ -262,7 +264,7 @@ func (ev *Evaluator) eval(e ast.Expr, env *Env) (object.Value, error) {
 		return object.Set(v), nil
 
 	case *ast.Union:
-		ev.SetOps++
+		ev.SetOps.Add(1)
 		l, err := ev.Eval(n.L, env)
 		if err != nil {
 			return object.Value{}, err
@@ -293,13 +295,7 @@ func (ev *Evaluator) eval(e ast.Expr, env *Env) (object.Value, error) {
 		if s.IsBottom() {
 			return s, nil
 		}
-		if s.Kind != object.KSet {
-			return object.Value{}, fmt.Errorf("eval: get on %s", s.Kind)
-		}
-		if len(s.Elems) != 1 {
-			return object.Bottom(fmt.Sprintf("get on a set of cardinality %d", len(s.Elems))), nil
-		}
-		return s.Elems[0], nil
+		return GetValue(s)
 
 	case *ast.BoolLit:
 		return object.Bool(n.Val), nil
@@ -336,25 +332,7 @@ func (ev *Evaluator) eval(e ast.Expr, env *Env) (object.Value, error) {
 		if r.IsBottom() {
 			return r, nil
 		}
-		if l.Kind == object.KFunc || r.Kind == object.KFunc {
-			return object.Value{}, fmt.Errorf("eval: comparison of function values")
-		}
-		c := object.Compare(l, r)
-		switch n.Op {
-		case ast.OpEq:
-			return object.Bool(c == 0), nil
-		case ast.OpNe:
-			return object.Bool(c != 0), nil
-		case ast.OpLt:
-			return object.Bool(c < 0), nil
-		case ast.OpGt:
-			return object.Bool(c > 0), nil
-		case ast.OpLe:
-			return object.Bool(c <= 0), nil
-		case ast.OpGe:
-			return object.Bool(c >= 0), nil
-		}
-		return object.Value{}, fmt.Errorf("eval: bad comparison op %q", n.Op)
+		return EvalCmp(n.Op, l, r)
 
 	case *ast.NatLit:
 		return object.Nat(n.Val), nil
@@ -394,16 +372,11 @@ func (ev *Evaluator) eval(e ast.Expr, env *Env) (object.Value, error) {
 		if err != nil {
 			return object.Value{}, fmt.Errorf("eval: gen: %w", err)
 		}
-		ev.SetOps++
+		ev.SetOps.Add(1)
 		if err := ev.chargeCells(m); err != nil {
 			return object.Value{}, err
 		}
-		elems := make([]object.Value, m)
-		for i := int64(0); i < m; i++ {
-			elems[i] = object.Nat(i)
-		}
-		// Naturals in ascending order are already canonical.
-		return object.SetFromSorted(elems), nil
+		return GenSet(m), nil
 
 	case *ast.Sum:
 		over, err := ev.Eval(n.Over, env)
@@ -416,10 +389,8 @@ func (ev *Evaluator) eval(e ast.Expr, env *Env) (object.Value, error) {
 		if over.Kind != object.KSet && over.Kind != object.KBag {
 			return object.Value{}, fmt.Errorf("eval: sum over %s", over.Kind)
 		}
-		var accN int64
-		var accR float64
-		isReal := false
-		ev.Iters += int64(len(over.Elems))
+		var acc SumAcc
+		ev.Iters.Add(int64(len(over.Elems)))
 		for _, x := range over.Elems {
 			v, err := ev.Eval(n.Head, env.Bind(n.Var, x))
 			if err != nil {
@@ -428,24 +399,14 @@ func (ev *Evaluator) eval(e ast.Expr, env *Env) (object.Value, error) {
 			if v.IsBottom() {
 				return v, nil
 			}
-			switch v.Kind {
-			case object.KNat:
-				accN += v.N
-				accR += float64(v.N)
-			case object.KReal:
-				isReal = true
-				accR += v.R
-			default:
-				return object.Value{}, fmt.Errorf("eval: sum of non-numeric %s", v.Kind)
+			if err := acc.Add(v); err != nil {
+				return object.Value{}, err
 			}
 		}
-		if isReal {
-			return object.Real(accR), nil
-		}
-		return object.Nat(accN), nil
+		return acc.Value(), nil
 
 	case *ast.ArrayTab:
-		ev.Tabs++
+		ev.Tabs.Add(1)
 		shape := make([]int, len(n.Bounds))
 		size := int64(1)
 		for j, b := range n.Bounds {
@@ -524,13 +485,10 @@ func (ev *Evaluator) eval(e ast.Expr, env *Env) (object.Value, error) {
 		if a.IsBottom() {
 			return a, nil
 		}
-		if a.Kind == object.KArray && len(a.Shape) != n.K {
-			return object.Value{}, fmt.Errorf("eval: dim_%d of %d-dimensional array", n.K, len(a.Shape))
-		}
-		return object.DimValue(a)
+		return CheckedDim(a, n.K)
 
 	case *ast.Index:
-		ev.SetOps++
+		ev.SetOps.Add(1)
 		s, err := ev.Eval(n.Set, env)
 		if err != nil {
 			return object.Value{}, err
@@ -604,7 +562,7 @@ func (ev *Evaluator) eval(e ast.Expr, env *Env) (object.Value, error) {
 		return object.Bag(v), nil
 
 	case *ast.BagUnion:
-		ev.SetOps++
+		ev.SetOps.Add(1)
 		l, err := ev.Eval(n.L, env)
 		if err != nil {
 			return object.Value{}, err
@@ -650,8 +608,8 @@ func (ev *Evaluator) bigUnion(head ast.Expr, varName string, over ast.Expr, env 
 	if s.Kind != object.KSet {
 		return object.Value{}, fmt.Errorf("eval: big union over %s", s.Kind)
 	}
-	ev.SetOps++
-	ev.Iters += int64(len(s.Elems))
+	ev.SetOps.Add(1)
+	ev.Iters.Add(int64(len(s.Elems)))
 	var all []object.Value
 	for _, x := range s.Elems {
 		v, err := ev.Eval(head, env.Bind(varName, x))
@@ -683,8 +641,8 @@ func (ev *Evaluator) bigBagUnion(head ast.Expr, varName string, over ast.Expr, e
 	if s.Kind != object.KBag {
 		return object.Value{}, fmt.Errorf("eval: big bag union over %s", s.Kind)
 	}
-	ev.SetOps++
-	ev.Iters += int64(len(s.Elems))
+	ev.SetOps.Add(1)
+	ev.Iters.Add(int64(len(s.Elems)))
 	var all []object.Value
 	for _, x := range s.Elems {
 		v, err := ev.Eval(head, env.Bind(varName, x))
@@ -724,8 +682,8 @@ func (ev *Evaluator) rankUnion(head ast.Expr, varName, rankVar string, over ast.
 	if s.Kind != wantKind {
 		return object.Value{}, fmt.Errorf("eval: %s over %s", wantName, s.Kind)
 	}
-	ev.SetOps++
-	ev.Iters += int64(len(s.Elems))
+	ev.SetOps.Add(1)
+	ev.Iters.Add(int64(len(s.Elems)))
 	var all []object.Value
 	for i, x := range s.Elems {
 		e2 := env.Bind(varName, x).Bind(rankVar, object.Nat(int64(i+1)))
@@ -748,69 +706,4 @@ func (ev *Evaluator) rankUnion(head ast.Expr, varName, rankVar string, over ast.
 		return object.Bag(all...), nil
 	}
 	return object.Set(all...), nil
-}
-
-// Arith applies an arithmetic operator to two evaluated numeric operands,
-// overloading at nat and real. On naturals, subtraction is monus and
-// division/modulus by zero is ⊥. On reals, subtraction is exact and
-// division by zero is ⊥; modulus follows math.Mod.
-func Arith(op ast.ArithOp, l, r object.Value) (object.Value, error) {
-	if l.Kind == object.KNat && r.Kind == object.KNat {
-		a, b := l.N, r.N
-		switch op {
-		case ast.OpAdd:
-			return object.Nat(a + b), nil
-		case ast.OpSub: // monus
-			if a < b {
-				return object.Nat(0), nil
-			}
-			return object.Nat(a - b), nil
-		case ast.OpMul:
-			return object.Nat(a * b), nil
-		case ast.OpDiv:
-			if b == 0 {
-				return object.Bottom("division by zero"), nil
-			}
-			return object.Nat(a / b), nil
-		case ast.OpMod:
-			if b == 0 {
-				return object.Bottom("modulus by zero"), nil
-			}
-			return object.Nat(a % b), nil
-		}
-		return object.Value{}, fmt.Errorf("eval: bad arithmetic op %q", op)
-	}
-	a, err := l.AsReal()
-	if err != nil {
-		return object.Value{}, fmt.Errorf("eval: arithmetic: %w", err)
-	}
-	b, err := r.AsReal()
-	if err != nil {
-		return object.Value{}, fmt.Errorf("eval: arithmetic: %w", err)
-	}
-	var f float64
-	switch op {
-	case ast.OpAdd:
-		f = a + b
-	case ast.OpSub:
-		f = a - b
-	case ast.OpMul:
-		f = a * b
-	case ast.OpDiv:
-		if b == 0 {
-			return object.Bottom("division by zero"), nil
-		}
-		f = a / b
-	case ast.OpMod:
-		if b == 0 {
-			return object.Bottom("modulus by zero"), nil
-		}
-		f = math.Mod(a, b)
-	default:
-		return object.Value{}, fmt.Errorf("eval: bad arithmetic op %q", op)
-	}
-	if !object.IsFinite(f) {
-		return object.Bottom("non-finite arithmetic result"), nil
-	}
-	return object.Real(f), nil
 }

@@ -482,8 +482,8 @@ func TestHistComplexityClaim(t *testing.T) {
 	if _, err := evFast.Eval(histFast(v("A")), (*Env)(nil).Bind("A", A)); err != nil {
 		t.Fatal(err)
 	}
-	if evFast.Steps*4 > evSlow.Steps {
-		t.Errorf("hist' (%d steps) is not substantially cheaper than hist (%d steps)", evFast.Steps, evSlow.Steps)
+	if evFast.Steps.Load()*4 > evSlow.Steps.Load() {
+		t.Errorf("hist' (%d steps) is not substantially cheaper than hist (%d steps)", evFast.Steps.Load(), evSlow.Steps.Load())
 	}
 }
 

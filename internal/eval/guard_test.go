@@ -56,8 +56,8 @@ func TestStepBudgetReturnsTypedError(t *testing.T) {
 	if re.Limit != 100 {
 		t.Errorf("Limit = %d, want 100", re.Limit)
 	}
-	if ev.Steps <= 100 {
-		t.Errorf("Steps = %d, want > 100 (consumption reported on abort)", ev.Steps)
+	if ev.Steps.Load() <= 100 {
+		t.Errorf("Steps = %d, want > 100 (consumption reported on abort)", ev.Steps.Load())
 	}
 }
 

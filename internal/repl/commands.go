@@ -20,6 +20,7 @@ func IsCommand(line string) bool {
 //	:profile <query>   run the query and show per-phase wall times and
 //	                   evaluator/I/O counters
 //	:stats             session-cumulative totals since startup
+//	:engine [name]     show or switch the execution engine
 //	:help              list commands
 //
 // Commands that take a query accept it with or without a trailing
@@ -41,6 +42,14 @@ func (s *Session) Command(ctx context.Context, line string) (string, error) {
 		return s.Profile(ctx, arg)
 	case ":stats":
 		return s.Trace.Totals().FormatTotals(), nil
+	case ":engine":
+		if arg == "" {
+			return fmt.Sprintf("engine: %s\n", s.Engine), nil
+		}
+		if err := s.SetEngine(arg); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("engine: %s\n", s.Engine), nil
 	case ":help":
 		return helpText, nil
 	}
@@ -51,6 +60,7 @@ const helpText = `commands:
   :explain <query>   show the optimized query and the optimizer rule trace
   :profile <query>   run the query; show phase times and work counters
   :stats             session-cumulative totals
+  :engine [name]     show or switch the execution engine (interp, compiled)
   :help              this help
 `
 

@@ -17,6 +17,7 @@ import (
 	"runtime/debug"
 
 	"github.com/aqldb/aql/internal/ast"
+	"github.com/aqldb/aql/internal/compile"
 	"github.com/aqldb/aql/internal/desugar"
 	"github.com/aqldb/aql/internal/env"
 	"github.com/aqldb/aql/internal/eval"
@@ -53,7 +54,23 @@ type Session struct {
 	// trace. Created enabled (with no sink) by New; disable with
 	// Trace.SetEnabled(false), or point it somewhere with Trace.SetSink.
 	Trace *trace.Recorder
+	// Engine selects the execution engine for queries: EngineCompiled
+	// (the default — slot-resolved closures with parallel tabulation,
+	// internal/compile) or EngineInterp (the reference tree-walking
+	// interpreter). Set it directly or via SetEngine for validation.
+	Engine string
 }
+
+// Execution engine names for Session.Engine.
+const (
+	// EngineInterp is the reference tree-walking interpreter
+	// (eval.Evaluator).
+	EngineInterp = "interp"
+	// EngineCompiled is the compiled engine (compile.Engine): the AST is
+	// lowered to slot-resolved Go closures and large tabulations fan out
+	// across GOMAXPROCS workers.
+	EngineCompiled = "compiled"
+)
 
 // PanicError wraps a panic recovered at the session boundary: an internal
 // invariant violation (object.Compare on unordered kinds, types.Elem on a
@@ -92,7 +109,7 @@ type Result struct {
 // zip, transpose, ...), the NetCDF readers, and the exchange-format
 // reader/writer.
 func New() (*Session, error) {
-	s := &Session{Env: env.New(), Trace: trace.NewRecorder(nil)}
+	s := &Session{Env: env.New(), Trace: trace.NewRecorder(nil), Engine: EngineCompiled}
 	RegisterNetCDF(s.Env, s.Trace)
 	RegisterNetCDFWriter(s.Env)
 	RegisterExchange(s.Env)
@@ -225,29 +242,57 @@ func (s *Session) EvalCtx(ctx context.Context, core ast.Expr) (object.Value, err
 // aborted queries, and converts internal panics into a *PanicError so one
 // bad query can never crash a process serving others.
 func (s *Session) evalGuarded(ctx context.Context, core ast.Expr, src string) (v object.Value, err error) {
-	ev := eval.New(s.Env.Globals())
-	ev.MaxSteps = s.MaxSteps
-	ev.Limits = s.Limits
+	eng := s.newEngine()
 	sp := s.Trace.StartPhase(trace.PhaseEval)
 	defer func() {
-		s.LastSteps = ev.Steps
-		s.LastCells = ev.Cells
+		c := eng.Counters()
+		s.LastSteps = c.Steps
+		s.LastCells = c.Cells
 		sp.End()
 		// Work counters are reported even for aborted or panicking
 		// queries — exactly like LastSteps/LastCells.
+		s.Trace.RecordEngine(eng.Name())
 		s.Trace.RecordEval(trace.EvalCounters{
-			Steps:       ev.Steps,
-			Cells:       ev.Cells,
-			Tabulations: ev.Tabs,
-			SetOps:      ev.SetOps,
-			Iterations:  ev.Iters,
+			Steps:       c.Steps,
+			Cells:       c.Cells,
+			Tabulations: c.Tabs,
+			SetOps:      c.SetOps,
+			Iterations:  c.Iters,
 		})
 		if r := recover(); r != nil {
 			v = object.Value{}
 			err = &PanicError{Src: src, Val: r, Stack: debug.Stack()}
 		}
 	}()
-	return ev.EvalCtx(ctx, core, nil)
+	return eng.EvalExpr(ctx, core)
+}
+
+// newEngine constructs the session's selected execution engine over the
+// current globals and limits. A fresh engine per evaluation keeps counters
+// per-query and lets val declarations change what globals later queries
+// see, exactly as the interpreter-only path always worked.
+func (s *Session) newEngine() eval.Engine {
+	if s.Engine == EngineInterp {
+		ev := eval.New(s.Env.Globals())
+		ev.MaxSteps = s.MaxSteps
+		ev.Limits = s.Limits
+		return ev
+	}
+	e := compile.New(s.Env.Globals())
+	e.MaxSteps = s.MaxSteps
+	e.Limits = s.Limits
+	return e
+}
+
+// SetEngine selects the session's execution engine by name, rejecting
+// unknown names.
+func (s *Session) SetEngine(name string) error {
+	switch name {
+	case EngineInterp, EngineCompiled:
+		s.Engine = name
+		return nil
+	}
+	return fmt.Errorf("repl: unknown engine %q (have %q, %q)", name, EngineCompiled, EngineInterp)
 }
 
 // Query runs the full pipeline on a single expression and binds the result

@@ -183,6 +183,19 @@ func (r *Recorder) RecordEval(c EvalCounters) {
 	r.mu.Unlock()
 }
 
+// RecordEngine stamps the execution engine name on the open report;
+// called once per evaluation alongside RecordEval.
+func (r *Recorder) RecordEngine(name string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.cur != nil {
+		r.cur.Engine = name
+	}
+	r.mu.Unlock()
+}
+
 // RecordIO folds I/O counters into the open report; the NetCDF readers
 // call it once per file read.
 func (r *Recorder) RecordIO(c IOCounters) {

@@ -128,6 +128,10 @@ type QueryReport struct {
 	Wall  time.Duration `json:"wall_ns"`
 	// Phases holds per-phase wall times in pipeline order.
 	Phases []PhaseTime `json:"phases"`
+	// Engine names the execution engine that ran the evaluation ("interp"
+	// or "compiled"), so perf trajectories in report sinks are attributable
+	// to an engine. Empty for statements that evaluated nothing.
+	Engine string `json:"engine,omitempty"`
 	// Eval and IO are the work counters.
 	Eval EvalCounters `json:"eval"`
 	IO   IOCounters   `json:"io"`
