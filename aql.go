@@ -206,9 +206,20 @@ func (s *Session) TraceTotals() TraceTotals { return s.s.Trace.Totals() }
 // evaluator step.
 func (s *Session) SetTraceEnabled(on bool) { s.s.Trace.SetEnabled(on) }
 
-// SetTraceSink directs finished per-query reports to a sink (nil keeps
-// reports available via LastReport/TraceTotals without emitting them).
-func (s *Session) SetTraceSink(sink TraceSink) { s.s.Trace.SetSink(sink) }
+// SetTraceSink directs finished per-query reports to a sink, in addition
+// to the session's built-in fleet aggregator and flight recorder (nil
+// removes a previously installed sink; the built-ins stay attached).
+func (s *Session) SetTraceSink(sink TraceSink) { s.s.SetTraceSink(sink) }
+
+// SetProfiling sets the operator-profiling level for subsequent queries:
+// "off" (no span instrumentation at all), "sampled" (coarse operators,
+// 1-in-64 invocations measured; low overhead), or "full" (every core
+// operator, every invocation; exact counter attribution). Span trees
+// appear in QueryReport.Spans and through the REPL's :top.
+func (s *Session) SetProfiling(level string) error { return s.s.SetProfiling(level) }
+
+// ProfilingLevel reports the current operator-profiling level.
+func (s *Session) ProfilingLevel() string { return s.s.Profiling.String() }
 
 // Explain compiles and optimizes src without evaluating it, returning a
 // rendering of the optimized query and the optimizer rule trace — the
@@ -231,10 +242,28 @@ func (s *Session) Command(ctx context.Context, line string) (string, error) {
 	return s.s.Command(ctx, line)
 }
 
-// MetricsHandler returns an http.Handler serving the session's cumulative
-// observability counters and recent per-query summaries as JSON — an
-// expvar-style endpoint for the -metricsaddr flag of cmd/aql.
-func (s *Session) MetricsHandler() http.Handler { return trace.Handler(s.s.Trace) }
+// MetricsHandler returns an http.Handler serving the session's
+// observability surface — the endpoint behind the -metricsaddr flag of
+// cmd/aql:
+//
+//	GET /              JSON summary: cumulative totals + recent queries
+//	GET /metrics       Prometheus text exposition (latency histogram,
+//	                   phase/rule/eval/I-O counters)
+//	GET /debug/queries flight recorder: last N full reports as JSON
+//	GET /debug/slow    slowest queries seen
+//	/debug/pprof/...   standard net/http/pprof handlers
+func (s *Session) MetricsHandler() http.Handler {
+	return trace.NewHandler(s.s.Trace, s.s.Fleet, s.s.Flight)
+}
+
+// FleetSnapshot returns a copy of the session's cross-query aggregates:
+// latency histogram, per-phase and per-rule totals, and the slow-query
+// log — the REPL's :fleet.
+func (s *Session) FleetSnapshot() trace.AggregateSnapshot { return s.s.Fleet.Snapshot() }
+
+// FlightReports returns the flight recorder's retained full QueryReports,
+// oldest first.
+func (s *Session) FlightReports() []QueryReport { return s.s.Flight.Reports() }
 
 // SetEngine selects the execution engine for subsequent queries:
 // "compiled" (the default — core queries are lowered to Go closures with

@@ -23,9 +23,13 @@
 //
 // Observability: `-explain` and `-profile` (with -q) print the optimizer
 // rule trace or the per-phase timing report for the query; the interactive
-// loop accepts the same as :explain/:profile/:stats commands; and
-// `-metricsaddr :8080` serves cumulative counters and recent per-query
-// summaries as JSON over HTTP.
+// loop accepts the same as :explain/:profile/:stats commands plus :top
+// (hottest operators of the last query), :fleet (cross-query aggregates)
+// and :prof (profiling level). `-proflevel off|sampled|full` sets the
+// operator-profiling level (default sampled), and `-metricsaddr :8080`
+// serves a JSON summary on /, Prometheus text on /metrics, the flight
+// recorder on /debug/queries, the slow-query log on /debug/slow, and the
+// standard pprof handlers under /debug/pprof/.
 package main
 
 import (
@@ -53,6 +57,7 @@ func main() {
 	profile := flag.Bool("profile", false, "with -q: after the value, print per-phase wall times and work counters")
 	metricsAddr := flag.String("metricsaddr", "", "serve observability counters as JSON over HTTP on this address, e.g. :8080")
 	engine := flag.String("engine", "compiled", "execution engine: compiled (closure-compiled, parallel tabulation) or interp (reference interpreter)")
+	profLevel := flag.String("proflevel", "sampled", "operator profiling level: off, sampled, or full")
 	flag.Parse()
 
 	s, err := aql.NewSession()
@@ -61,6 +66,10 @@ func main() {
 		os.Exit(1)
 	}
 	if err := s.SetEngine(*engine); err != nil {
+		fmt.Fprintln(os.Stderr, "aql:", err)
+		os.Exit(1)
+	}
+	if err := s.SetProfiling(*profLevel); err != nil {
 		fmt.Fprintln(os.Stderr, "aql:", err)
 		os.Exit(1)
 	}
@@ -133,7 +142,7 @@ func main() {
 func interact(s *aql.Session, limit int) {
 	fmt.Println("AQL — a query language for multidimensional arrays (SIGMOD 1996)")
 	fmt.Println(`End statements with ';'. Ctrl-D exits; Ctrl-C cancels a running query.`)
-	fmt.Println(`Commands: :explain <q>  :profile <q>  :stats  :engine [name]  :help`)
+	fmt.Println(`Commands: :explain <q>  :profile <q>  :stats  :top  :fleet  :prof  :engine  :help`)
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder

@@ -19,6 +19,14 @@
 //	                    compare the engines on the tabulation workloads, write
 //	                    the comparison as JSON, and fail if compiled is slower
 //	                    than interp on the pure-tabulation workload
+//	aqlbench -proflevel sampled -report reports.jsonl
+//	                    run with operator profiling on, so each emitted report
+//	                    carries a span tree attributing time to core operators
+//	aqlbench -exp e19 -trajectory BENCH_trajectory.json -stamp v1.4
+//	                    append the e19 measurements to the named trajectory
+//	                    file (a JSON array, one entry per recorded run); the
+//	                    entry label comes from -stamp so runs are reproducible
+//	                    and diffable rather than wall-clock-dependent
 package main
 
 import (
@@ -51,10 +59,14 @@ func main() {
 	engine := flag.String("engine", "", "execution engine for the experiments: interp or compiled (default: the session default)")
 	engJSON := flag.String("engjson", "", "with e19: write the engine-comparison results as JSON to this file (e.g. BENCH_engine.json)")
 	failWorse := flag.Bool("failworse", false, "with e19: exit nonzero if the compiled engine is slower than interp on the pure-tabulation workload")
+	profLevel := flag.String("proflevel", "off", "operator profiling level for the experiments: off, sampled, or full")
+	trajectory := flag.String("trajectory", "", "with e19: append the measurements to this JSON trajectory file (e.g. BENCH_trajectory.json)")
+	stamp := flag.String("stamp", "", "label for the -trajectory entry (a version or commit id; kept a flag so runs are reproducible)")
 	flag.Parse()
 	if *engine != "" {
 		bench.Engine = *engine
 	}
+	bench.Profiling = *profLevel
 	if *report != "" {
 		w := os.Stdout
 		if *report != "-" {
@@ -115,6 +127,16 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *trajectory != "" {
+		if engResults == nil {
+			fmt.Fprintln(os.Stderr, "aqlbench: -trajectory requires the e19 experiment to have run")
+			os.Exit(1)
+		}
+		if err := appendTrajectory(*trajectory, *stamp, engResults); err != nil {
+			fmt.Fprintln(os.Stderr, "aqlbench:", err)
+			os.Exit(1)
+		}
+	}
 	if *failWorse && engResults != nil {
 		for _, eb := range engResults.Benchmarks {
 			if eb.Name == "puretab" && eb.Speedup < 1.0 {
@@ -142,6 +164,41 @@ type engineReport struct {
 
 // engResults holds the e19 measurements for -engjson / -failworse.
 var engResults *engineReport
+
+// trajectoryEntry is one recorded run of the engine comparison; the
+// trajectory file is a JSON array of these, oldest first, so performance
+// history accumulates across runs instead of being overwritten.
+type trajectoryEntry struct {
+	Stamp      string        `json:"stamp,omitempty"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Profiling  string        `json:"proflevel,omitempty"`
+	Benchmarks []engineBench `json:"benchmarks"`
+}
+
+// appendTrajectory appends one entry to the trajectory file, creating it
+// (as a one-element array) if absent. A malformed existing file is an
+// error rather than silently replaced — the history is the point.
+func appendTrajectory(path, stamp string, r *engineReport) error {
+	var entries []trajectoryEntry
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &entries); err != nil {
+			return fmt.Errorf("trajectory %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	entries = append(entries, trajectoryEntry{
+		Stamp:      stamp,
+		GOMAXPROCS: r.GOMAXPROCS,
+		Profiling:  bench.Profiling,
+		Benchmarks: r.Benchmarks,
+	})
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
 
 func runE19() {
 	workloads := []struct{ name, query string }{

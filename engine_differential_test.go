@@ -91,6 +91,13 @@ var diffCorpus = []string{
 	`{1/0, 2}`,             // ⊥ propagates out of constructors
 }
 
+// diffProf is the profiling level diffEngines installs on both engines.
+// The default is full — the most invasive instrumentation, which must not
+// perturb a single observable byte. The fuzz target varies it per input so
+// every level (including off, where the compiled engine keeps its fused
+// 2-D subscript path) stays under differential coverage.
+var diffProf = eval.ProfFull
+
 // diffEngines builds the interpreter and a serial compiled engine over the
 // same globals and limits. Serial because resource-error payloads must be
 // exact for the comparison; parallel counter parity has its own tests in
@@ -99,10 +106,12 @@ func diffEngines(globals map[string]object.Value, maxSteps int64, limits eval.Li
 	in := eval.New(globals)
 	in.MaxSteps = maxSteps
 	in.Limits = limits
+	in.SetProfiling(diffProf)
 	ce := compile.New(globals)
 	ce.MaxSteps = maxSteps
 	ce.Limits = limits
 	ce.Threshold = -1
+	ce.SetProfiling(diffProf)
 	return in, ce
 }
 
@@ -155,18 +164,26 @@ func diffSession(t *testing.T) *repl.Session {
 
 // TestEngineDifferential runs the corpus through both engines, each query
 // both unoptimized and optimized — the engines must agree on every core
-// query the pipeline can hand them, not just post-optimizer forms.
+// query the pipeline can hand them, not just post-optimizer forms. The
+// whole corpus runs at every profiling level: instrumentation must never
+// change an observable outcome.
 func TestEngineDifferential(t *testing.T) {
 	s := diffSession(t)
 	globals := s.Env.Globals()
-	for _, src := range diffCorpus {
-		t.Run(src, func(t *testing.T) {
-			core, _, err := s.Compile(src)
-			if err != nil {
-				t.Fatalf("compile: %v", err)
+	defer func(level eval.ProfLevel) { diffProf = level }(diffProf)
+	for _, level := range []eval.ProfLevel{eval.ProfOff, eval.ProfSampled, eval.ProfFull} {
+		diffProf = level
+		t.Run(level.String(), func(t *testing.T) {
+			for _, src := range diffCorpus {
+				t.Run(src, func(t *testing.T) {
+					core, _, err := s.Compile(src)
+					if err != nil {
+						t.Fatalf("compile: %v", err)
+					}
+					runDiff(t, globals, core, 0, eval.Limits{})
+					runDiff(t, globals, s.Optimize(core), 0, eval.Limits{})
+				})
 			}
-			runDiff(t, globals, core, 0, eval.Limits{})
-			runDiff(t, globals, s.Optimize(core), 0, eval.Limits{})
 		})
 	}
 }
@@ -232,6 +249,10 @@ func FuzzEngineDifferential(f *testing.F) {
 		if err != nil {
 			t.Skip() // only well-typed queries reach an engine
 		}
+		// Vary the profiling level deterministically per input so the fuzz
+		// explores all three instrumentation states — off keeps the fused
+		// subscript path under coverage, full exercises every wrapper.
+		diffProf = eval.ProfLevel(len(src) % 3)
 		runDiff(t, globals, core, 200_000, limits)
 		runDiff(t, globals, s.Optimize(core), 200_000, limits)
 	})

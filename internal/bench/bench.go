@@ -24,6 +24,12 @@ import (
 // -engine flag so one binary can measure either engine.
 var Engine string
 
+// Profiling, when non-empty, sets the operator-profiling level ("off",
+// "sampled" or "full") every MustSession installs; cmd/aqlbench sets it
+// from its -proflevel flag so the experiments can emit span-annotated
+// reports (or prove the off-level adds nothing).
+var Profiling string
+
 // MustSession returns a standard session or panics; benchmarks have no
 // error channel worth threading.
 func MustSession() *repl.Session {
@@ -33,6 +39,11 @@ func MustSession() *repl.Session {
 	}
 	if Engine != "" {
 		if err := s.SetEngine(Engine); err != nil {
+			panic(err)
+		}
+	}
+	if Profiling != "" {
+		if err := s.SetProfiling(Profiling); err != nil {
 			panic(err)
 		}
 	}

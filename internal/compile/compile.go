@@ -70,7 +70,23 @@ type Engine struct {
 	Workers int
 
 	m *machine
+
+	// profLevel selects operator-level span profiling (see eval.ProfLevel);
+	// lastSpans is the folded tree of the most recent EvalExpr.
+	profLevel eval.ProfLevel
+	lastSpans *eval.SpanNode
 }
+
+// SetProfiling selects the span-profiling level for subsequent EvalExpr
+// calls; part of eval.SpanProfiler.
+func (e *Engine) SetProfiling(l eval.ProfLevel) { e.profLevel = l }
+
+// Profiling reports the engine's profiling level; part of eval.SpanProfiler.
+func (e *Engine) Profiling() eval.ProfLevel { return e.profLevel }
+
+// SpanTree returns the span tree of the most recent EvalExpr, or nil when
+// profiling was off; part of eval.SpanProfiler.
+func (e *Engine) SpanTree() *eval.SpanNode { return e.lastSpans }
 
 // New returns a compiled engine over the given globals (which may be nil).
 func New(globals map[string]object.Value) *Engine {
@@ -98,7 +114,11 @@ func (e *Engine) Counters() eval.Counters {
 // interpreter's behavior of erroring on an unbound variable only if it is
 // actually evaluated.
 func (e *Engine) EvalExpr(ctx context.Context, expr ast.Expr) (object.Value, error) {
-	c := &compiler{globals: e.Globals, limits: e.Limits}
+	// Profiling is decided at closure-compile time: at ProfOff no plan
+	// exists and compile emits exactly the unprofiled closures, so the off
+	// level costs nothing at execution time.
+	e.lastSpans = nil
+	c := &compiler{globals: e.Globals, limits: e.Limits, prof: eval.NewSpanPlan(expr, e.profLevel)}
 	code := c.compile(expr)
 
 	m := &machine{
@@ -128,10 +148,17 @@ func (e *Engine) EvalExpr(ctx context.Context, expr ast.Expr) (object.Value, err
 	}
 	// Clear the interrupt state on the way out, as EvalCtx does: closures
 	// that escape this evaluation capture the machine, and a later call
-	// through them must not observe a stale context or deadline.
+	// through them must not observe a stale context or deadline. The
+	// profiling context is cleared for the same reason, after folding the
+	// accumulated span tree (even on error, so partial evaluations report).
+	m.prof = eval.NewProfCtx(c.prof)
 	defer func() {
 		m.ctx = nil
 		m.deadline = time.Time{}
+		if m.prof != nil {
+			e.lastSpans = m.prof.Fold()
+			m.prof = nil
+		}
 	}()
 	e.m = m
 	fr := &frame{m: m, slots: make([]object.Value, c.maxSlots)}
@@ -146,6 +173,9 @@ type compiler struct {
 	limits   eval.Limits
 	scope    []string
 	maxSlots int
+	// prof is the evaluation's span plan (nil when profiling is off);
+	// compile wraps every planned node in a span-recording closure.
+	prof *eval.SpanPlan
 }
 
 // bind pushes a binder and returns its slot.
@@ -177,16 +207,25 @@ func (c *compiler) lookup(name string) (int, bool) {
 func (c *compiler) compile(e ast.Expr) compiledExpr {
 	op := c.compileNode(e)
 	if max := c.limits.MaxDepth; max > 0 {
-		return func(fr *frame) (object.Value, error) {
+		inner := op
+		op = func(fr *frame) (object.Value, error) {
 			m := fr.m
 			m.depth++
 			if m.depth > max {
 				m.depth--
 				return object.Value{}, &eval.ResourceError{Kind: eval.ResourceDepth, Limit: int64(max), Used: int64(max) + 1}
 			}
-			v, err := op(fr)
+			v, err := inner(fr)
 			m.depth--
 			return v, err
+		}
+	}
+	// The span wrapper sits outside the depth guard so profiled invocation
+	// counts match the interpreter, whose span hook precedes its depth
+	// check.
+	if c.prof != nil {
+		if id, ok := c.prof.ID(e); ok {
+			op = profWrap(op, id)
 		}
 	}
 	return op
@@ -577,8 +616,13 @@ func (c *compiler) compileNode(e ast.Expr) compiledExpr {
 		// Matrix subscripts a[(e1,e2)] are fused: the index components feed
 		// a direct offset computation without materializing the pair. Not
 		// done under a depth limit, where the elided tuple node would skew
-		// the depth accounting relative to the interpreter.
-		if tup, ok := n.Index.(*ast.Tuple); ok && len(tup.Elems) == 2 && c.limits.MaxDepth == 0 {
+		// the depth accounting relative to the interpreter, nor at ProfFull,
+		// where the elided tuple node must keep its span so both engines
+		// report the same tree. (At ProfSampled the tuple carries no span
+		// and the components are compiled through c.compile, keeping
+		// theirs, so fusion stays.)
+		if tup, ok := n.Index.(*ast.Tuple); ok && len(tup.Elems) == 2 && c.limits.MaxDepth == 0 &&
+			(c.prof == nil || c.prof.Level != eval.ProfFull) {
 			return c.compileSubscript2(arr, tup)
 		}
 		index := c.compile(n.Index)
@@ -852,7 +896,7 @@ func (c *compiler) compileLam(n *ast.Lam) compiledExpr {
 		capNames = append(capNames, name)
 		capSlots = append(capSlots, i)
 	}
-	sub := &compiler{globals: c.globals, limits: c.limits}
+	sub := &compiler{globals: c.globals, limits: c.limits, prof: c.prof}
 	sub.scope = append(sub.scope, capNames...)
 	sub.scope = append(sub.scope, n.Param)
 	sub.maxSlots = len(sub.scope)
@@ -998,6 +1042,12 @@ func (c *compiler) compileArrayTab(n *ast.ArrayTab) compiledExpr {
 	}
 	head := c.compile(n.Head)
 	c.unbind(len(n.Idx))
+	// The tabulation's span id is resolved at compile time so the parallel
+	// kernel can attach per-worker ranges and busy times to it.
+	spanID := -1
+	if id, ok := c.prof.ID(n); ok {
+		spanID = id
+	}
 	return func(fr *frame) (object.Value, error) {
 		if err := fr.m.step(); err != nil {
 			return object.Value{}, err
@@ -1029,7 +1079,7 @@ func (c *compiler) compileArrayTab(n *ast.ArrayTab) compiledExpr {
 		}
 		m := fr.m
 		if size >= m.threshold && size <= math.MaxInt64/2 && m.workers > 1 && !m.inWorker() {
-			return tabulateParallel(fr, shape, int(size), idxSlots, head)
+			return tabulateParallel(fr, shape, int(size), idxSlots, head, spanID)
 		}
 		return tabulateSerial(fr, shape, idxSlots, head)
 	}

@@ -45,6 +45,12 @@ type machine struct {
 	baseCells    int64
 	flushedSteps int64
 
+	// prof is the span-profiling accumulation context of this evaluation
+	// (nil when profiling is off); workers fork their own so the measured
+	// path stays uncontended, and flush merges them back at join. Cleared
+	// at EvalExpr exit, like ctx, so escaped closures see no stale state.
+	prof *eval.ProfCtx
+
 	steps, cells, tabs, setOps, iters atomic.Int64
 }
 
@@ -116,6 +122,7 @@ func (m *machine) fork() *machine {
 		parent:    m,
 		baseSteps: satAdd(m.baseSteps, m.steps.Load()),
 		baseCells: satAdd(m.baseCells, m.cells.Load()),
+		prof:      m.prof.Fork(),
 	}
 	return w
 }
@@ -140,6 +147,7 @@ func (m *machine) flush() {
 	p.tabs.Add(m.tabs.Load())
 	p.setOps.Add(m.setOps.Load())
 	p.iters.Add(m.iters.Load())
+	p.prof.MergeWorker(m.prof)
 }
 
 // inWorker reports whether this machine is a tabulation worker; used to

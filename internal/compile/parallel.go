@@ -3,6 +3,7 @@ package compile
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/aqldb/aql/internal/eval"
 	"github.com/aqldb/aql/internal/object"
@@ -31,7 +32,10 @@ const minChunk = 2048
 //
 // Counters are exact: each worker counts on a forked machine and flushes
 // into the parent at join, so the post-join totals equal a serial run's.
-func tabulateParallel(fr *frame, shape []int, size int, idxSlots []int, head compiledExpr) (object.Value, error) {
+// Under profiling, each fork carries its own span context merged back the
+// same way, and spanID (the tabulation's span, -1 when unprofiled) receives
+// one WorkerSpan per worker recording its range, busy time and steps.
+func tabulateParallel(fr *frame, shape []int, size int, idxSlots []int, head compiledExpr, spanID int) (object.Value, error) {
 	m := fr.m
 	nw := m.workers
 	if max := (size + minChunk - 1) / minChunk; nw > max {
@@ -44,9 +48,12 @@ func tabulateParallel(fr *frame, shape []int, size int, idxSlots []int, head com
 		errOff    int
 		bottom    object.Value
 		bottomOff int
+		busy      time.Duration
 	}
 	results := make([]workerResult, nw)
+	machines := make([]*machine, nw)
 	data := make([]object.Value, size)
+	profiled := m.prof != nil
 	var failed atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < nw; w++ {
@@ -60,14 +67,19 @@ func tabulateParallel(fr *frame, shape []int, size int, idxSlots []int, head com
 		if start >= end {
 			continue
 		}
+		wm := m.fork()
+		machines[w] = wm
 		wg.Add(1)
-		go func(start, end int, res *workerResult) {
+		go func(start, end int, res *workerResult, wm *machine) {
 			defer wg.Done()
-			wm := m.fork()
 			slots := make([]object.Value, len(fr.slots))
 			copy(slots, fr.slots)
 			wfr := &frame{m: wm, slots: slots}
 			defer wm.flush()
+			if profiled {
+				t0 := time.Now()
+				defer func() { res.busy = time.Since(t0) }()
+			}
 			idx := unflatten(start, shape)
 			for off := start; off < end; off++ {
 				if failed.Load() {
@@ -90,9 +102,32 @@ func tabulateParallel(fr *frame, shape []int, size int, idxSlots []int, head com
 				data[off] = v
 				advance(idx, shape)
 			}
-		}(start, end, res)
+		}(start, end, res, wm)
 	}
 	wg.Wait()
+
+	if profiled && spanID >= 0 {
+		spans := make([]eval.WorkerSpan, 0, nw)
+		for w := 0; w < nw; w++ {
+			wm := machines[w]
+			if wm == nil {
+				continue
+			}
+			start := w * chunk
+			end := start + chunk
+			if end > size {
+				end = size
+			}
+			spans = append(spans, eval.WorkerSpan{
+				Worker: w,
+				Start:  start,
+				End:    end,
+				Busy:   results[w].busy,
+				Steps:  wm.steps.Load(),
+			})
+		}
+		m.prof.RecordWorkers(spanID, spans)
+	}
 
 	// Workers cover disjoint ascending ranges, so the first hit wins.
 	for i := range results {

@@ -39,8 +39,20 @@ type Engine interface {
 // Name identifies the tree-walking interpreter; part of Engine.
 func (ev *Evaluator) Name() string { return "interp" }
 
-// EvalExpr evaluates e with no local bindings; part of Engine.
+// EvalExpr evaluates e with no local bindings; part of Engine. When span
+// profiling is enabled it builds the evaluation's span plan first and folds
+// the accumulated tree on the way out (even on error), so SpanTree reflects
+// partial evaluations too.
 func (ev *Evaluator) EvalExpr(ctx context.Context, e ast.Expr) (object.Value, error) {
+	if ev.profLevel == ProfOff {
+		ev.lastSpans = nil
+		return ev.EvalCtx(ctx, e, nil)
+	}
+	ev.prof = NewProfCtx(NewSpanPlan(e, ev.profLevel))
+	defer func() {
+		ev.lastSpans = ev.prof.Fold()
+		ev.prof = nil
+	}()
 	return ev.EvalCtx(ctx, e, nil)
 }
 

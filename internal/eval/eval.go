@@ -89,6 +89,14 @@ type Evaluator struct {
 	// depth is the current Eval recursion depth, tracked only when
 	// Limits.MaxDepth is set.
 	depth int
+
+	// profLevel selects operator-level span profiling for EvalExpr calls;
+	// prof is the live accumulation context of the current EvalExpr and
+	// lastSpans the folded tree of the most recent one. prof is cleared on
+	// the way out of EvalExpr so escaped closures never touch stale state.
+	profLevel ProfLevel
+	prof      *ProfCtx
+	lastSpans *SpanNode
 }
 
 // New returns an evaluator over the given globals (which may be nil).
@@ -149,6 +157,21 @@ func (ev *Evaluator) chargeCells(n int64) error {
 // (unbound variables, kind mismatches in external primitives) and for
 // resource-budget exhaustion (*ResourceError).
 func (ev *Evaluator) Eval(e ast.Expr, env *Env) (object.Value, error) {
+	// The span hook sits outside the depth guard so profiled invocation
+	// counts match the compiled engine, which wraps its profiling closure
+	// around the depth-guarded node closure the same way.
+	if p := ev.prof; p != nil {
+		if id, ok := p.Plan.ID(e); ok {
+			return ev.evalSpan(p, id, e, env)
+		}
+	}
+	return ev.evalDepth(e, env)
+}
+
+// evalDepth applies the depth guard (when configured) and descends; the
+// profiling hook in Eval dispatches here so a profiled node is not
+// re-profiled.
+func (ev *Evaluator) evalDepth(e ast.Expr, env *Env) (object.Value, error) {
 	// Depth is checked outside the step charge so that a depth trip leaves
 	// the tripping node's step uncharged — the compiled engine wraps its
 	// step-charging node closures in a depth guard the same way, and the

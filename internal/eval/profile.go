@@ -1,0 +1,445 @@
+package eval
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/aqldb/aql/internal/ast"
+	"github.com/aqldb/aql/internal/object"
+)
+
+// Operator-level profiling: both engines attribute wall time, work counters
+// and invocation counts to individual core-AST operators, producing a span
+// tree per evaluation. The machinery here is engine-neutral — the span plan
+// is built from the AST by a traversal both engines share, so the two
+// engines produce structurally identical trees (same operators, same
+// invocation counts) and only the timings differ.
+//
+// The cost model follows the profiling level:
+//
+//   - ProfOff: no plan is built and no closure is wrapped; the engines'
+//     hot paths are byte-identical to unprofiled execution.
+//   - ProfSampled: only the coarse operators (tabulations, subscripts, big
+//     unions, conditionals, applications, ...) carry spans, and only one in
+//     SampleInterval invocations of a span is fully measured; the rest pay
+//     one atomic increment. Reported times and counters are scaled
+//     estimates.
+//   - ProfFull: every AST node carries a span and every invocation is
+//     measured. Counter attribution is exact: the per-span self counters
+//     sum to the engine's flat counters.
+
+// ProfLevel selects how much operator-level profiling an engine performs.
+type ProfLevel int
+
+const (
+	// ProfOff disables span profiling entirely (the default).
+	ProfOff ProfLevel = iota
+	// ProfSampled profiles coarse operators, measuring one in
+	// SampleInterval invocations.
+	ProfSampled
+	// ProfFull profiles every operator on every invocation.
+	ProfFull
+)
+
+// SampleInterval is the sampling period of ProfSampled: invocation 1,
+// 1+SampleInterval, 1+2·SampleInterval, ... of each span are measured.
+// Must be a power of two (the sampling test is a mask).
+const SampleInterval = 64
+
+// sampleMask routes one in SampleInterval invocations to the measured path.
+const sampleMask = SampleInterval - 1
+
+// String renders the level as its flag/command spelling.
+func (l ProfLevel) String() string {
+	switch l {
+	case ProfOff:
+		return "off"
+	case ProfSampled:
+		return "sampled"
+	case ProfFull:
+		return "full"
+	}
+	return fmt.Sprintf("ProfLevel(%d)", int(l))
+}
+
+// ParseProfLevel parses "off", "sampled" or "full".
+func ParseProfLevel(s string) (ProfLevel, error) {
+	switch s {
+	case "off":
+		return ProfOff, nil
+	case "sampled":
+		return ProfSampled, nil
+	case "full":
+		return ProfFull, nil
+	}
+	return ProfOff, fmt.Errorf("eval: unknown profiling level %q (have off, sampled, full)", s)
+}
+
+// SpanProfiler is the optional engine capability of producing span trees;
+// both engines implement it. The session type-asserts rather than widening
+// the Engine interface so alternative engines without profiling remain
+// conformant.
+type SpanProfiler interface {
+	// SetProfiling selects the profiling level for subsequent EvalExpr
+	// calls.
+	SetProfiling(ProfLevel)
+	// Profiling reports the current level.
+	Profiling() ProfLevel
+	// SpanTree returns the span tree of the most recent EvalExpr, or nil
+	// when profiling was off.
+	SpanTree() *SpanNode
+}
+
+// WorkerSpan records one parallel-tabulation worker: its contiguous
+// row-major element range, how long its loop ran, and the steps it charged
+// — the per-worker skew view of a fanned-out tabulation.
+type WorkerSpan struct {
+	Worker int
+	Start  int // first row-major offset (inclusive)
+	End    int // last row-major offset (exclusive)
+	Busy   time.Duration
+	Steps  int64
+}
+
+// SpanNode is one profiled operator in a span tree. Children follow the
+// static AST structure (a lambda body is a child of its Lam even though it
+// executes under an App). Times and counters are exact at ProfFull; at
+// ProfSampled they are estimates scaled from the measured sample, and
+// WallSelf is clamped at zero (parallel tabulation children accumulate
+// CPU-style busy time that can exceed the parent's elapsed time).
+type SpanNode struct {
+	Op       string
+	Children []*SpanNode
+
+	// Invocations counts executions of the operator; Measured counts the
+	// ones that were fully timed (equal at ProfFull).
+	Invocations int64
+	Measured    int64
+
+	// WallCum is the operator's cumulative wall time including descendants;
+	// WallSelf excludes time measured in profiled descendants.
+	WallCum  time.Duration
+	WallSelf time.Duration
+
+	// Self work counters: charges made while this span was the innermost
+	// open span. Summed over the tree they equal the engine's flat
+	// counters (exactly at ProfFull).
+	Steps  int64
+	Cells  int64
+	Tabs   int64
+	SetOps int64
+	Iters  int64
+
+	// Workers records parallel-tabulation executions under this operator
+	// (ArrayTab spans only); WorkersDropped counts records beyond the cap.
+	Workers        []WorkerSpan
+	WorkersDropped int
+}
+
+// Walk calls fn for the node and every descendant, depth-first.
+func (n *SpanNode) Walk(fn func(*SpanNode)) {
+	if n == nil {
+		return
+	}
+	fn(n)
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// CumCounters sums the self counters of the node and its descendants.
+func (n *SpanNode) CumCounters() Counters {
+	var c Counters
+	n.Walk(func(s *SpanNode) {
+		c.Steps += s.Steps
+		c.Cells += s.Cells
+		c.Tabs += s.Tabs
+		c.SetOps += s.SetOps
+		c.Iters += s.Iters
+	})
+	return c
+}
+
+// spanWorthy reports whether the operator gets its own span at the level:
+// everything at ProfFull; at ProfSampled the coarse operators whose cost
+// dominates real queries — tabulation, subscripting, the comprehension and
+// set-algebra loops, conditionals and application. Leaf nodes (variables,
+// literals, arithmetic, tuples) are folded into their nearest profiled
+// ancestor's self time.
+func spanWorthy(e ast.Expr, level ProfLevel) bool {
+	if level == ProfFull {
+		return true
+	}
+	switch e.(type) {
+	case *ast.ArrayTab, *ast.Subscript, *ast.MkArray, *ast.Dim,
+		*ast.BigUnion, *ast.BigBagUnion, *ast.RankUnion, *ast.RankBagUnion,
+		*ast.Sum, *ast.Gen, *ast.Index, *ast.If, *ast.App,
+		*ast.Union, *ast.BagUnion, *ast.Get:
+		return true
+	}
+	return false
+}
+
+// SpanPlan maps AST nodes to span identities for one evaluation. Both
+// engines build their plan with NewSpanPlan over the same core expression,
+// which is what guarantees structurally identical trees.
+type SpanPlan struct {
+	Level ProfLevel
+	Root  *SpanNode
+	Nodes []*SpanNode // by span id
+
+	ids map[ast.Expr]int
+
+	// maxWorkerSpans caps the per-span worker records (a tabulation inside
+	// a loop executes many times).
+	mu sync.Mutex // guards Workers/WorkersDropped appends
+}
+
+// maxWorkerSpans bounds the worker records kept per ArrayTab span.
+const maxWorkerSpans = 64
+
+// NewSpanPlan builds the span plan for e at the given level. Shared
+// subtrees (the optimizer may alias nodes) are planned once, at their first
+// visit; both engines consult the same map, so attribution stays
+// consistent. Returns nil at ProfOff.
+func NewSpanPlan(e ast.Expr, level ProfLevel) *SpanPlan {
+	if level == ProfOff || e == nil {
+		return nil
+	}
+	p := &SpanPlan{Level: level, ids: make(map[ast.Expr]int)}
+	p.walk(e, nil, true)
+	p.Root = p.Nodes[0]
+	return p
+}
+
+func (p *SpanPlan) walk(e ast.Expr, parent *SpanNode, root bool) {
+	if e == nil {
+		return
+	}
+	if _, seen := p.ids[e]; seen {
+		return // shared subtree: attributed at its first occurrence
+	}
+	if root || spanWorthy(e, p.Level) {
+		sp := &SpanNode{Op: ast.NodeName(e)}
+		p.ids[e] = len(p.Nodes)
+		p.Nodes = append(p.Nodes, sp)
+		if parent != nil {
+			parent.Children = append(parent.Children, sp)
+		}
+		parent = sp
+	}
+	for _, kid := range e.Children() {
+		p.walk(kid, parent, false)
+	}
+}
+
+// ID resolves an AST node to its span id.
+func (p *SpanPlan) ID(e ast.Expr) (int, bool) {
+	if p == nil {
+		return 0, false
+	}
+	id, ok := p.ids[e]
+	return id, ok
+}
+
+// SpanSlot accumulates one span's measurements. All fields are atomic:
+// closures that escape into the compiled engine's parallel tabulation
+// workers can execute a span concurrently (the same reason the engines'
+// work counters are atomic), and atomicity keeps that race-free. The
+// Child* exchange underlying self attribution is heuristically ordered in
+// that case — concurrent interleavings can skew self times, never
+// invocation counts or cumulative counters.
+type SpanSlot struct {
+	Inv      atomic.Int64
+	Measured atomic.Int64
+	WallNs   atomic.Int64
+	SelfNs   atomic.Int64
+	Steps    atomic.Int64
+	Cells    atomic.Int64
+	Tabs     atomic.Int64
+	SetOps   atomic.Int64
+	Iters    atomic.Int64
+}
+
+// ProfCtx is one goroutine-lineage's accumulation state: the root machine
+// owns one, and each parallel tabulation worker forks its own so the hot
+// path stays uncontended; worker contexts merge back at join. The Child*
+// fields implement self attribution: a measured span invocation zeroes
+// them, runs, subtracts what profiled descendants accumulated, and restores
+// the parent's view plus its own contribution.
+type ProfCtx struct {
+	Plan  *SpanPlan
+	Full  bool
+	Slots []SpanSlot
+
+	ChildWallNs atomic.Int64
+	ChildSteps  atomic.Int64
+	ChildCells  atomic.Int64
+	ChildTabs   atomic.Int64
+	ChildSetOps atomic.Int64
+	ChildIters  atomic.Int64
+}
+
+// NewProfCtx returns the root accumulation context for a plan (nil plan
+// gives nil context).
+func NewProfCtx(plan *SpanPlan) *ProfCtx {
+	if plan == nil {
+		return nil
+	}
+	return &ProfCtx{Plan: plan, Full: plan.Level == ProfFull, Slots: make([]SpanSlot, len(plan.Nodes))}
+}
+
+// Fork returns a fresh context over the same plan for a parallel worker.
+func (p *ProfCtx) Fork() *ProfCtx {
+	if p == nil {
+		return nil
+	}
+	return &ProfCtx{Plan: p.Plan, Full: p.Full, Slots: make([]SpanSlot, len(p.Plan.Nodes))}
+}
+
+// MergeWorker folds a worker context into p at join: per-span measurements
+// add slot-wise, and the worker's top-level attributed totals (its residual
+// Child* accumulators) feed p's open invocation so the enclosing span's
+// self excludes work already attributed inside the worker.
+func (p *ProfCtx) MergeWorker(w *ProfCtx) {
+	if p == nil || w == nil {
+		return
+	}
+	for i := range w.Slots {
+		ws, ps := &w.Slots[i], &p.Slots[i]
+		ps.Inv.Add(ws.Inv.Load())
+		ps.Measured.Add(ws.Measured.Load())
+		ps.WallNs.Add(ws.WallNs.Load())
+		ps.SelfNs.Add(ws.SelfNs.Load())
+		ps.Steps.Add(ws.Steps.Load())
+		ps.Cells.Add(ws.Cells.Load())
+		ps.Tabs.Add(ws.Tabs.Load())
+		ps.SetOps.Add(ws.SetOps.Load())
+		ps.Iters.Add(ws.Iters.Load())
+	}
+	p.ChildWallNs.Add(w.ChildWallNs.Load())
+	p.ChildSteps.Add(w.ChildSteps.Load())
+	p.ChildCells.Add(w.ChildCells.Load())
+	p.ChildTabs.Add(w.ChildTabs.Load())
+	p.ChildSetOps.Add(w.ChildSetOps.Load())
+	p.ChildIters.Add(w.ChildIters.Load())
+}
+
+// RecordWorkers appends parallel-worker records to the span, keeping at
+// most maxWorkerSpans per span and counting the rest.
+func (p *ProfCtx) RecordWorkers(id int, ws []WorkerSpan) {
+	if p == nil || id < 0 || id >= len(p.Plan.Nodes) {
+		return
+	}
+	p.Plan.mu.Lock()
+	sp := p.Plan.Nodes[id]
+	for i, w := range ws {
+		if len(sp.Workers) >= maxWorkerSpans {
+			sp.WorkersDropped += len(ws) - i
+			break
+		}
+		sp.Workers = append(sp.Workers, w)
+	}
+	p.Plan.mu.Unlock()
+}
+
+// Fold writes the accumulated slots into the plan's nodes and returns the
+// root. At ProfSampled the wall times and counters are scaled from the
+// measured sample to estimate the full population; WallSelf is clamped at
+// zero.
+func (p *ProfCtx) Fold() *SpanNode {
+	if p == nil {
+		return nil
+	}
+	for i, sp := range p.Plan.Nodes {
+		s := &p.Slots[i]
+		inv, measured := s.Inv.Load(), s.Measured.Load()
+		sp.Invocations = inv
+		sp.Measured = measured
+		scale := 1.0
+		if measured > 0 && inv > measured {
+			scale = float64(inv) / float64(measured)
+		}
+		est := func(v int64) int64 {
+			if v <= 0 || scale == 1.0 {
+				return max64(v, 0)
+			}
+			return int64(float64(v) * scale)
+		}
+		sp.WallCum = time.Duration(est(s.WallNs.Load()))
+		sp.WallSelf = time.Duration(est(s.SelfNs.Load()))
+		sp.Steps = est(s.Steps.Load())
+		sp.Cells = est(s.Cells.Load())
+		sp.Tabs = est(s.Tabs.Load())
+		sp.SetOps = est(s.SetOps.Load())
+		sp.Iters = est(s.Iters.Load())
+	}
+	return p.Plan.Root
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// SetProfiling selects the span-profiling level for subsequent EvalExpr
+// calls; part of SpanProfiler.
+func (ev *Evaluator) SetProfiling(l ProfLevel) { ev.profLevel = l }
+
+// Profiling reports the interpreter's profiling level; part of SpanProfiler.
+func (ev *Evaluator) Profiling() ProfLevel { return ev.profLevel }
+
+// SpanTree returns the span tree of the most recent EvalExpr, or nil when
+// profiling was off; part of SpanProfiler.
+func (ev *Evaluator) SpanTree() *SpanNode { return ev.lastSpans }
+
+// evalSpan is the interpreter's span wrapper: count the invocation, and on
+// measured invocations (all of them at ProfFull, one in SampleInterval at
+// ProfSampled) snapshot the work counters and exchange the Child*
+// accumulators around the evaluation so self time and self counters exclude
+// profiled descendants.
+func (ev *Evaluator) evalSpan(p *ProfCtx, id int, e ast.Expr, env *Env) (object.Value, error) {
+	s := &p.Slots[id]
+	inv := s.Inv.Add(1)
+	if !p.Full && (inv-1)&sampleMask != 0 {
+		return ev.evalDepth(e, env)
+	}
+	steps0 := ev.Steps.Load()
+	cells0 := ev.Cells.Load()
+	tabs0 := ev.Tabs.Load()
+	setOps0 := ev.SetOps.Load()
+	iters0 := ev.Iters.Load()
+	savedWall := p.ChildWallNs.Swap(0)
+	savedSteps := p.ChildSteps.Swap(0)
+	savedCells := p.ChildCells.Swap(0)
+	savedTabs := p.ChildTabs.Swap(0)
+	savedSetOps := p.ChildSetOps.Swap(0)
+	savedIters := p.ChildIters.Swap(0)
+	t0 := time.Now()
+	v, err := ev.evalDepth(e, env)
+	d := int64(time.Since(t0))
+	dSteps := ev.Steps.Load() - steps0
+	dCells := ev.Cells.Load() - cells0
+	dTabs := ev.Tabs.Load() - tabs0
+	dSetOps := ev.SetOps.Load() - setOps0
+	dIters := ev.Iters.Load() - iters0
+	s.Measured.Add(1)
+	s.WallNs.Add(d)
+	s.SelfNs.Add(d - p.ChildWallNs.Load())
+	s.Steps.Add(dSteps - p.ChildSteps.Load())
+	s.Cells.Add(dCells - p.ChildCells.Load())
+	s.Tabs.Add(dTabs - p.ChildTabs.Load())
+	s.SetOps.Add(dSetOps - p.ChildSetOps.Load())
+	s.Iters.Add(dIters - p.ChildIters.Load())
+	p.ChildWallNs.Store(savedWall + d)
+	p.ChildSteps.Store(savedSteps + dSteps)
+	p.ChildCells.Store(savedCells + dCells)
+	p.ChildTabs.Store(savedTabs + dTabs)
+	p.ChildSetOps.Store(savedSetOps + dSetOps)
+	p.ChildIters.Store(savedIters + dIters)
+	return v, err
+}

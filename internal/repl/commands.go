@@ -20,6 +20,9 @@ func IsCommand(line string) bool {
 //	:profile <query>   run the query and show per-phase wall times and
 //	                   evaluator/I/O counters
 //	:stats             session-cumulative totals since startup
+//	:top [n]           hottest operators of the last query's span tree
+//	:fleet             cross-query aggregates (histogram, rules, slow log)
+//	:prof [level]      show or set the profiling level (off/sampled/full)
 //	:engine [name]     show or switch the execution engine
 //	:help              list commands
 //
@@ -42,6 +45,31 @@ func (s *Session) Command(ctx context.Context, line string) (string, error) {
 		return s.Profile(ctx, arg)
 	case ":stats":
 		return s.Trace.Totals().FormatTotals(), nil
+	case ":top":
+		n := 0
+		if arg != "" {
+			if _, err := fmt.Sscanf(arg, "%d", &n); err != nil {
+				return "", fmt.Errorf("usage: :top [n]")
+			}
+		}
+		rep := s.Trace.Last()
+		if rep == nil {
+			return "no query recorded yet\n", nil
+		}
+		return rep.FormatTop(n), nil
+	case ":fleet":
+		if s.Fleet == nil {
+			return "no fleet aggregator attached\n", nil
+		}
+		return s.Fleet.Snapshot().FormatFleet(), nil
+	case ":prof":
+		if arg == "" {
+			return fmt.Sprintf("profiling: %s\n", s.Profiling), nil
+		}
+		if err := s.SetProfiling(arg); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("profiling: %s\n", s.Profiling), nil
 	case ":engine":
 		if arg == "" {
 			return fmt.Sprintf("engine: %s\n", s.Engine), nil
@@ -60,6 +88,9 @@ const helpText = `commands:
   :explain <query>   show the optimized query and the optimizer rule trace
   :profile <query>   run the query; show phase times and work counters
   :stats             session-cumulative totals
+  :top [n]           hottest operators of the last query (needs :prof on)
+  :fleet             cross-query aggregates: histogram, rules, slow queries
+  :prof [level]      show or set the profiling level (off, sampled, full)
   :engine [name]     show or switch the execution engine (interp, compiled)
   :help              this help
 `

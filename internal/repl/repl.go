@@ -59,6 +59,20 @@ type Session struct {
 	// internal/compile) or EngineInterp (the reference tree-walking
 	// interpreter). Set it directly or via SetEngine for validation.
 	Engine string
+	// Profiling selects operator-level span profiling for evaluations:
+	// eval.ProfOff (the default; zero overhead), eval.ProfSampled (coarse
+	// operators, one in eval.SampleInterval invocations measured) or
+	// eval.ProfFull (every operator, exact attribution). Set it directly or
+	// via SetProfiling for name validation.
+	Profiling eval.ProfLevel
+	// Fleet accumulates cross-query aggregates (latency histogram, phase
+	// and I/O totals, rule firing counts, slow-query log); Flight is the
+	// ring of the last N full reports. Both are wired into Trace as sinks
+	// by New and survive SetTraceSink.
+	Fleet  *trace.Aggregator
+	Flight *trace.FlightRecorder
+	// userSink is the caller-provided sink composed alongside Fleet/Flight.
+	userSink trace.Sink
 }
 
 // Execution engine names for Session.Engine.
@@ -122,8 +136,31 @@ func New() (*Session, error) {
 	}
 	// The setup statements above went through the instrumented pipeline;
 	// drop them so :stats and the metrics endpoint report only user work.
+	// The fleet sinks are installed after the reset for the same reason.
 	s.Trace.Reset()
+	s.Fleet = trace.NewAggregator(0)
+	s.Flight = trace.NewFlightRecorder(0)
+	s.Trace.SetSink(trace.MultiSink{s.Fleet, s.Flight})
 	return s, nil
+}
+
+// SetTraceSink points the session's trace reports at sink while keeping the
+// fleet aggregator and flight recorder attached; use it instead of calling
+// Trace.SetSink directly, which would detach them.
+func (s *Session) SetTraceSink(sink trace.Sink) {
+	s.userSink = sink
+	s.Trace.SetSink(trace.MultiSink{s.Fleet, s.Flight, s.userSink})
+}
+
+// SetProfiling selects the session's span-profiling level by name ("off",
+// "sampled", "full"), rejecting unknown names.
+func (s *Session) SetProfiling(level string) error {
+	l, err := eval.ParseProfLevel(level)
+	if err != nil {
+		return err
+	}
+	s.Profiling = l
+	return nil
 }
 
 // StandardMacros defines the derived operators that section 3 lists as
@@ -259,6 +296,11 @@ func (s *Session) evalGuarded(ctx context.Context, core ast.Expr, src string) (v
 			SetOps:      c.SetOps,
 			Iterations:  c.Iters,
 		})
+		if sp, ok := eng.(eval.SpanProfiler); ok {
+			if root := sp.SpanTree(); root != nil {
+				s.Trace.RecordSpans(convertSpan(root), sp.Profiling().String())
+			}
+		}
 		if r := recover(); r != nil {
 			v = object.Value{}
 			err = &PanicError{Src: src, Val: r, Stack: debug.Stack()}
@@ -276,12 +318,44 @@ func (s *Session) newEngine() eval.Engine {
 		ev := eval.New(s.Env.Globals())
 		ev.MaxSteps = s.MaxSteps
 		ev.Limits = s.Limits
+		ev.SetProfiling(s.Profiling)
 		return ev
 	}
 	e := compile.New(s.Env.Globals())
 	e.MaxSteps = s.MaxSteps
 	e.Limits = s.Limits
+	e.SetProfiling(s.Profiling)
 	return e
+}
+
+// convertSpan copies an engine span tree into the trace package's mirror
+// type (trace stays decoupled from the engines).
+func convertSpan(n *eval.SpanNode) *trace.SpanNode {
+	if n == nil {
+		return nil
+	}
+	out := &trace.SpanNode{
+		Op:             n.Op,
+		Invocations:    n.Invocations,
+		Measured:       n.Measured,
+		WallCum:        n.WallCum,
+		WallSelf:       n.WallSelf,
+		Steps:          n.Steps,
+		Cells:          n.Cells,
+		Tabulations:    n.Tabs,
+		SetOps:         n.SetOps,
+		Iterations:     n.Iters,
+		WorkersDropped: n.WorkersDropped,
+	}
+	for _, w := range n.Workers {
+		out.Workers = append(out.Workers, trace.WorkerSpan{
+			Worker: w.Worker, Start: w.Start, End: w.End, Busy: w.Busy, Steps: w.Steps,
+		})
+	}
+	for _, c := range n.Children {
+		out.Children = append(out.Children, convertSpan(c))
+	}
+	return out
 }
 
 // SetEngine selects the session's execution engine by name, rejecting

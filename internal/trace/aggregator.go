@@ -1,0 +1,211 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// The fleet layer: cross-query aggregates and a flight recorder. Both types
+// implement Sink, so a session wires them up by pointing its Recorder at a
+// MultiSink; both are safe for concurrent Emit and snapshot calls (the
+// metrics handler reads them from HTTP goroutines while queries run).
+
+// Latency histogram buckets: log-2 from 1µs to ~34s (2^25 µs), plus an
+// implicit +Inf. Queries land in the first bucket whose bound is >= wall.
+const nLatencyBuckets = 26
+
+// LatencyBucketBound returns the inclusive upper bound of bucket i.
+func LatencyBucketBound(i int) time.Duration {
+	return time.Microsecond << uint(i)
+}
+
+// DefaultSlowCap is how many slow queries the aggregator retains.
+const DefaultSlowCap = 16
+
+// DefaultFlightCap is the default flight-recorder capacity.
+const DefaultFlightCap = 64
+
+// SlowQuery is one entry of the bounded slow-query log.
+type SlowQuery struct {
+	Query  string        `json:"query"`
+	Engine string        `json:"engine,omitempty"`
+	Start  time.Time     `json:"start"`
+	Wall   time.Duration `json:"wall_ns"`
+	Err    string        `json:"err,omitempty"`
+}
+
+// Aggregator accumulates fleet-wide statistics across queries: a
+// log-bucketed latency histogram, per-phase wall totals, per-rule firing
+// counts, evaluator and NetCDF I/O totals, and a bounded slow-query log.
+// It implements Sink; attach it to a Recorder (possibly via MultiSink).
+type Aggregator struct {
+	mu      sync.Mutex
+	totals  Totals
+	buckets [nLatencyBuckets + 1]int64 // per-bucket counts; last is +Inf
+	rules   map[string]int64
+	slow    []SlowQuery // sorted by Wall, slowest first
+	slowCap int
+}
+
+// NewAggregator returns an aggregator keeping the slowCap slowest queries
+// (DefaultSlowCap when slowCap <= 0).
+func NewAggregator(slowCap int) *Aggregator {
+	if slowCap <= 0 {
+		slowCap = DefaultSlowCap
+	}
+	return &Aggregator{rules: map[string]int64{}, slowCap: slowCap}
+}
+
+// Emit folds one finished report into the aggregates; part of Sink.
+func (a *Aggregator) Emit(r *QueryReport) {
+	if a == nil || r == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.totals.add(r)
+	a.buckets[bucketFor(r.Wall)]++
+	for _, f := range r.Rules {
+		a.rules[f.Rule]++
+	}
+	sq := SlowQuery{Query: r.Query, Engine: r.Engine, Start: r.Start, Wall: r.Wall, Err: r.Err}
+	i := sort.Search(len(a.slow), func(i int) bool { return a.slow[i].Wall < sq.Wall })
+	if i < a.slowCap {
+		a.slow = append(a.slow, SlowQuery{})
+		copy(a.slow[i+1:], a.slow[i:])
+		a.slow[i] = sq
+		if len(a.slow) > a.slowCap {
+			a.slow = a.slow[:a.slowCap]
+		}
+	}
+}
+
+// bucketFor maps a wall time to its histogram bucket index.
+func bucketFor(d time.Duration) int {
+	for i := 0; i < nLatencyBuckets; i++ {
+		if d <= LatencyBucketBound(i) {
+			return i
+		}
+	}
+	return nLatencyBuckets
+}
+
+// AggregateSnapshot is a consistent copy of an Aggregator's state.
+type AggregateSnapshot struct {
+	Totals Totals `json:"totals"`
+	// Buckets holds per-bucket query counts; Buckets[i] counts queries with
+	// wall time in (LatencyBucketBound(i-1), LatencyBucketBound(i)], and the
+	// final element counts the overflow (+Inf) bucket.
+	Buckets []int64 `json:"latency_buckets"`
+	// Rules counts optimizer rule firings by rule name.
+	Rules map[string]int64 `json:"rule_firings"`
+	// Slow lists the slowest queries seen, slowest first.
+	Slow []SlowQuery `json:"slow"`
+}
+
+// Snapshot returns a copy of the aggregates safe to read without locks.
+func (a *Aggregator) Snapshot() AggregateSnapshot {
+	if a == nil {
+		return AggregateSnapshot{}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s := AggregateSnapshot{
+		Totals:  a.totals.clone(),
+		Buckets: make([]int64, len(a.buckets)),
+		Rules:   make(map[string]int64, len(a.rules)),
+		Slow:    make([]SlowQuery, len(a.slow)),
+	}
+	copy(s.Buckets, a.buckets[:])
+	for k, v := range a.rules {
+		s.Rules[k] = v
+	}
+	copy(s.Slow, a.slow)
+	return s
+}
+
+// Reset clears all aggregates.
+func (a *Aggregator) Reset() {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	a.totals = Totals{}
+	a.buckets = [nLatencyBuckets + 1]int64{}
+	a.rules = map[string]int64{}
+	a.slow = nil
+	a.mu.Unlock()
+}
+
+// FlightRecorder is a fixed-capacity ring of the last N full QueryReports,
+// for post-hoc inspection through /debug/queries. It implements Sink.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	buf   []QueryReport
+	next  int
+	full  bool
+	total int64
+}
+
+// NewFlightRecorder returns a recorder retaining the last n reports
+// (DefaultFlightCap when n <= 0).
+func NewFlightRecorder(n int) *FlightRecorder {
+	if n <= 0 {
+		n = DefaultFlightCap
+	}
+	return &FlightRecorder{buf: make([]QueryReport, n)}
+}
+
+// Emit stores a copy of the report, evicting the oldest at capacity; part
+// of Sink.
+func (f *FlightRecorder) Emit(r *QueryReport) {
+	if f == nil || r == nil {
+		return
+	}
+	f.mu.Lock()
+	f.buf[f.next] = *r
+	f.next++
+	if f.next == len(f.buf) {
+		f.next, f.full = 0, true
+	}
+	f.total++
+	f.mu.Unlock()
+}
+
+// Cap returns the configured capacity.
+func (f *FlightRecorder) Cap() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.buf)
+}
+
+// Total returns how many reports have ever been recorded.
+func (f *FlightRecorder) Total() int64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.total
+}
+
+// Reports returns the retained reports, oldest first.
+func (f *FlightRecorder) Reports() []QueryReport {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []QueryReport
+	if f.full {
+		out = make([]QueryReport, 0, len(f.buf))
+		out = append(out, f.buf[f.next:]...)
+		out = append(out, f.buf[:f.next]...)
+	} else {
+		out = make([]QueryReport, f.next)
+		copy(out, f.buf[:f.next])
+	}
+	return out
+}

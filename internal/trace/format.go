@@ -132,3 +132,144 @@ func fmtDur(d time.Duration) string {
 	}
 	return d.String()
 }
+
+// FormatTop renders the hottest operators of the report's span tree for
+// :top — the n spans with the largest self wall time, with their tree
+// position flattened into "parent>child" paths when ambiguous.
+func (r *QueryReport) FormatTop(n int) string {
+	if r.Spans == nil {
+		return "no span tree recorded (profiling is off; try :prof sampled)\n"
+	}
+	if n <= 0 {
+		n = 10
+	}
+	type row struct {
+		node *SpanNode
+		path string
+	}
+	var rows []row
+	var walk func(s *SpanNode, path string)
+	walk = func(s *SpanNode, path string) {
+		if path == "" {
+			path = s.Op
+		} else {
+			path = path + ">" + s.Op
+		}
+		rows = append(rows, row{s, path})
+		for _, c := range s.Children {
+			walk(c, path)
+		}
+	}
+	walk(r.Spans, "")
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].node.WallSelf != rows[j].node.WallSelf {
+			return rows[i].node.WallSelf > rows[j].node.WallSelf
+		}
+		return rows[i].node.Steps > rows[j].node.Steps
+	})
+	if len(rows) > n {
+		rows = rows[:n]
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "top operators of %s (%s profiling, eval %s)\n",
+		r.Query, r.ProfLevel, fmtDur(r.Spans.WallCum))
+	fmt.Fprintf(&b, "  %-12s %12s %12s %10s %12s\n", "op", "self", "cum", "invocs", "steps")
+	for _, rw := range rows {
+		s := rw.node
+		fmt.Fprintf(&b, "  %-12s %12s %12s %10d %12d\n",
+			s.Op, fmtDur(s.WallSelf), fmtDur(s.WallCum), s.Invocations, s.Steps)
+		for _, w := range s.Workers {
+			fmt.Fprintf(&b, "    worker %2d [%d,%d) busy %s steps %d\n",
+				w.Worker, w.Start, w.End, fmtDur(w.Busy), w.Steps)
+		}
+		if s.WorkersDropped > 0 {
+			fmt.Fprintf(&b, "    ... %d further worker records dropped\n", s.WorkersDropped)
+		}
+	}
+	return b.String()
+}
+
+// FormatSpans renders the span tree as an indented profile for reports.
+func (r *QueryReport) FormatSpans() string {
+	if r.Spans == nil {
+		return "no span tree recorded\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "span tree of %s (%s profiling)\n", r.Query, r.ProfLevel)
+	var walk func(s *SpanNode, depth int)
+	walk = func(s *SpanNode, depth int) {
+		fmt.Fprintf(&b, "  %*s%-*s cum %s self %s x%d steps %d\n",
+			2*depth, "", 14-2*depth, s.Op, fmtDur(s.WallCum), fmtDur(s.WallSelf), s.Invocations, s.Steps)
+		for _, c := range s.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(r.Spans, 0)
+	return b.String()
+}
+
+// FormatFleet renders an aggregate snapshot for :fleet — the cross-query
+// histogram, phase totals, hottest rules, I/O totals and the slow log.
+func (s AggregateSnapshot) FormatFleet() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet over %d queries (%d errors), wall %s\n",
+		s.Totals.Queries, s.Totals.Errors, fmtDur(s.Totals.Wall))
+	if s.Totals.Queries > 0 {
+		b.WriteString("latency histogram:\n")
+		for i, n := range s.Buckets {
+			if n == 0 {
+				continue
+			}
+			le := "+Inf"
+			if i < len(s.Buckets)-1 {
+				le = fmtDur(LatencyBucketBound(i))
+			}
+			fmt.Fprintf(&b, "  <= %-10s %8d\n", le, n)
+		}
+	}
+	phased := false
+	for _, name := range PhaseOrder {
+		if d, ok := s.Totals.PhaseWall[name]; ok && d > 0 {
+			if !phased {
+				b.WriteString("phase totals:\n")
+				phased = true
+			}
+			fmt.Fprintf(&b, "  %-15s %12s\n", name, fmtDur(d))
+		}
+	}
+	if len(s.Rules) > 0 {
+		names := make([]string, 0, len(s.Rules))
+		for name := range s.Rules {
+			names = append(names, name)
+		}
+		sort.Slice(names, func(i, j int) bool {
+			if s.Rules[names[i]] != s.Rules[names[j]] {
+				return s.Rules[names[i]] > s.Rules[names[j]]
+			}
+			return names[i] < names[j]
+		})
+		b.WriteString("rule firings:\n")
+		for _, name := range names {
+			fmt.Fprintf(&b, "  %-28s %d\n", name, s.Rules[name])
+		}
+	}
+	if !s.Totals.IO.IsZero() {
+		fmt.Fprintf(&b, "io: %d slab reads, %d bytes, %d hits, %d misses\n",
+			s.Totals.IO.SlabReads, s.Totals.IO.BytesRead, s.Totals.IO.CacheHits, s.Totals.IO.CacheMisses)
+	}
+	if len(s.Slow) > 0 {
+		b.WriteString("slowest queries:\n")
+		for i, q := range s.Slow {
+			if i >= 5 {
+				fmt.Fprintf(&b, "  ... %d more\n", len(s.Slow)-i)
+				break
+			}
+			line := q.Query
+			if len(line) > 48 {
+				line = line[:45] + "..."
+			}
+			fmt.Fprintf(&b, "  %12s  %s\n", fmtDur(q.Wall), line)
+		}
+	}
+	return b.String()
+}

@@ -3,18 +3,18 @@ package trace
 import (
 	"encoding/json"
 	"net/http"
+	"net/http/pprof"
 )
 
-// metricsPayload is the JSON document the metrics endpoint serves:
+// metricsPayload is the JSON document the summary endpoint serves:
 // expvar-style cumulative counters plus recent per-query summaries.
 type metricsPayload struct {
 	Totals Totals         `json:"totals"`
 	Recent []querySummary `json:"recent"`
 }
 
-// querySummary is the compact per-query line of the metrics endpoint; the
-// full optimizer trace stays out of it (fetch reports via a JSON sink for
-// that).
+// querySummary is the compact per-query line of the summary endpoint; the
+// full reports (span trees included) live on /debug/queries.
 type querySummary struct {
 	Query       string       `json:"query"`
 	WallNanos   int64        `json:"wall_ns"`
@@ -26,14 +26,26 @@ type querySummary struct {
 	Err         string       `json:"err,omitempty"`
 }
 
-// Handler serves the recorder's cumulative totals and recent per-query
-// summaries as JSON on any GET — the -metricsaddr endpoint of cmd/aql.
-func Handler(r *Recorder) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		if req.Method != http.MethodGet {
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-			return
-		}
+// Handler serves the recorder-only observability endpoints; kept for
+// callers without fleet aggregation. Equivalent to NewHandler(r, nil, nil).
+func Handler(r *Recorder) http.Handler { return NewHandler(r, nil, nil) }
+
+// NewHandler routes the -metricsaddr observability surface:
+//
+//	GET /              JSON summary: cumulative totals + recent queries
+//	GET /metrics       Prometheus text exposition (requires agg)
+//	GET /debug/queries flight-recorder contents as JSON (requires flight)
+//	GET /debug/slow    slow-query log as JSON (requires agg)
+//	/debug/pprof/...   standard net/http/pprof handlers
+//
+// Every endpoint sets its Content-Type; unknown paths get 404 and non-GET
+// methods on known paths get 405. Endpoints whose backing component is nil
+// respond 404, so a partial wiring degrades to "not found" rather than
+// serving empty documents.
+func NewHandler(r *Recorder, agg *Aggregator, flight *FlightRecorder) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, req *http.Request) {
 		recent := r.Recent()
 		payload := metricsPayload{Totals: r.Totals(), Recent: make([]querySummary, 0, len(recent))}
 		for i := range recent {
@@ -49,9 +61,53 @@ func Handler(r *Recorder) http.Handler {
 				Err:         rep.Err,
 			})
 		}
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(payload)
+		serveJSON(w, payload)
 	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, req *http.Request) {
+		if agg == nil {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", PrometheusContentType)
+		_ = WritePrometheus(w, agg.Snapshot())
+	})
+
+	mux.HandleFunc("GET /debug/queries", func(w http.ResponseWriter, req *http.Request) {
+		if flight == nil {
+			http.NotFound(w, req)
+			return
+		}
+		serveJSON(w, struct {
+			Capacity int           `json:"capacity"`
+			Total    int64         `json:"total"`
+			Reports  []QueryReport `json:"reports"`
+		}{flight.Cap(), flight.Total(), flight.Reports()})
+	})
+
+	mux.HandleFunc("GET /debug/slow", func(w http.ResponseWriter, req *http.Request) {
+		if agg == nil {
+			http.NotFound(w, req)
+			return
+		}
+		serveJSON(w, struct {
+			Slow []SlowQuery `json:"slow"`
+		}{agg.Snapshot().Slow})
+	})
+
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	return mux
+}
+
+// serveJSON writes v as indented JSON with the JSON content type.
+func serveJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
 }

@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// PrometheusContentType is the content type of the text exposition format.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders the aggregate snapshot in the Prometheus text
+// exposition format (version 0.0.4), hand-rolled so the trace package stays
+// dependency-free. Output is deterministic: labelled series are sorted by
+// label value (phases in pipeline order first).
+func WritePrometheus(w io.Writer, s AggregateSnapshot) error {
+	b := &promWriter{w: w}
+
+	b.header("aql_queries_total", "counter", "Queries executed.")
+	b.val("aql_queries_total", "", s.Totals.Queries)
+	b.header("aql_query_errors_total", "counter", "Queries that ended in an error.")
+	b.val("aql_query_errors_total", "", s.Totals.Errors)
+
+	b.header("aql_query_duration_seconds", "histogram", "Query wall time, log-2 buckets.")
+	var cum int64
+	for i, n := range s.Buckets {
+		cum += n
+		le := "+Inf"
+		if i < nLatencyBuckets {
+			le = strconv.FormatFloat(LatencyBucketBound(i).Seconds(), 'g', -1, 64)
+		}
+		b.val("aql_query_duration_seconds_bucket", `le="`+le+`"`, cum)
+	}
+	b.valf("aql_query_duration_seconds_sum", "", s.Totals.Wall.Seconds())
+	b.val("aql_query_duration_seconds_count", "", s.Totals.Queries)
+
+	b.header("aql_phase_seconds_total", "counter", "Wall time by pipeline phase.")
+	for _, name := range phaseNames(s.Totals.PhaseWall) {
+		b.valf("aql_phase_seconds_total", `phase="`+name+`"`, s.Totals.PhaseWall[name].Seconds())
+	}
+
+	b.header("aql_rule_firings_total", "counter", "Optimizer rule applications by rule.")
+	rules := make([]string, 0, len(s.Rules))
+	for r := range s.Rules {
+		rules = append(rules, r)
+	}
+	sort.Strings(rules)
+	for _, r := range rules {
+		b.val("aql_rule_firings_total", `rule="`+r+`"`, s.Rules[r])
+	}
+
+	b.header("aql_eval_steps_total", "counter", "Evaluator steps charged.")
+	b.val("aql_eval_steps_total", "", s.Totals.Eval.Steps)
+	b.header("aql_eval_cells_total", "counter", "Collection/array cells charged.")
+	b.val("aql_eval_cells_total", "", s.Totals.Eval.Cells)
+	b.header("aql_eval_tabulations_total", "counter", "Array tabulations performed.")
+	b.val("aql_eval_tabulations_total", "", s.Totals.Eval.Tabulations)
+	b.header("aql_eval_set_ops_total", "counter", "Set/bag algebra operations.")
+	b.val("aql_eval_set_ops_total", "", s.Totals.Eval.SetOps)
+	b.header("aql_eval_iterations_total", "counter", "Comprehension loop iterations.")
+	b.val("aql_eval_iterations_total", "", s.Totals.Eval.Iterations)
+
+	b.header("aql_io_slab_reads_total", "counter", "NetCDF hyperslab reads.")
+	b.val("aql_io_slab_reads_total", "", s.Totals.IO.SlabReads)
+	b.header("aql_io_bytes_read_total", "counter", "NetCDF data bytes read.")
+	b.val("aql_io_bytes_read_total", "", s.Totals.IO.BytesRead)
+	b.header("aql_io_cache_hits_total", "counter", "NetCDF block-cache hits.")
+	b.val("aql_io_cache_hits_total", "", s.Totals.IO.CacheHits)
+	b.header("aql_io_cache_misses_total", "counter", "NetCDF block-cache misses.")
+	b.val("aql_io_cache_misses_total", "", s.Totals.IO.CacheMisses)
+	b.header("aql_io_prefetches_total", "counter", "NetCDF block-cache prefetches.")
+	b.val("aql_io_prefetches_total", "", s.Totals.IO.Prefetches)
+	b.header("aql_io_retries_total", "counter", "NetCDF transient-error retries.")
+	b.val("aql_io_retries_total", "", s.Totals.IO.Retries)
+	b.header("aql_io_faults_total", "counter", "NetCDF injected faults observed.")
+	b.val("aql_io_faults_total", "", s.Totals.IO.Faults)
+
+	return b.err
+}
+
+// phaseNames orders phase labels: standard pipeline phases first (those
+// present), then any extras alphabetically.
+func phaseNames(m map[string]time.Duration) []string {
+	out := make([]string, 0, len(m))
+	std := make(map[string]bool, len(PhaseOrder))
+	for _, name := range PhaseOrder {
+		std[name] = true
+		if _, ok := m[name]; ok {
+			out = append(out, name)
+		}
+	}
+	var extra []string
+	for name := range m {
+		if !std[name] {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	return append(out, extra...)
+}
+
+type promWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (b *promWriter) header(name, typ, help string) {
+	if b.err != nil {
+		return
+	}
+	_, b.err = fmt.Fprintf(b.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func (b *promWriter) val(name, labels string, v int64) {
+	if b.err != nil {
+		return
+	}
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	_, b.err = fmt.Fprintf(b.w, "%s%s %d\n", name, labels, v)
+}
+
+func (b *promWriter) valf(name, labels string, v float64) {
+	if b.err != nil {
+		return
+	}
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	_, b.err = fmt.Fprintf(b.w, "%s%s %s\n", name, labels, strconv.FormatFloat(v, 'g', -1, 64))
+}

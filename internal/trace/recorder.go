@@ -196,6 +196,22 @@ func (r *Recorder) RecordEngine(name string) {
 	r.mu.Unlock()
 }
 
+// RecordSpans attaches the evaluation's operator span tree and the
+// profiling level that produced it to the open report; called once per
+// evaluation alongside RecordEval, after the engine has folded the tree
+// (so the tree is immutable and safe to share across report copies).
+func (r *Recorder) RecordSpans(root *SpanNode, level string) {
+	if r == nil || root == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.cur != nil {
+		r.cur.Spans = root
+		r.cur.ProfLevel = level
+	}
+	r.mu.Unlock()
+}
+
 // RecordIO folds I/O counters into the open report; the NetCDF readers
 // call it once per file read.
 func (r *Recorder) RecordIO(c IOCounters) {

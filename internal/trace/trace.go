@@ -143,8 +143,58 @@ type QueryReport struct {
 	// optimizer.
 	NodesBefore int `json:"nodes_before"`
 	NodesAfter  int `json:"nodes_after"`
+	// Spans is the operator-level span tree of the evaluation, present when
+	// the session's profiling level was sampled or full; ProfLevel records
+	// which. Cumulative wall times and self counters per operator; see
+	// eval.SpanNode for the exact semantics at each level.
+	Spans     *SpanNode `json:"spans,omitempty"`
+	ProfLevel string    `json:"prof_level,omitempty"`
 	// Err is the error text when the query failed, "" otherwise.
 	Err string `json:"err,omitempty"`
+}
+
+// SpanNode is one profiled operator of a query's span tree: invocation
+// counts, cumulative and self wall time, self work counters, and — for
+// parallel tabulations — per-worker ranges and busy times. The trace
+// package keeps its own mirror of eval.SpanNode so it stays decoupled from
+// the engines (it depends only on the standard library).
+type SpanNode struct {
+	Op          string        `json:"op"`
+	Invocations int64         `json:"invocations"`
+	Measured    int64         `json:"measured,omitempty"`
+	WallCum     time.Duration `json:"wall_cum_ns"`
+	WallSelf    time.Duration `json:"wall_self_ns"`
+	Steps       int64         `json:"steps,omitempty"`
+	Cells       int64         `json:"cells,omitempty"`
+	Tabulations int64         `json:"tabulations,omitempty"`
+	SetOps      int64         `json:"set_ops,omitempty"`
+	Iterations  int64         `json:"iterations,omitempty"`
+
+	Workers        []WorkerSpan `json:"workers,omitempty"`
+	WorkersDropped int          `json:"workers_dropped,omitempty"`
+
+	Children []*SpanNode `json:"children,omitempty"`
+}
+
+// WorkerSpan records one parallel-tabulation worker: its contiguous
+// row-major element range, loop busy time, and steps charged.
+type WorkerSpan struct {
+	Worker int           `json:"worker"`
+	Start  int           `json:"start"`
+	End    int           `json:"end"`
+	Busy   time.Duration `json:"busy_ns"`
+	Steps  int64         `json:"steps"`
+}
+
+// Walk calls fn for the node and every descendant, depth-first.
+func (n *SpanNode) Walk(fn func(*SpanNode)) {
+	if n == nil {
+		return
+	}
+	fn(n)
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
 }
 
 // Phase returns the accumulated wall time of the named phase.
