@@ -118,6 +118,22 @@ func NewJSONSink(w io.Writer) TraceSink { return trace.NewJSONSink(w) }
 
 // Session is a live AQL environment: the top-level read-eval-print state
 // of section 4 of the paper.
+//
+// # Concurrency
+//
+// A Session's query methods (Query, Exec, Eval, ...) are sequential: each
+// runs the pipeline against the session's single trace recorder and binds
+// `it`, so interleaving them from multiple goroutines is not supported.
+// The layers underneath are safe to share, and that is the audited
+// contract the query server (cmd/aqld) builds on: the environment is
+// mutex-guarded with a monotone epoch (EnvEpoch) bumped on every mutation,
+// the optimizer's statistics are lock-protected with per-call trace hooks,
+// and a compiled program keeps all run-time state (counters, budgets,
+// cancellation, recursion depth) on a per-execution machine, so one
+// prepared plan can serve many concurrent executions — verified under
+// -race by the internal/compile and internal/server suites. To serve one
+// environment to many clients, run aqld (or internal/server) rather than
+// sharing a Session.
 type Session struct {
 	s *repl.Session
 }
@@ -336,6 +352,13 @@ func (s *Session) SetVal(name string, v Value) error {
 
 // Val returns a top-level val (including `it`, the last query result).
 func (s *Session) Val(name string) (Value, bool) { return s.s.Env.Val(name) }
+
+// EnvEpoch reports the environment's mutation epoch: a monotone counter
+// bumped by every val binding, macro definition, and reader/writer or
+// primitive registration. Anything derived from the environment (such as
+// a prepared plan) is valid only for the epoch it was built at; the query
+// server keys its plan cache on it.
+func (s *Session) EnvEpoch() uint64 { return s.s.Env.Epoch() }
 
 // --- Value constructors, re-exported for host programs ---------------------
 

@@ -94,6 +94,7 @@ func main() {
 		{"e10", "fused transpose (section 5)", runE10},
 		{"e11", "zip-subseq commutation (sections 1 and 5)", runE11},
 		{"e19", "execution engines: interp vs compiled on tabulation workloads", runE19},
+		{"e21", "query server: cold vs cached-plan latency, sustained QPS", runE21},
 		{"e15", "NetCDF subslab reads (section 4.1)", runE15},
 		{"e17", "predictive caching for strided reads (section 7)", runE17},
 		{"a1", "ablation: optimizer phase structure", runA1},
@@ -128,11 +129,11 @@ func main() {
 		}
 	}
 	if *trajectory != "" {
-		if engResults == nil {
-			fmt.Fprintln(os.Stderr, "aqlbench: -trajectory requires the e19 experiment to have run")
+		if engResults == nil && srvResults == nil {
+			fmt.Fprintln(os.Stderr, "aqlbench: -trajectory requires the e19 or e21 experiment to have run")
 			os.Exit(1)
 		}
-		if err := appendTrajectory(*trajectory, *stamp, engResults); err != nil {
+		if err := appendTrajectory(*trajectory, *stamp, engResults, srvResults); err != nil {
 			fmt.Fprintln(os.Stderr, "aqlbench:", err)
 			os.Exit(1)
 		}
@@ -172,13 +173,17 @@ type trajectoryEntry struct {
 	Stamp      string        `json:"stamp,omitempty"`
 	GOMAXPROCS int           `json:"gomaxprocs"`
 	Profiling  string        `json:"proflevel,omitempty"`
-	Benchmarks []engineBench `json:"benchmarks"`
+	Benchmarks []engineBench `json:"benchmarks,omitempty"`
+	// Server carries the e21 query-server measurements when that
+	// experiment ran (cold vs cached-plan latency, sustained QPS).
+	Server *serverReport `json:"server,omitempty"`
 }
 
 // appendTrajectory appends one entry to the trajectory file, creating it
 // (as a one-element array) if absent. A malformed existing file is an
-// error rather than silently replaced — the history is the point.
-func appendTrajectory(path, stamp string, r *engineReport) error {
+// error rather than silently replaced — the history is the point. Either
+// report may be nil; at least one is present (checked by the caller).
+func appendTrajectory(path, stamp string, r *engineReport, sr *serverReport) error {
 	var entries []trajectoryEntry
 	if data, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(data, &entries); err != nil {
@@ -187,12 +192,17 @@ func appendTrajectory(path, stamp string, r *engineReport) error {
 	} else if !os.IsNotExist(err) {
 		return err
 	}
-	entries = append(entries, trajectoryEntry{
+	entry := trajectoryEntry{
 		Stamp:      stamp,
-		GOMAXPROCS: r.GOMAXPROCS,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Profiling:  bench.Profiling,
-		Benchmarks: r.Benchmarks,
-	})
+		Server:     sr,
+	}
+	if r != nil {
+		entry.GOMAXPROCS = r.GOMAXPROCS
+		entry.Benchmarks = r.Benchmarks
+	}
+	entries = append(entries, entry)
 	data, err := json.MarshalIndent(entries, "", "  ")
 	if err != nil {
 		return err

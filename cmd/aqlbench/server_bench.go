@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/aqldb/aql/internal/bench"
+	"github.com/aqldb/aql/internal/server"
+)
+
+// serverReport is the e21 payload: prepared-plan cache effect on request
+// latency, and sustained throughput under concurrent load.
+type serverReport struct {
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	ColdNs      int64   `json:"cold_ns_per_query"`
+	CachedNs    int64   `json:"cached_ns_per_query"`
+	Speedup     float64 `json:"speedup"`
+	Concurrency int     `json:"qps_concurrency"`
+	QPS         float64 `json:"sustained_qps"`
+}
+
+// srvResults holds the e21 measurements for -trajectory.
+var srvResults *serverReport
+
+// e21Query is the benchmarked request: heavy in the front half of the
+// pipeline — zip/dom macro-expand into nested tabulations the optimizer
+// then rewrites — and light in evaluation, so the cold/cached gap isolates
+// what the plan cache saves.
+const e21Query = `count!(dom!(zip!([[ i*i | \i < 64 ]], reverse!([[ i+1 | \i < 64 ]]))))`
+
+func runE21() {
+	sess := bench.MustSession()
+	srv := server.New(sess, server.Config{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	post := func(query string) time.Duration {
+		body, err := json.Marshal(server.QueryRequest{Query: query})
+		if err != nil {
+			panic(err)
+		}
+		start := time.Now()
+		resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aqlbench:", err)
+			os.Exit(1)
+		}
+		d := time.Since(start)
+		if resp.StatusCode != http.StatusOK {
+			fmt.Fprintf(os.Stderr, "aqlbench: e21 query status %d\n", resp.StatusCode)
+			os.Exit(1)
+		}
+		resp.Body.Close()
+		return d
+	}
+
+	cold, warm := 40, 400
+	window := 2 * time.Second
+	if *quick {
+		cold, warm = 10, 50
+		window = 300 * time.Millisecond
+	}
+
+	// Cold latency: every query distinct, so every request pays a full
+	// prepare (the +k constant folds away in evaluation cost).
+	var coldTotal time.Duration
+	for k := 0; k < cold; k++ {
+		coldTotal += post(fmt.Sprintf("%s + %d", e21Query, k))
+	}
+	coldNs := coldTotal.Nanoseconds() / int64(cold)
+
+	// Cached latency: one plan, executed repeatedly (first request warms).
+	post(e21Query)
+	var warmTotal time.Duration
+	for k := 0; k < warm; k++ {
+		warmTotal += post(e21Query)
+	}
+	cachedNs := warmTotal.Nanoseconds() / int64(warm)
+
+	// Sustained QPS: GOMAXPROCS-many workers hammering the cached plan for
+	// a fixed window.
+	workers := runtime.GOMAXPROCS(0)
+	var done atomic.Int64
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(window)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				post(e21Query)
+				done.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	qps := float64(done.Load()) / window.Seconds()
+
+	speedup := float64(coldNs) / float64(cachedNs)
+	srvResults = &serverReport{
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		ColdNs:      coldNs,
+		CachedNs:    cachedNs,
+		Speedup:     speedup,
+		Concurrency: workers,
+		QPS:         qps,
+	}
+
+	cs := srv.CacheStats()
+	fmt.Printf("| metric | value |\n|---|---|\n")
+	fmt.Printf("| cold request (full prepare), mean of %d | %v |\n", cold, time.Duration(coldNs).Round(time.Microsecond))
+	fmt.Printf("| cached-plan request, mean of %d | %v |\n", warm, time.Duration(cachedNs).Round(time.Microsecond))
+	fmt.Printf("| cold / cached | %.1fx |\n", speedup)
+	fmt.Printf("| sustained QPS (%d workers, %v) | %.0f |\n", workers, window, qps)
+	fmt.Printf("| plan cache | %d hits, %d misses |\n", cs.Hits, cs.Misses)
+}

@@ -1,0 +1,114 @@
+// Command aqld is the AQL query server: one shared session environment
+// served concurrently over HTTP/JSON, with a prepared-plan cache and
+// admission control (see internal/server).
+//
+// Usage:
+//
+//	aqld -addr :8080
+//	aqld -addr :8080 -init setup.aql -maxconcurrent 16 -cachesize 512
+//
+// Endpoints:
+//
+//	POST /query          {"query": "...", "max_steps"?: n, "timeout_ms"?: n}
+//	GET  /val/{name}     a top-level val, in the data exchange format
+//	POST /val/{name}     bind a val from an exchange-format body
+//	GET  /metrics        Prometheus text: fleet metrics + aqld_* series
+//	GET  /debug/queries  flight recorder, full reports as JSON
+//	GET  /debug/server   plan-cache and admission counters
+//	GET  /healthz        liveness
+//
+// The -init script runs through the ordinary session pipeline before the
+// listener opens, so vals, macros and readval statements registered there
+// are visible to every query. Cancelling a request (closing the
+// connection) aborts its evaluation; exceeding -maxconcurrent queues the
+// request, and overflowing the queue rejects it with HTTP 429.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/aqldb/aql/internal/eval"
+	"github.com/aqldb/aql/internal/repl"
+	"github.com/aqldb/aql/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "aqld:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8080", "listen address")
+	initFile := flag.String("init", "", "AQL script of setup statements to execute before serving")
+	cacheSize := flag.Int("cachesize", server.DefaultCacheSize, "prepared-plan cache capacity (entries)")
+	maxConcurrent := flag.Int("maxconcurrent", server.DefaultMaxConcurrent, "queries executing at once")
+	maxQueued := flag.Int("maxqueued", server.DefaultMaxQueued, "queries waiting for a slot before 429s")
+	queueTimeout := flag.Duration("queuetimeout", server.DefaultQueueTimeout, "longest a query waits for a slot before 503")
+	maxSteps := flag.Int64("maxsteps", 0, "per-query evaluator step budget (0 = unlimited)")
+	maxCells := flag.Int64("maxcells", 0, "per-query collection/array cell budget (0 = unlimited)")
+	maxDepth := flag.Int("maxdepth", 0, "per-query recursion depth bound, compiled into cached plans (0 = unlimited)")
+	timeout := flag.Duration("timeout", 0, "per-query evaluation wall-clock budget (0 = unlimited)")
+	flag.Parse()
+
+	sess, err := repl.New()
+	if err != nil {
+		return err
+	}
+	if *initFile != "" {
+		src, err := os.ReadFile(*initFile)
+		if err != nil {
+			return err
+		}
+		if _, err := sess.Exec(string(src)); err != nil {
+			return fmt.Errorf("init script: %w", err)
+		}
+		// Setup statements went through the instrumented pipeline; reset so
+		// the metrics endpoints report served queries only.
+		sess.Trace.Reset()
+	}
+
+	h := server.New(sess, server.Config{
+		CacheSize:     *cacheSize,
+		MaxConcurrent: *maxConcurrent,
+		MaxQueued:     *maxQueued,
+		QueueTimeout:  *queueTimeout,
+		Limits: eval.Limits{
+			MaxSteps: *maxSteps,
+			MaxCells: *maxCells,
+			MaxDepth: *maxDepth,
+			Timeout:  *timeout,
+		},
+	})
+
+	srv := &http.Server{Addr: *addr, Handler: h}
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "aqld: serving on %s\n", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-stop:
+		fmt.Fprintf(os.Stderr, "aqld: %s, draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		return nil
+	}
+}

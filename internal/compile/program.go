@@ -1,0 +1,115 @@
+package compile
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"time"
+
+	"github.com/aqldb/aql/internal/ast"
+	"github.com/aqldb/aql/internal/eval"
+	"github.com/aqldb/aql/internal/object"
+)
+
+// Program is a prepared plan: a core expression lowered once to
+// slot-resolved closures over a snapshot of the globals, executable many
+// times. It is the cacheable artifact behind the query server's
+// prepared-plan cache — parse/typecheck/optimize/compile happen once, at
+// NewProgram time, and each request then pays only Execute.
+//
+// A Program is immutable after construction and safe for concurrent
+// Execute calls: all run-time state (work counters, budgets, interrupt
+// state, recursion depth) lives on a per-execution machine reached through
+// the frame, never on the compiled closures. The one deliberate exclusion
+// is operator span profiling — a span plan's fold mutates shared plan
+// nodes, so Programs always compile unprofiled closures (which are also
+// exactly the fastest ones; see compile.EvalExpr's ProfOff path).
+//
+// The globals snapshot is taken at compile time (global references resolve
+// to values, exactly as Engine.EvalExpr does), so a Program keeps
+// observing the environment as of its preparation even if vals are
+// rebound afterwards; cache keying on the environment epoch is what keeps
+// served plans current.
+type Program struct {
+	code     compiledExpr
+	maxSlots int
+	// limits holds the compile-time limits; MaxDepth is baked into the
+	// closures (the depth-guard wrapper), so Execute cannot change it.
+	limits eval.Limits
+}
+
+// NewProgram compiles expr against a snapshot of globals. limits.MaxDepth,
+// when positive, bakes the recursion-depth guard into the compiled code
+// (and forces serial tabulation at Execute, as depth is serial state); the
+// other limit fields serve as Execute's defaults.
+func NewProgram(expr ast.Expr, globals map[string]object.Value, limits eval.Limits) *Program {
+	if globals == nil {
+		globals = map[string]object.Value{}
+	}
+	c := &compiler{globals: globals, limits: limits}
+	return &Program{code: c.compile(expr), maxSlots: c.maxSlots, limits: limits}
+}
+
+// ExecOpts configures one execution of a Program.
+type ExecOpts struct {
+	// Limits bounds this execution's resources. MaxDepth is ignored: the
+	// depth guard is compiled into the Program (see NewProgram). The zero
+	// value falls back to the Program's compile-time limits.
+	Limits eval.Limits
+	// MaxSteps mirrors Engine.MaxSteps: a second step bound, kept for
+	// parity with the session knob; either tripping aborts.
+	MaxSteps int64
+	// Workers caps tabulation fan-out; 0 means GOMAXPROCS.
+	Workers int
+	// Threshold overrides DefaultThreshold when positive; negative
+	// disables parallel tabulation.
+	Threshold int
+}
+
+// Execute runs the program under ctx on a fresh machine, returning the
+// value and the work counters this execution charged. Concurrent Execute
+// calls on one Program are independent: counters, budgets and cancellation
+// are all per-call.
+func (p *Program) Execute(ctx context.Context, opts ExecOpts) (object.Value, eval.Counters, error) {
+	lim := opts.Limits
+	if lim == (eval.Limits{}) {
+		lim = p.limits
+	}
+	// The depth guard is compiled in; keep the machine's view consistent
+	// with it (a MaxDepth also forces serial tabulation below).
+	lim.MaxDepth = p.limits.MaxDepth
+
+	m := &machine{
+		limits:    lim,
+		maxSteps:  opts.MaxSteps,
+		workers:   opts.Workers,
+		threshold: int64(opts.Threshold),
+		stepMask:  eval.InterruptInterval - 1,
+	}
+	if opts.MaxSteps > 0 || lim.MaxSteps > 0 {
+		m.stepMask = 0
+	}
+	if m.workers <= 0 {
+		m.workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Threshold == 0 {
+		m.threshold = DefaultThreshold
+	}
+	if opts.Threshold < 0 || lim.MaxDepth > 0 {
+		m.threshold = math.MaxInt64
+	}
+	m.ctx = ctx
+	if lim.Timeout > 0 {
+		m.deadline = time.Now().Add(lim.Timeout)
+	}
+	// Clear the interrupt state on the way out, as EvalExpr does: closures
+	// that escape this execution capture the machine, and a later call
+	// through them must not observe a stale context or deadline.
+	defer func() {
+		m.ctx = nil
+		m.deadline = time.Time{}
+	}()
+	fr := &frame{m: m, slots: make([]object.Value, p.maxSlots)}
+	v, err := p.code(fr)
+	return v, m.counters(), err
+}

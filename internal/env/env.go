@@ -3,11 +3,19 @@
 // data readers and writers, macros, vals, and optimizer rules can all be
 // added at runtime, mirroring the paper's RegisterCO and registration
 // routines.
+//
+// An Env is safe for concurrent use: registrations and val bindings take a
+// write lock, lookups and the Globals/GlobalTypes snapshots a read lock.
+// Every mutation bumps a monotone epoch counter; the query server keys its
+// prepared-plan cache on the epoch, so a `val` rebinding or a new reader
+// registration invalidates exactly the plans whose global snapshot it could
+// have changed.
 package env
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/aqldb/aql/internal/ast"
 	"github.com/aqldb/aql/internal/eval"
@@ -27,6 +35,8 @@ type Writer func(arg, data object.Value) error
 
 // Env is the AQL top-level environment.
 type Env struct {
+	mu        sync.RWMutex
+	epoch     uint64
 	prims     map[string]object.Value
 	primTypes map[string]*types.Type
 	vals      map[string]object.Value
@@ -74,25 +84,49 @@ func New() *Env {
 	return e
 }
 
+// Epoch returns the environment's mutation counter. It increases on every
+// registration or val binding, so two equal epochs bracket a window in
+// which Globals/GlobalTypes snapshots were identical.
+func (e *Env) Epoch() uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.epoch
+}
+
 // RegisterPrimitive makes an external function available to queries under
 // the given name with the given declared type — the paper's RegisterCO.
 func (e *Env) RegisterPrimitive(name string, fn func(object.Value) (object.Value, error), typ *types.Type) error {
 	if typ == nil || typ.Kind != types.KindFunc {
 		return fmt.Errorf("env: primitive %q needs a function type, got %v", name, typ)
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.prims[name] = object.Func(fn)
 	e.primTypes[name] = typ
+	e.epoch++
 	return nil
 }
 
 // RegisterReader registers a data reader under the given name.
-func (e *Env) RegisterReader(name string, r Reader) { e.readers[name] = r }
+func (e *Env) RegisterReader(name string, r Reader) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.readers[name] = r
+	e.epoch++
+}
 
 // RegisterWriter registers a data writer under the given name.
-func (e *Env) RegisterWriter(name string, w Writer) { e.writers[name] = w }
+func (e *Env) RegisterWriter(name string, w Writer) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.writers[name] = w
+	e.epoch++
+}
 
 // Reader returns the named reader.
 func (e *Env) Reader(name string) (Reader, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	r, ok := e.readers[name]
 	if !ok {
 		return nil, fmt.Errorf("env: no reader registered as %q", name)
@@ -102,6 +136,8 @@ func (e *Env) Reader(name string) (Reader, error) {
 
 // Writer returns the named writer.
 func (e *Env) Writer(name string) (Writer, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	w, ok := e.writers[name]
 	if !ok {
 		return nil, fmt.Errorf("env: no writer registered as %q", name)
@@ -111,12 +147,17 @@ func (e *Env) Writer(name string) (Writer, error) {
 
 // SetVal binds a complex object to a top-level name with its type.
 func (e *Env) SetVal(name string, v object.Value, typ *types.Type) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.vals[name] = v
 	e.valTypes[name] = typ
+	e.epoch++
 }
 
 // Val returns a top-level val.
 func (e *Env) Val(name string) (object.Value, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	v, ok := e.vals[name]
 	return v, ok
 }
@@ -125,12 +166,17 @@ func (e *Env) Val(name string) (object.Value, bool) {
 // substituted into later queries before optimization (section 4.1). The
 // body must already be macro-free (repl expands macros at definition time).
 func (e *Env) DefineMacro(name string, body ast.Expr, typ *types.Type) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.macros[name] = body
 	e.macroType[name] = typ
+	e.epoch++
 }
 
 // Macro returns a macro body.
 func (e *Env) Macro(name string) (ast.Expr, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	m, ok := e.macros[name]
 	return m, ok
 }
@@ -139,6 +185,8 @@ func (e *Env) Macro(name string) (ast.Expr, bool) {
 // in the query. Macro bodies are themselves macro-free, so a single pass
 // over the free variables suffices.
 func (e *Env) ExpandMacros(query ast.Expr) ast.Expr {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	free := ast.FreeVars(query)
 	names := make([]string, 0, len(free))
 	for name := range free {
@@ -154,8 +202,11 @@ func (e *Env) ExpandMacros(query ast.Expr) ast.Expr {
 }
 
 // Globals returns the evaluation environment: primitives and vals. The
-// returned map is shared; callers must not modify it.
+// returned map is a fresh snapshot; mutating the Env afterwards does not
+// change it (callers must still not modify it, as the Values are shared).
 func (e *Env) Globals() map[string]object.Value {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	out := make(map[string]object.Value, len(e.prims)+len(e.vals))
 	for k, v := range e.prims {
 		out[k] = v
@@ -170,6 +221,8 @@ func (e *Env) Globals() map[string]object.Value {
 // vals. Macro names are not included: macros are substituted before
 // typechecking.
 func (e *Env) GlobalTypes() map[string]*types.Type {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	out := make(map[string]*types.Type, len(e.primTypes)+len(e.valTypes))
 	for k, v := range e.primTypes {
 		out[k] = v
@@ -183,6 +236,8 @@ func (e *Env) GlobalTypes() map[string]*types.Type {
 // Names returns all defined names (primitives, vals, macros), sorted; used
 // by the REPL for diagnostics.
 func (e *Env) Names() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	var names []string
 	for k := range e.prims {
 		names = append(names, k)

@@ -102,19 +102,65 @@ func WriteString(v object.Value) (string, error) {
 	return b.String(), nil
 }
 
+// Limits bounds what Read will accept from untrusted input. The zero value
+// is unlimited (the historical behaviour); services reading exchange text
+// off the wire should set both fields.
+type Limits struct {
+	// MaxBytes caps the input size in bytes (0 = unlimited).
+	MaxBytes int64
+	// MaxDepth caps composite nesting — sets, bags, tuples and arrays each
+	// add one level (0 = unlimited).
+	MaxDepth int
+}
+
+// LimitError is the typed error ReadLimits returns when input exceeds a
+// guard; Kind is "bytes" or "depth" and Limit the bound that tripped.
+type LimitError struct {
+	Kind  string
+	Limit int64
+}
+
+func (e *LimitError) Error() string {
+	if e.Kind == "bytes" {
+		return fmt.Sprintf("exchange: input exceeds %d bytes", e.Limit)
+	}
+	return fmt.Sprintf("exchange: nesting exceeds depth %d", e.Limit)
+}
+
 // Read parses one complex object from r. The input is read fully into
 // memory first; exchange values are in-memory objects in any case.
 func Read(r io.Reader) (object.Value, error) {
+	return ReadLimits(r, Limits{})
+}
+
+// ReadLimits is Read under input guards: inputs over lim.MaxBytes or nested
+// deeper than lim.MaxDepth fail with a *LimitError instead of being
+// materialized.
+func ReadLimits(r io.Reader, lim Limits) (object.Value, error) {
+	if lim.MaxBytes > 0 {
+		r = io.LimitReader(r, lim.MaxBytes+1)
+	}
 	src, err := io.ReadAll(r)
 	if err != nil {
 		return object.Value{}, fmt.Errorf("exchange: %w", err)
 	}
-	return ReadString(string(src))
+	if lim.MaxBytes > 0 && int64(len(src)) > lim.MaxBytes {
+		return object.Value{}, &LimitError{Kind: "bytes", Limit: lim.MaxBytes}
+	}
+	return ReadStringLimits(string(src), lim)
 }
 
 // ReadString parses one complex object from a string.
 func ReadString(s string) (object.Value, error) {
-	p := &parser{src: s}
+	return ReadStringLimits(s, Limits{})
+}
+
+// ReadStringLimits is ReadString under input guards; see ReadLimits.
+func ReadStringLimits(s string, lim Limits) (object.Value, error) {
+	if lim.MaxBytes > 0 && int64(len(s)) > lim.MaxBytes {
+		return object.Value{}, &LimitError{Kind: "bytes", Limit: lim.MaxBytes}
+	}
+	p := &parser{src: s, maxDepth: lim.MaxDepth}
 	v, err := p.value()
 	if err != nil {
 		return object.Value{}, err
@@ -127,8 +173,19 @@ func ReadString(s string) (object.Value, error) {
 }
 
 type parser struct {
-	src string
-	pos int
+	src      string
+	pos      int
+	depth    int
+	maxDepth int
+}
+
+// enter charges one composite nesting level; exit with p.depth--.
+func (p *parser) enter() error {
+	p.depth++
+	if p.maxDepth > 0 && p.depth > p.maxDepth {
+		return &LimitError{Kind: "depth", Limit: int64(p.maxDepth)}
+	}
+	return nil
 }
 
 func (p *parser) errf(format string, args ...any) error {
@@ -211,20 +268,36 @@ func (p *parser) value() (object.Value, error) {
 	case p.eat("false"):
 		return object.False, nil
 	case p.eat("[["):
+		if err := p.enter(); err != nil {
+			return object.Value{}, err
+		}
+		defer func() { p.depth-- }()
 		return p.array()
 	case p.eat("{|"):
+		if err := p.enter(); err != nil {
+			return object.Value{}, err
+		}
+		defer func() { p.depth-- }()
 		elems, err := p.seq("|}")
 		if err != nil {
 			return object.Value{}, err
 		}
 		return object.Bag(elems...), nil
 	case p.eat("{"):
+		if err := p.enter(); err != nil {
+			return object.Value{}, err
+		}
+		defer func() { p.depth-- }()
 		elems, err := p.seq("}")
 		if err != nil {
 			return object.Value{}, err
 		}
 		return object.Set(elems...), nil
 	case p.eat("("):
+		if err := p.enter(); err != nil {
+			return object.Value{}, err
+		}
+		defer func() { p.depth-- }()
 		elems, err := p.seq(")")
 		if err != nil {
 			return object.Value{}, err

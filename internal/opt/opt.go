@@ -29,6 +29,7 @@ package opt
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/aqldb/aql/internal/ast"
 )
@@ -55,13 +56,21 @@ type Optimizer struct {
 	MaxApplications int
 	// Stats counts rule firings by name, accumulated across Optimize
 	// calls. Reset by ResetStats. Callers wanting a stable view should use
-	// StatsSnapshot, which copies.
+	// StatsSnapshot, which copies under the stats lock; concurrent
+	// Optimize calls update the counters under the same lock, so parallel
+	// sessions sharing an optimizer never corrupt the map.
 	Stats map[string]int
 	// Trace, when non-nil, observes every rule firing: the phase it fired
 	// in, the rule name, and the node count of the rewritten subtree
 	// before and after. Node counting only happens while Trace is
-	// installed, so the hook costs nothing when unset.
+	// installed, so the hook costs nothing when unset. Unlike Stats, the
+	// hook is a plain field: install it before sharing the optimizer
+	// across goroutines, or pass a per-call hook to OptimizeTraced.
 	Trace func(phase, rule string, nodesBefore, nodesAfter int)
+
+	// statsMu guards Stats (concurrent Optimize calls fire rules in
+	// parallel; the rewrite itself is purely functional over the AST).
+	statsMu sync.Mutex
 }
 
 // New returns the standard three-phase optimizer.
@@ -104,16 +113,32 @@ func (o *Optimizer) AddRule(phase string, r Rule) {
 }
 
 // ResetStats clears the firing counters.
-func (o *Optimizer) ResetStats() { o.Stats = map[string]int{} }
+func (o *Optimizer) ResetStats() {
+	o.statsMu.Lock()
+	o.Stats = map[string]int{}
+	o.statsMu.Unlock()
+}
 
 // StatsSnapshot returns a copy of the cumulative firing counters, so
 // callers can neither corrupt the live counts nor observe them mid-update.
 func (o *Optimizer) StatsSnapshot() map[string]int {
+	o.statsMu.Lock()
+	defer o.statsMu.Unlock()
 	out := make(map[string]int, len(o.Stats))
 	for k, v := range o.Stats {
 		out[k] = v
 	}
 	return out
+}
+
+// countFiring bumps a rule's firing counter under the stats lock.
+func (o *Optimizer) countFiring(rule string) {
+	o.statsMu.Lock()
+	if o.Stats == nil {
+		o.Stats = map[string]int{}
+	}
+	o.Stats[rule]++
+	o.statsMu.Unlock()
 }
 
 // Optimize rewrites e through all phases. It never fails: if the
@@ -125,24 +150,31 @@ func (o *Optimizer) StatsSnapshot() map[string]int {
 // inputs therefore produce identical rewrites AND identical Trace
 // sequences — which is what makes EXPLAIN output stable and diffable.
 func (o *Optimizer) Optimize(e ast.Expr) ast.Expr {
-	if o.Stats == nil {
-		o.Stats = map[string]int{}
-	}
+	return o.OptimizeTraced(e, o.Trace)
+}
+
+// OptimizeTraced is Optimize with a per-call firing hook, taking precedence
+// over the shared Trace field (pass nil for no trace). Because the hook is
+// an argument rather than shared state, concurrent OptimizeTraced calls on
+// one optimizer are safe: the rewrite is purely functional over the AST and
+// the firing counters are lock-protected. The query server uses this to
+// record per-request rule traces without racing on the Trace field.
+func (o *Optimizer) OptimizeTraced(e ast.Expr, hook func(phase, rule string, nodesBefore, nodesAfter int)) ast.Expr {
 	fuel := o.MaxApplications
 	if fuel <= 0 {
 		fuel = 100000
 	}
 	for _, ph := range o.Phases {
-		e = o.runPhase(e, ph, &fuel)
+		e = o.runPhase(e, ph, &fuel, hook)
 	}
 	return e
 }
 
 // runPhase applies the phase's rules bottom-up in repeated passes until a
 // full pass fires nothing.
-func (o *Optimizer) runPhase(e ast.Expr, ph Phase, fuel *int) ast.Expr {
+func (o *Optimizer) runPhase(e ast.Expr, ph Phase, fuel *int, hook func(string, string, int, int)) ast.Expr {
 	for pass := 0; pass < 200; pass++ {
-		out, fired := o.pass(e, ph, fuel)
+		out, fired := o.pass(e, ph, fuel, hook)
 		e = out
 		if !fired || *fuel <= 0 {
 			return e
@@ -153,14 +185,14 @@ func (o *Optimizer) runPhase(e ast.Expr, ph Phase, fuel *int) ast.Expr {
 
 // pass transforms e bottom-up once, applying the first matching rule at
 // each node repeatedly (bounded) before moving up.
-func (o *Optimizer) pass(e ast.Expr, ph Phase, fuel *int) (ast.Expr, bool) {
+func (o *Optimizer) pass(e ast.Expr, ph Phase, fuel *int, hook func(string, string, int, int)) (ast.Expr, bool) {
 	anyFired := false
 	kids := e.Children()
 	if len(kids) > 0 {
 		newKids := make([]ast.Expr, len(kids))
 		changed := false
 		for i, kid := range kids {
-			nk, fired := o.pass(kid, ph, fuel)
+			nk, fired := o.pass(kid, ph, fuel, hook)
 			newKids[i] = nk
 			if fired {
 				anyFired = true
@@ -181,17 +213,17 @@ func (o *Optimizer) pass(e ast.Expr, ph Phase, fuel *int) (ast.Expr, bool) {
 				continue
 			}
 			*fuel--
-			o.Stats[r.Name]++
-			if o.Trace != nil {
+			o.countFiring(r.Name)
+			if hook != nil {
 				// Node counts are subtree-local: the firing rewrote e
 				// into out, and counting those two subtrees is cheap
 				// relative to the rewrite itself.
-				o.Trace(ph.Name, r.Name, ast.CountNodes(e), ast.CountNodes(out))
+				hook(ph.Name, r.Name, ast.CountNodes(e), ast.CountNodes(out))
 			}
 			anyFired, fired = true, true
 			// The rewrite may expose redexes below the new root; re-run
 			// the bottom-up pass on it.
-			out, _ = o.pass(out, ph, fuel)
+			out, _ = o.pass(out, ph, fuel, hook)
 			e = out
 			break
 		}

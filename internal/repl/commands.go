@@ -3,6 +3,7 @@ package repl
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -12,88 +13,150 @@ func IsCommand(line string) bool {
 	return strings.HasPrefix(strings.TrimSpace(line), ":")
 }
 
+// command is one colon-command: its usage line and summary feed :help, so
+// a command registered here can never be missing from the help text.
+type command struct {
+	usage   string // e.g. ":explain <query>", aligned into the help column
+	summary string
+	run     func(s *Session, ctx context.Context, arg string) (string, error)
+}
+
+// commands is the session command table, keyed by the colon-name. Commands
+// that take a query accept it with or without a trailing semicolon.
+var commands = map[string]command{
+	":explain": {
+		usage:   ":explain <query>",
+		summary: "show the optimized query and the optimizer rule trace",
+		run: func(s *Session, _ context.Context, arg string) (string, error) {
+			if arg == "" {
+				return "", fmt.Errorf("usage: :explain <query>")
+			}
+			return s.Explain(arg)
+		},
+	},
+	":profile": {
+		usage:   ":profile <query>",
+		summary: "run the query; show phase times and work counters",
+		run: func(s *Session, ctx context.Context, arg string) (string, error) {
+			if arg == "" {
+				return "", fmt.Errorf("usage: :profile <query>")
+			}
+			return s.Profile(ctx, arg)
+		},
+	},
+	":stats": {
+		usage:   ":stats",
+		summary: "session-cumulative totals",
+		run: func(s *Session, _ context.Context, _ string) (string, error) {
+			return s.Trace.Totals().FormatTotals(), nil
+		},
+	},
+	":top": {
+		usage:   ":top [n]",
+		summary: "hottest operators of the last query (needs :prof on)",
+		run: func(s *Session, _ context.Context, arg string) (string, error) {
+			n := 0
+			if arg != "" {
+				if _, err := fmt.Sscanf(arg, "%d", &n); err != nil {
+					return "", fmt.Errorf("usage: :top [n]")
+				}
+			}
+			rep := s.Trace.Last()
+			if rep == nil {
+				return "no query recorded yet\n", nil
+			}
+			return rep.FormatTop(n), nil
+		},
+	},
+	":fleet": {
+		usage:   ":fleet",
+		summary: "cross-query aggregates: histogram, rules, slow queries",
+		run: func(s *Session, _ context.Context, _ string) (string, error) {
+			if s.Fleet == nil {
+				return "no fleet aggregator attached\n", nil
+			}
+			return s.Fleet.Snapshot().FormatFleet(), nil
+		},
+	},
+	":prof": {
+		usage:   ":prof [level]",
+		summary: "show or set the profiling level (off, sampled, full)",
+		run: func(s *Session, _ context.Context, arg string) (string, error) {
+			if arg != "" {
+				if err := s.SetProfiling(arg); err != nil {
+					return "", err
+				}
+			}
+			return fmt.Sprintf("profiling: %s\n", s.Profiling), nil
+		},
+	},
+	":engine": {
+		usage:   ":engine [name]",
+		summary: "show or switch the execution engine (interp, compiled)",
+		run: func(s *Session, _ context.Context, arg string) (string, error) {
+			if arg != "" {
+				if err := s.SetEngine(arg); err != nil {
+					return "", err
+				}
+			}
+			return fmt.Sprintf("engine: %s\n", s.Engine), nil
+		},
+	},
+}
+
+// :help renders the table it lives in; registering it in init breaks the
+// initialization cycle between the table and helpText.
+func init() {
+	commands[":help"] = command{
+		usage:   ":help",
+		summary: "this help",
+		run: func(*Session, context.Context, string) (string, error) {
+			return helpText(), nil
+		},
+	}
+}
+
+// CommandNames returns the registered colon-command names, sorted.
+func CommandNames() []string {
+	names := make([]string, 0, len(commands))
+	for name := range commands {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// helpText renders the command table, usage column aligned; generated from
+// the table so every registered command appears.
+func helpText() string {
+	width := 0
+	for _, c := range commands {
+		if len(c.usage) > width {
+			width = len(c.usage)
+		}
+	}
+	var b strings.Builder
+	b.WriteString("commands:\n")
+	for _, name := range CommandNames() {
+		c := commands[name]
+		fmt.Fprintf(&b, "  %-*s  %s\n", width, c.usage, c.summary)
+	}
+	return b.String()
+}
+
 // Command executes a colon-command and returns its rendered output. The
-// supported commands are the observability surface of the session:
-//
-//	:explain <query>   compile and optimize only; show the optimized core
-//	                   query, its type, and the optimizer rule trace
-//	:profile <query>   run the query and show per-phase wall times and
-//	                   evaluator/I/O counters
-//	:stats             session-cumulative totals since startup
-//	:top [n]           hottest operators of the last query's span tree
-//	:fleet             cross-query aggregates (histogram, rules, slow log)
-//	:prof [level]      show or set the profiling level (off/sampled/full)
-//	:engine [name]     show or switch the execution engine
-//	:help              list commands
-//
-// Commands that take a query accept it with or without a trailing
-// semicolon.
+// supported commands are the observability surface of the session; see the
+// command table (or :help) for the list.
 func (s *Session) Command(ctx context.Context, line string) (string, error) {
 	line = strings.TrimSpace(line)
 	name, arg, _ := strings.Cut(line, " ")
 	arg = strings.TrimSuffix(strings.TrimSpace(arg), ";")
-	switch name {
-	case ":explain":
-		if arg == "" {
-			return "", fmt.Errorf("usage: :explain <query>")
-		}
-		return s.Explain(arg)
-	case ":profile":
-		if arg == "" {
-			return "", fmt.Errorf("usage: :profile <query>")
-		}
-		return s.Profile(ctx, arg)
-	case ":stats":
-		return s.Trace.Totals().FormatTotals(), nil
-	case ":top":
-		n := 0
-		if arg != "" {
-			if _, err := fmt.Sscanf(arg, "%d", &n); err != nil {
-				return "", fmt.Errorf("usage: :top [n]")
-			}
-		}
-		rep := s.Trace.Last()
-		if rep == nil {
-			return "no query recorded yet\n", nil
-		}
-		return rep.FormatTop(n), nil
-	case ":fleet":
-		if s.Fleet == nil {
-			return "no fleet aggregator attached\n", nil
-		}
-		return s.Fleet.Snapshot().FormatFleet(), nil
-	case ":prof":
-		if arg == "" {
-			return fmt.Sprintf("profiling: %s\n", s.Profiling), nil
-		}
-		if err := s.SetProfiling(arg); err != nil {
-			return "", err
-		}
-		return fmt.Sprintf("profiling: %s\n", s.Profiling), nil
-	case ":engine":
-		if arg == "" {
-			return fmt.Sprintf("engine: %s\n", s.Engine), nil
-		}
-		if err := s.SetEngine(arg); err != nil {
-			return "", err
-		}
-		return fmt.Sprintf("engine: %s\n", s.Engine), nil
-	case ":help":
-		return helpText, nil
+	c, ok := commands[name]
+	if !ok {
+		return "", fmt.Errorf("unknown command %s (try :help)", name)
 	}
-	return "", fmt.Errorf("unknown command %s (try :help)", name)
+	return c.run(s, ctx, arg)
 }
-
-const helpText = `commands:
-  :explain <query>   show the optimized query and the optimizer rule trace
-  :profile <query>   run the query; show phase times and work counters
-  :stats             session-cumulative totals
-  :top [n]           hottest operators of the last query (needs :prof on)
-  :fleet             cross-query aggregates: histogram, rules, slow queries
-  :prof [level]      show or set the profiling level (off, sampled, full)
-  :engine [name]     show or switch the execution engine (interp, compiled)
-  :help              this help
-`
 
 // Explain compiles and optimizes src without evaluating it, and renders
 // the optimized core query, its type, and the optimizer rule-firing trace.

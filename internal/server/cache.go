@@ -1,0 +1,146 @@
+package server
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+
+	"github.com/aqldb/aql/internal/compile"
+	"github.com/aqldb/aql/internal/trace"
+	"github.com/aqldb/aql/internal/types"
+)
+
+// DefaultCacheSize is the prepared-plan cache capacity when Config leaves
+// it unset.
+const DefaultCacheSize = 256
+
+// NormalizeQuery canonicalizes query text for plan-cache keying: leading
+// and trailing space, internal runs of whitespace, and a trailing statement
+// semicolon are insignificant. Queries differing only in layout therefore
+// share one prepared plan.
+func NormalizeQuery(src string) string {
+	return strings.TrimSpace(strings.TrimSuffix(strings.Join(strings.Fields(src), " "), ";"))
+}
+
+// planKey identifies a prepared plan: the normalized query text plus the
+// environment epoch its globals snapshot was taken at. A `val` rebinding or
+// a reader registration bumps the epoch, so stale plans can never be served
+// — they simply stop being found.
+type planKey struct {
+	query string
+	epoch uint64
+}
+
+// plan is one cache entry: the compiled program, its inferred type, and the
+// prepare-time observability (phase times, optimizer trace, node counts)
+// that /debug/queries reports alongside hits.
+type plan struct {
+	prog *compile.Program
+	typ  *types.Type
+	// prepare observability, captured once at prepare time.
+	rules       []trace.RuleFiring
+	nodesBefore int
+	nodesAfter  int
+}
+
+// CacheStats is a snapshot of the plan cache's counters.
+type CacheStats struct {
+	Size          int   `json:"size"`
+	Capacity      int   `json:"capacity"`
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Evictions     int64 `json:"evictions"`
+	Invalidations int64 `json:"invalidations"`
+}
+
+// planCache is an LRU of prepared plans with hit/miss/eviction counters.
+// All methods are safe for concurrent use.
+type planCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[planKey]*list.Element
+	lru     *list.List // front = most recently used; values are *cacheEntry
+
+	hits, misses, evictions, invalidations int64
+}
+
+type cacheEntry struct {
+	key planKey
+	p   *plan
+}
+
+func newPlanCache(capacity int) *planCache {
+	if capacity <= 0 {
+		capacity = DefaultCacheSize
+	}
+	return &planCache{cap: capacity, entries: map[planKey]*list.Element{}, lru: list.New()}
+}
+
+// get returns the cached plan for key, counting a hit or miss.
+func (c *planCache) get(key planKey) (*plan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).p, true
+}
+
+// put inserts a plan, evicting the least recently used entry at capacity.
+// A concurrent insert of the same key wins-last; both plans are equivalent
+// (same query, same epoch), so either is correct.
+func (c *planCache) put(key planKey, p *plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).p = p
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, p: p})
+	for len(c.entries) > c.cap {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// invalidateBefore drops every plan prepared under an epoch older than
+// epoch, returning how many were dropped. Epoch keying already prevents
+// stale plans from being served; this sweep just frees their memory
+// eagerly and feeds the invalidation counter.
+func (c *planCache) invalidateBefore(epoch uint64) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for el := c.lru.Front(); el != nil; {
+		next := el.Next()
+		if e := el.Value.(*cacheEntry); e.key.epoch < epoch {
+			c.lru.Remove(el)
+			delete(c.entries, e.key)
+			n++
+		}
+		el = next
+	}
+	c.invalidations += int64(n)
+	return n
+}
+
+// stats snapshots the counters.
+func (c *planCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Size:          len(c.entries),
+		Capacity:      c.cap,
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		Invalidations: c.invalidations,
+	}
+}

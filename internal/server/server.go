@@ -1,0 +1,511 @@
+// Package server implements aqld, the concurrent AQL query server: an
+// HTTP/JSON front end hosting one shared session environment and serving
+// concurrent /query requests on the compiled execution engine.
+//
+// Three mechanisms make one environment safe and fast to share:
+//
+//   - A prepared-plan cache. Each distinct query text is parsed,
+//     typechecked, optimized and compiled to a slot-resolved closure
+//     program exactly once; requests for the same query execute the cached
+//     compile.Program directly. Entries are keyed by the normalized query
+//     text plus the environment epoch, so rebinding a val or registering a
+//     reader (which bumps the epoch) atomically retires every plan compiled
+//     against the old environment.
+//
+//   - Admission control. A semaphore bounds concurrently executing
+//     queries, a bounded queue absorbs bursts, and requests beyond both are
+//     rejected with typed errors mapped to HTTP 429 (queue full) and 503
+//     (queue timeout). The request context threads into evaluation, so a
+//     client disconnect aborts the query itself, not just the response.
+//
+//   - Per-request observability. Every request gets its own
+//     trace.Recorder whose finished report flows into the shared fleet
+//     aggregator and flight recorder — the same sinks the REPL uses — and
+//     back to the client as phase timings in the response. A cache hit
+//     carries zero parse/typecheck/optimize/compile phases by
+//     construction: those phases simply never run.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/aqldb/aql/internal/ast"
+	"github.com/aqldb/aql/internal/compile"
+	"github.com/aqldb/aql/internal/desugar"
+	"github.com/aqldb/aql/internal/eval"
+	"github.com/aqldb/aql/internal/exchange"
+	"github.com/aqldb/aql/internal/object"
+	"github.com/aqldb/aql/internal/parser"
+	"github.com/aqldb/aql/internal/repl"
+	"github.com/aqldb/aql/internal/trace"
+	"github.com/aqldb/aql/internal/typecheck"
+)
+
+// Request body and /val body caps.
+const (
+	maxQueryBody = 1 << 20 // 1 MiB of query JSON
+	maxValBody   = 16 << 20
+	valMaxDepth  = 10_000 // exchange nesting guard for POST /val bodies
+)
+
+// Config tunes a Server. Zero fields take the package defaults.
+type Config struct {
+	// CacheSize bounds the prepared-plan cache (entries).
+	CacheSize int
+	// MaxConcurrent / MaxQueued / QueueTimeout configure admission control.
+	MaxConcurrent int
+	MaxQueued     int
+	QueueTimeout  time.Duration
+	// Limits is the per-request resource budget. MaxDepth is compiled into
+	// cached plans; the other fields are per-execution defaults a request
+	// may tighten (never exceed) with its own max_steps / timeout_ms.
+	Limits eval.Limits
+}
+
+// Server is the aqld HTTP handler. Create with New, serve with net/http.
+type Server struct {
+	sess *repl.Session
+	cfg  Config
+
+	cache *planCache
+	adm   *admission
+
+	// envMu makes (epoch, globals snapshot) reads atomic with respect to
+	// environment mutations: prepares hold RLock across reading the epoch
+	// and snapshotting globals; POST /val holds Lock across SetVal and the
+	// cache sweep. Without it a rebind landing between the two reads could
+	// cache a new-environment plan under an old-epoch key.
+	envMu sync.RWMutex
+
+	qid atomic.Int64
+
+	mux *http.ServeMux
+}
+
+// New wraps a session (its environment, fleet aggregator and flight
+// recorder) in a query server. The session must not be used for concurrent
+// REPL work while the server is running; the server owns it.
+func New(sess *repl.Session, cfg Config) *Server {
+	s := &Server{
+		sess:  sess,
+		cfg:   cfg,
+		cache: newPlanCache(cfg.CacheSize),
+		adm:   newAdmission(cfg.MaxConcurrent, cfg.MaxQueued, cfg.QueueTimeout),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("GET /val/{name}", s.handleValGet)
+	mux.HandleFunc("POST /val/{name}", s.handleValSet)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/queries", s.handleDebugQueries)
+	mux.HandleFunc("GET /debug/server", s.handleDebugServer)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	s.mux = mux
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// CacheStats exposes the plan cache counters (tests and /debug/server).
+func (s *Server) CacheStats() CacheStats { return s.cache.stats() }
+
+// AdmissionStats exposes the admission counters.
+func (s *Server) AdmissionStats() AdmissionStats { return s.adm.stats() }
+
+// QueryRequest is the POST /query body.
+type QueryRequest struct {
+	Query string `json:"query"`
+	// MaxSteps, when positive, tightens the server's per-request step
+	// budget for this query; it cannot exceed the configured budget.
+	MaxSteps int64 `json:"max_steps,omitempty"`
+	// TimeoutMS likewise tightens the evaluation wall-clock budget.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// QueryResponse is the POST /query success body.
+type QueryResponse struct {
+	ID     string `json:"id"`
+	Cached bool   `json:"cached"`
+	Type   string `json:"type"`
+	// Value is the result in the complex-object data exchange format.
+	Value  string             `json:"value"`
+	WallNS int64              `json:"wall_ns"`
+	Phases []trace.PhaseTime  `json:"phases"`
+	Eval   trace.EvalCounters `json:"eval"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error ErrorInfo `json:"error"`
+}
+
+// ErrorInfo is a typed error: Kind classifies it machine-readably.
+//
+//	parse | type | resource:steps | resource:cells | resource:depth |
+//	resource:timeout | resource:cancelled | admission:queue_full |
+//	admission:queue_timeout | panic | request
+type ErrorInfo struct {
+	Kind    string `json:"kind"`
+	Message string `json:"message"`
+	// ID is set when the error occurred inside an identified query.
+	ID string `json:"id,omitempty"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, maxQueryBody)
+	var req QueryRequest
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, ErrorInfo{Kind: "request", Message: "bad request body: " + err.Error()})
+		return
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		writeError(w, http.StatusBadRequest, ErrorInfo{Kind: "request", Message: "empty query"})
+		return
+	}
+
+	ctx := r.Context()
+	release, err := s.adm.acquire(ctx)
+	if err != nil {
+		status, info := admissionHTTP(err)
+		writeError(w, status, info)
+		return
+	}
+	defer release()
+
+	id := fmt.Sprintf("q%06d", s.qid.Add(1))
+	resp, errInfo, status := s.runQuery(ctx, id, req)
+	if errInfo != nil {
+		errInfo.ID = id
+		writeError(w, status, *errInfo)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// runQuery executes one admitted request: plan-cache lookup or prepare,
+// then execution on a fresh machine, all recorded on a per-request recorder
+// whose report feeds the shared fleet/flight sinks.
+func (s *Server) runQuery(ctx context.Context, id string, req QueryRequest) (*QueryResponse, *ErrorInfo, int) {
+	norm := NormalizeQuery(req.Query)
+
+	rec := trace.NewRecorder(trace.MultiSink{s.sess.Fleet, s.sess.Flight})
+	rec.Begin(norm)
+
+	p, hit, err := s.plan(norm, rec)
+	if err != nil {
+		rec.End(err)
+		info, status := compileHTTP(err)
+		return nil, &info, status
+	}
+	rec.RecordCached(hit)
+
+	opts := s.execOpts(req)
+	sp := rec.StartPhase(trace.PhaseEval)
+	v, counters, err := executeGuarded(ctx, p.prog, opts, norm)
+	sp.End()
+	rec.RecordEngine("compiled")
+	rec.RecordEval(trace.EvalCounters{
+		Steps:       counters.Steps,
+		Cells:       counters.Cells,
+		Tabulations: counters.Tabs,
+		SetOps:      counters.SetOps,
+		Iterations:  counters.Iters,
+	})
+	rep := rec.End(err)
+	if err != nil {
+		info, status := execHTTP(err)
+		return nil, &info, status
+	}
+
+	text, err := exchange.WriteString(v)
+	if err != nil {
+		return nil, &ErrorInfo{Kind: "encode", Message: err.Error()}, http.StatusInternalServerError
+	}
+	return &QueryResponse{
+		ID:     id,
+		Cached: hit,
+		Type:   p.typ.String(),
+		Value:  text,
+		WallNS: int64(rep.Wall),
+		Phases: rep.Phases,
+		Eval:   rep.Eval,
+	}, nil, 0
+}
+
+// plan returns the prepared plan for the normalized query, preparing and
+// caching it on a miss. The prepare phases (parse/desugar/macro/typecheck/
+// optimize/compile) are timed on rec only when they actually run, which is
+// what makes a hit's report carry zero prepare time.
+func (s *Server) plan(norm string, rec *trace.Recorder) (*plan, bool, error) {
+	// The epoch read and the prepare must see one environment state; see
+	// envMu. The read lock is held across the whole prepare — prepares are
+	// pure CPU (no I/O), and val rebinds are rare control operations.
+	s.envMu.RLock()
+	defer s.envMu.RUnlock()
+
+	key := planKey{query: norm, epoch: s.sess.Env.Epoch()}
+	if p, ok := s.cache.get(key); ok {
+		return p, true, nil
+	}
+
+	p, err := s.prepare(norm, rec)
+	if err != nil {
+		return nil, false, err
+	}
+	s.cache.put(key, p)
+	return p, false, nil
+}
+
+// prepare runs the front half of the pipeline and compiles the result into
+// a reusable Program. It mirrors repl.Session.Compile/Optimize but records
+// on the per-request recorder and uses the optimizer's per-call trace hook,
+// so concurrent prepares never share mutable trace state.
+func (s *Server) prepare(norm string, rec *trace.Recorder) (*plan, error) {
+	env := s.sess.Env
+
+	sp := rec.StartPhase(trace.PhaseParse)
+	se, err := parser.ParseExpr(norm)
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	sp = rec.StartPhase(trace.PhaseDesugar)
+	core, err := desugar.Expr(se)
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	sp = rec.StartPhase(trace.PhaseMacro)
+	core = env.ExpandMacros(core)
+	sp.End()
+	sp = rec.StartPhase(trace.PhaseTypecheck)
+	typ, err := typecheck.Infer(core, env.GlobalTypes())
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+
+	sp = rec.StartPhase(trace.PhaseOptimize)
+	before := ast.CountNodes(core)
+	var rules []trace.RuleFiring
+	optimized := env.Optimizer.OptimizeTraced(core, func(phase, rule string, nb, na int) {
+		rec.RuleFired(phase, rule, nb, na)
+		if len(rules) < 1024 {
+			rules = append(rules, trace.RuleFiring{Phase: phase, Rule: rule, NodesBefore: nb, NodesAfter: na})
+		}
+	})
+	after := ast.CountNodes(optimized)
+	rec.RecordNodes(before, after)
+	sp.End()
+
+	sp = rec.StartPhase(trace.PhaseCompile)
+	prog := compile.NewProgram(optimized, env.Globals(), eval.Limits{MaxDepth: s.cfg.Limits.MaxDepth})
+	sp.End()
+
+	return &plan{prog: prog, typ: typ, rules: rules, nodesBefore: before, nodesAfter: after}, nil
+}
+
+// execOpts derives one execution's resource budget: the server's configured
+// limits, tightened (never widened) by the request's own bounds.
+func (s *Server) execOpts(req QueryRequest) compile.ExecOpts {
+	lim := s.cfg.Limits
+	if req.MaxSteps > 0 && (lim.MaxSteps == 0 || req.MaxSteps < lim.MaxSteps) {
+		lim.MaxSteps = req.MaxSteps
+	}
+	if req.TimeoutMS > 0 {
+		t := time.Duration(req.TimeoutMS) * time.Millisecond
+		if lim.Timeout == 0 || t < lim.Timeout {
+			lim.Timeout = t
+		}
+	}
+	return compile.ExecOpts{Limits: lim}
+}
+
+// executeGuarded is the server's panic boundary, mirroring the session's
+// evalGuarded: a panicking query yields a *repl.PanicError (and counters up
+// to the panic), never a crashed server.
+func executeGuarded(ctx context.Context, prog *compile.Program, opts compile.ExecOpts, src string) (v object.Value, c eval.Counters, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			v = object.Value{}
+			err = &repl.PanicError{Src: src, Val: r, Stack: debug.Stack()}
+		}
+	}()
+	return prog.Execute(ctx, opts)
+}
+
+// --- /val -------------------------------------------------------------------
+
+func (s *Server) handleValGet(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	v, ok := s.sess.Env.Val(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrorInfo{Kind: "request", Message: "no val " + name})
+		return
+	}
+	text, err := exchange.WriteString(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, ErrorInfo{Kind: "encode", Message: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, text)
+}
+
+// handleValSet binds a top-level val from an exchange-format body. The
+// environment epoch bump retires every cached plan; the explicit sweep
+// frees their memory immediately.
+func (s *Server) handleValSet(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	body := http.MaxBytesReader(w, r.Body, maxValBody)
+	v, err := exchange.ReadLimits(body, exchange.Limits{MaxBytes: maxValBody, MaxDepth: valMaxDepth})
+	if err != nil {
+		var le *exchange.LimitError
+		if errors.As(err, &le) {
+			writeError(w, http.StatusRequestEntityTooLarge, ErrorInfo{Kind: "exchange:" + le.Kind, Message: err.Error()})
+			return
+		}
+		writeError(w, http.StatusBadRequest, ErrorInfo{Kind: "exchange", Message: err.Error()})
+		return
+	}
+	typ, err := typecheck.TypeOf(v)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, ErrorInfo{Kind: "type", Message: err.Error()})
+		return
+	}
+
+	s.envMu.Lock()
+	s.sess.Env.SetVal(name, v, typ)
+	epoch := s.sess.Env.Epoch()
+	s.cache.invalidateBefore(epoch)
+	s.envMu.Unlock()
+
+	writeJSON(w, http.StatusOK, map[string]any{"name": name, "type": typ.String(), "epoch": epoch})
+}
+
+// --- observability endpoints ------------------------------------------------
+
+// handleMetrics serves the fleet's Prometheus exposition with the server's
+// own plan-cache and admission gauges/counters appended.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := trace.WritePrometheus(w, s.sess.Fleet.Snapshot()); err != nil {
+		return
+	}
+	cs := s.cache.stats()
+	as := s.adm.stats()
+	fmt.Fprintf(w, "# HELP aqld_plan_cache_entries Prepared plans currently cached.\n")
+	fmt.Fprintf(w, "# TYPE aqld_plan_cache_entries gauge\n")
+	fmt.Fprintf(w, "aqld_plan_cache_entries %d\n", cs.Size)
+	fmt.Fprintf(w, "# HELP aqld_plan_cache_events_total Plan cache events by kind.\n")
+	fmt.Fprintf(w, "# TYPE aqld_plan_cache_events_total counter\n")
+	fmt.Fprintf(w, "aqld_plan_cache_events_total{event=\"hit\"} %d\n", cs.Hits)
+	fmt.Fprintf(w, "aqld_plan_cache_events_total{event=\"miss\"} %d\n", cs.Misses)
+	fmt.Fprintf(w, "aqld_plan_cache_events_total{event=\"eviction\"} %d\n", cs.Evictions)
+	fmt.Fprintf(w, "aqld_plan_cache_events_total{event=\"invalidation\"} %d\n", cs.Invalidations)
+	fmt.Fprintf(w, "# HELP aqld_admission_active Queries currently executing.\n")
+	fmt.Fprintf(w, "# TYPE aqld_admission_active gauge\n")
+	fmt.Fprintf(w, "aqld_admission_active %d\n", as.Active)
+	fmt.Fprintf(w, "# HELP aqld_admission_queued Queries currently waiting for a slot.\n")
+	fmt.Fprintf(w, "# TYPE aqld_admission_queued gauge\n")
+	fmt.Fprintf(w, "aqld_admission_queued %d\n", as.Queued)
+	fmt.Fprintf(w, "# HELP aqld_admission_total Admission outcomes by kind.\n")
+	fmt.Fprintf(w, "# TYPE aqld_admission_total counter\n")
+	fmt.Fprintf(w, "aqld_admission_total{outcome=\"admitted\"} %d\n", as.Admitted)
+	fmt.Fprintf(w, "aqld_admission_total{outcome=\"queue_full\"} %d\n", as.RejectedFull)
+	fmt.Fprintf(w, "aqld_admission_total{outcome=\"queue_timeout\"} %d\n", as.RejectedWait)
+	fmt.Fprintf(w, "aqld_admission_total{outcome=\"cancelled\"} %d\n", as.Cancelled)
+}
+
+func (s *Server) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.sess.Flight.Reports())
+}
+
+func (s *Server) handleDebugServer(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"plan_cache": s.cache.stats(),
+		"admission":  s.adm.stats(),
+		"epoch":      s.sess.Env.Epoch(),
+	})
+}
+
+// --- error mapping ----------------------------------------------------------
+
+// admissionHTTP maps a typed admission rejection to status + body.
+func admissionHTTP(err error) (int, ErrorInfo) {
+	var ae *AdmissionError
+	if !errors.As(err, &ae) {
+		return http.StatusInternalServerError, ErrorInfo{Kind: "admission", Message: err.Error()}
+	}
+	info := ErrorInfo{Kind: "admission:" + string(ae.Kind), Message: ae.Error()}
+	switch ae.Kind {
+	case AdmissionQueueFull:
+		return http.StatusTooManyRequests, info
+	case AdmissionQueueTimeout:
+		return http.StatusServiceUnavailable, info
+	default: // client went away while queued; status is best-effort
+		return statusClientClosedRequest, info
+	}
+}
+
+// compileHTTP maps prepare-phase errors (parse/desugar/type) to 400.
+func compileHTTP(err error) (ErrorInfo, int) {
+	kind := "compile"
+	msg := err.Error()
+	switch {
+	case strings.Contains(msg, "parse"):
+		kind = "parse"
+	case strings.Contains(msg, "type"):
+		kind = "type"
+	}
+	return ErrorInfo{Kind: kind, Message: msg}, http.StatusBadRequest
+}
+
+// statusClientClosedRequest is the de-facto (nginx) status for "client
+// disconnected before the response"; no standard code exists.
+const statusClientClosedRequest = 499
+
+// execHTTP maps execution errors to status + body: resource errors carry
+// their kind, panics map to 500.
+func execHTTP(err error) (ErrorInfo, int) {
+	var re *eval.ResourceError
+	if errors.As(err, &re) {
+		info := ErrorInfo{Kind: "resource:" + string(re.Kind), Message: err.Error()}
+		switch re.Kind {
+		case eval.ResourceTimeout:
+			return info, http.StatusGatewayTimeout
+		case eval.ResourceCancelled:
+			return info, statusClientClosedRequest
+		default: // steps / cells / depth: the query exceeded its budget
+			return info, http.StatusUnprocessableEntity
+		}
+	}
+	var pe *repl.PanicError
+	if errors.As(err, &pe) {
+		return ErrorInfo{Kind: "panic", Message: pe.Error()}, http.StatusInternalServerError
+	}
+	return ErrorInfo{Kind: "eval", Message: err.Error()}, http.StatusUnprocessableEntity
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, info ErrorInfo) {
+	writeJSON(w, status, ErrorResponse{Error: info})
+}

@@ -212,6 +212,19 @@ func (r *Recorder) RecordSpans(root *SpanNode, level string) {
 	r.mu.Unlock()
 }
 
+// RecordCached marks the open report as having executed from a
+// prepared-plan cache hit.
+func (r *Recorder) RecordCached(hit bool) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.cur != nil {
+		r.cur.Cached = hit
+	}
+	r.mu.Unlock()
+}
+
 // RecordIO folds I/O counters into the open report; the NetCDF readers
 // call it once per file read.
 func (r *Recorder) RecordIO(c IOCounters) {

@@ -32,13 +32,16 @@ const (
 	PhaseMacro     = "macro"
 	PhaseTypecheck = "typecheck"
 	PhaseOptimize  = "optimize"
+	PhaseCompile   = "compile"
 	PhaseEval      = "eval"
 )
 
 // PhaseOrder lists the pipeline phases in execution order, for stable
-// rendering of reports.
+// rendering of reports. PhaseCompile appears only on paths that prepare a
+// reusable compiled plan (the query server); the one-shot engines fold
+// closure compilation into PhaseEval.
 var PhaseOrder = []string{
-	PhaseParse, PhaseDesugar, PhaseMacro, PhaseTypecheck, PhaseOptimize, PhaseEval,
+	PhaseParse, PhaseDesugar, PhaseMacro, PhaseTypecheck, PhaseOptimize, PhaseCompile, PhaseEval,
 }
 
 // PhaseTime is one timed pipeline phase.
@@ -149,6 +152,10 @@ type QueryReport struct {
 	// eval.SpanNode for the exact semantics at each level.
 	Spans     *SpanNode `json:"spans,omitempty"`
 	ProfLevel string    `json:"prof_level,omitempty"`
+	// Cached reports that the query executed from a prepared-plan cache
+	// hit: no parse/typecheck/optimize/compile phase ran for this request
+	// (their PhaseTime entries are absent or zero).
+	Cached bool `json:"cached,omitempty"`
 	// Err is the error text when the query failed, "" otherwise.
 	Err string `json:"err,omitempty"`
 }
