@@ -99,6 +99,14 @@ func newAdmission(maxConcurrent, maxQueued int, queueTimeout time.Duration) *adm
 // timeout, and returns a release func. The error, when non-nil, is an
 // *AdmissionError; the caller maps its Kind to an HTTP status.
 func (a *admission) acquire(ctx context.Context) (release func(), err error) {
+	// A client that is already gone is never admitted, even when a slot is
+	// free: running its query would only be torn down again by the eval
+	// context, skewing the admitted/active counters meanwhile.
+	if ctx.Err() != nil {
+		a.cancelled.Add(1)
+		return nil, &AdmissionError{Kind: AdmissionCancelled}
+	}
+
 	// Fast path: a slot is free right now.
 	select {
 	case a.slots <- struct{}{}:

@@ -205,11 +205,44 @@ func TestNormalizeQuery(t *testing.T) {
 		"1 + 2":           "1 + 2",
 		"  1   +\n\t2 ; ": "1 + 2",
 		"1+2;":            "1+2", // token-level spacing is preserved
+		// String literals are copied verbatim: internal whitespace, escaped
+		// quotes and semicolons are all significant.
+		`f ! "a  b"`:      `f ! "a  b"`,
+		"f !\n\t\"a  b\"": `f ! "a  b"`,
+		`f ! "a \" b;"`:   `f ! "a \" b;"`,
+		`f!";"`:           `f!";"`, // the ; is inside the literal, not trailing
+		// Comments collapse to one separator, like whitespace.
+		"1 (* c *) + 2":       "1 + 2",
+		"1(* c *)+2":          "1 +2",
+		"1 (* a (* b *) *) 2": "1 2",
+		// Unterminated comment: not lexable, text left for the parser.
+		"1 + (* oops": "1 + (* oops",
 	}
 	for in, want := range cases {
 		if got := NormalizeQuery(in); got != want {
 			t.Errorf("NormalizeQuery(%q) = %q, want %q", in, got, want)
 		}
 	}
+	// Distinct literals must never collide on one plan-cache key.
+	if NormalizeQuery(`f!"a  b"`) == NormalizeQuery(`f!"a b"`) {
+		t.Error(`queries f!"a  b" and f!"a b" normalized to the same key`)
+	}
 	_ = fmt.Sprint() // keep fmt imported if cases change
+}
+
+// TestAcquirePreCancelled: a request whose client is already gone is never
+// admitted, even with free slots.
+func TestAcquirePreCancelled(t *testing.T) {
+	a := newAdmission(2, 2, time.Second)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := a.acquire(ctx)
+	var ae *AdmissionError
+	if !errors.As(err, &ae) || ae.Kind != AdmissionCancelled {
+		t.Fatalf("pre-cancelled acquire: got %v, want cancelled", err)
+	}
+	s := a.stats()
+	if s.Admitted != 0 || s.Cancelled != 1 || s.Active != 0 {
+		t.Fatalf("stats = %+v, want admitted 0, cancelled 1, active 0", s)
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"strings"
 	"sync"
+	"unicode"
 
 	"github.com/aqldb/aql/internal/compile"
 	"github.com/aqldb/aql/internal/trace"
@@ -14,12 +15,80 @@ import (
 // it unset.
 const DefaultCacheSize = 256
 
-// NormalizeQuery canonicalizes query text for plan-cache keying: leading
-// and trailing space, internal runs of whitespace, and a trailing statement
-// semicolon are insignificant. Queries differing only in layout therefore
-// share one prepared plan.
+// NormalizeQuery canonicalizes query text for plan-cache keying: comments
+// and runs of inter-token whitespace collapse to a single space, leading and
+// trailing separators are dropped, and a trailing statement semicolon is
+// insignificant. Queries differing only in layout therefore share one
+// prepared plan. The pass is lexer-aware: string literals (which may contain
+// significant whitespace, quotes and escapes) are copied verbatim, so the
+// normalized text is always semantically identical to the submitted query
+// and distinct literals never collide on one key.
 func NormalizeQuery(src string) string {
-	return strings.TrimSpace(strings.TrimSuffix(strings.Join(strings.Fields(src), " "), ";"))
+	var b strings.Builder
+	b.Grow(len(src))
+	sep := false // a whitespace/comment run is pending
+	for i := 0; i < len(src); {
+		c := src[i]
+		switch {
+		case unicode.IsSpace(rune(c)):
+			sep = true
+			i++
+		case c == '(' && i+1 < len(src) && src[i+1] == '*':
+			// Nesting (* ... *) comment, as in the scanner. An unterminated
+			// comment cannot be lexed; leave the text to the parser verbatim.
+			depth, j := 1, i+2
+			for depth > 0 {
+				if j >= len(src) {
+					return strings.TrimSpace(src)
+				}
+				switch {
+				case src[j] == '(' && j+1 < len(src) && src[j+1] == '*':
+					depth++
+					j += 2
+				case src[j] == '*' && j+1 < len(src) && src[j+1] == ')':
+					depth--
+					j += 2
+				default:
+					j++
+				}
+			}
+			sep = true
+			i = j
+		case c == '"':
+			// String literal: copied byte-for-byte, honoring \-escapes the
+			// way scan.str does. An unterminated literal copies to the end;
+			// the parser reports it on the unchanged text.
+			if sep && b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			sep = false
+			b.WriteByte(c)
+			i++
+			for i < len(src) {
+				ch := src[i]
+				b.WriteByte(ch)
+				i++
+				if ch == '\\' && i < len(src) {
+					b.WriteByte(src[i])
+					i++
+					continue
+				}
+				if ch == '"' {
+					break
+				}
+			}
+		default:
+			if sep && b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			sep = false
+			b.WriteByte(c)
+			i++
+		}
+	}
+	// The trailing semicolon, if any, is outside every string literal (those
+	// were consumed whole above, and each ends with a quote).
+	return strings.TrimSpace(strings.TrimSuffix(b.String(), ";"))
 }
 
 // planKey identifies a prepared plan: the normalized query text plus the

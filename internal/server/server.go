@@ -267,6 +267,18 @@ func (s *Server) plan(norm string, rec *trace.Recorder) (*plan, bool, error) {
 	return p, false, nil
 }
 
+// PrepareError tags an error from one prepare phase with the phase that
+// produced it, so HTTP mapping classifies by type rather than by matching
+// substrings of the message (which a user-written identifier or literal
+// could defeat).
+type PrepareError struct {
+	Phase string // "parse" | "desugar" | "type"
+	Err   error
+}
+
+func (e *PrepareError) Error() string { return e.Err.Error() }
+func (e *PrepareError) Unwrap() error { return e.Err }
+
 // prepare runs the front half of the pipeline and compiles the result into
 // a reusable Program. It mirrors repl.Session.Compile/Optimize but records
 // on the per-request recorder and uses the optimizer's per-call trace hook,
@@ -278,13 +290,13 @@ func (s *Server) prepare(norm string, rec *trace.Recorder) (*plan, error) {
 	se, err := parser.ParseExpr(norm)
 	sp.End()
 	if err != nil {
-		return nil, err
+		return nil, &PrepareError{Phase: "parse", Err: err}
 	}
 	sp = rec.StartPhase(trace.PhaseDesugar)
 	core, err := desugar.Expr(se)
 	sp.End()
 	if err != nil {
-		return nil, err
+		return nil, &PrepareError{Phase: "desugar", Err: err}
 	}
 	sp = rec.StartPhase(trace.PhaseMacro)
 	core = env.ExpandMacros(core)
@@ -293,7 +305,7 @@ func (s *Server) prepare(norm string, rec *trace.Recorder) (*plan, error) {
 	typ, err := typecheck.Infer(core, env.GlobalTypes())
 	sp.End()
 	if err != nil {
-		return nil, err
+		return nil, &PrepareError{Phase: "type", Err: err}
 	}
 
 	sp = rec.StartPhase(trace.PhaseOptimize)
@@ -368,8 +380,11 @@ func (s *Server) handleValGet(w http.ResponseWriter, r *http.Request) {
 // frees their memory immediately.
 func (s *Server) handleValSet(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	body := http.MaxBytesReader(w, r.Body, maxValBody)
-	v, err := exchange.ReadLimits(body, exchange.Limits{MaxBytes: maxValBody, MaxDepth: valMaxDepth})
+	// exchange.ReadLimits bounds both bytes read (it never buffers more than
+	// MaxBytes+1) and nesting depth, and returns a typed *LimitError. No
+	// http.MaxBytesReader wrapper here: it would trip first with an untyped
+	// read error, making the 413 exchange:bytes path unreachable.
+	v, err := exchange.ReadLimits(r.Body, exchange.Limits{MaxBytes: maxValBody, MaxDepth: valMaxDepth})
 	if err != nil {
 		var le *exchange.LimitError
 		if errors.As(err, &le) {
@@ -459,17 +474,15 @@ func admissionHTTP(err error) (int, ErrorInfo) {
 	}
 }
 
-// compileHTTP maps prepare-phase errors (parse/desugar/type) to 400.
+// compileHTTP maps prepare-phase errors (parse/desugar/type) to 400, keyed
+// by the PrepareError phase tag.
 func compileHTTP(err error) (ErrorInfo, int) {
 	kind := "compile"
-	msg := err.Error()
-	switch {
-	case strings.Contains(msg, "parse"):
-		kind = "parse"
-	case strings.Contains(msg, "type"):
-		kind = "type"
+	var pe *PrepareError
+	if errors.As(err, &pe) {
+		kind = pe.Phase
 	}
-	return ErrorInfo{Kind: kind, Message: msg}, http.StatusBadRequest
+	return ErrorInfo{Kind: kind, Message: err.Error()}, http.StatusBadRequest
 }
 
 // statusClientClosedRequest is the de-facto (nginx) status for "client

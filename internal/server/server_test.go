@@ -89,6 +89,39 @@ func TestQueryBasicAndCacheHit(t *testing.T) {
 	}
 }
 
+// TestStringLiteralWhitespaceSignificant: normalization must not rewrite
+// string literals — a query is executed exactly as submitted, and literals
+// differing only in internal whitespace get distinct plans.
+func TestStringLiteralWhitespaceSignificant(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	wide, _, err := postQuery(ts, QueryRequest{Query: `  "a  b"  ;`})
+	if err != nil {
+		t.Fatalf("wide literal: %v", err)
+	}
+	if wide.Value != `"a  b"` {
+		t.Fatalf("wide literal value = %s, want %q (double space preserved)", wide.Value, `"a  b"`)
+	}
+	narrow, _, err := postQuery(ts, QueryRequest{Query: `"a b"`})
+	if err != nil {
+		t.Fatalf("narrow literal: %v", err)
+	}
+	if narrow.Cached {
+		t.Fatal(`"a b" hit the plan cached for "a  b": distinct literals collided on one key`)
+	}
+	if narrow.Value != `"a b"` {
+		t.Fatalf("narrow literal value = %s, want %q", narrow.Value, `"a b"`)
+	}
+	// Layout outside the literal is still insignificant: same plan.
+	again, _, err := postQuery(ts, QueryRequest{Query: "\n\"a  b\"\t;"})
+	if err != nil {
+		t.Fatalf("re-run wide literal: %v", err)
+	}
+	if !again.Cached || again.Value != wide.Value {
+		t.Fatalf("re-run wide literal: cached=%v value=%s, want a hit with %s", again.Cached, again.Value, wide.Value)
+	}
+}
+
 // TestCacheHitSkipsPrepare is the acceptance check for the prepared-plan
 // cache: a hit's phase timings must contain NO prepare phases at all —
 // parse, desugar, macro expansion, typecheck, optimize and compile ran
@@ -355,6 +388,40 @@ func TestValBodyGuards(t *testing.T) {
 	}
 	if er.Error.Kind != "exchange:depth" {
 		t.Fatalf("deep val kind = %q, want exchange:depth", er.Error.Kind)
+	}
+
+	big := strings.Repeat("1", maxValBody+2)
+	resp2, err := http.Post(ts.URL+"/val/big", "text/plain", strings.NewReader(big))
+	if err != nil {
+		t.Fatalf("POST big val: %v", err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("big val status = %d, want 413", resp2.StatusCode)
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&er); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if er.Error.Kind != "exchange:bytes" {
+		t.Fatalf("big val kind = %q, want exchange:bytes", er.Error.Kind)
+	}
+}
+
+// TestCompileHTTPClassification: error kinds come from the PrepareError
+// phase tag, never from substrings of the message — a message mentioning
+// "parse" inside a type error (or vice versa) cannot misclassify.
+func TestCompileHTTPClassification(t *testing.T) {
+	info, status := compileHTTP(&PrepareError{Phase: "type", Err: errors.New(`cannot parse operand "parse"`)})
+	if info.Kind != "type" || status != http.StatusBadRequest {
+		t.Fatalf("tagged type error: kind %q status %d, want type/400", info.Kind, status)
+	}
+	info, _ = compileHTTP(&PrepareError{Phase: "parse", Err: errors.New("expected a type after colon")})
+	if info.Kind != "parse" {
+		t.Fatalf("tagged parse error: kind %q, want parse", info.Kind)
+	}
+	info, _ = compileHTTP(errors.New("type: parse: untagged"))
+	if info.Kind != "compile" {
+		t.Fatalf("untagged error: kind %q, want compile", info.Kind)
 	}
 }
 
