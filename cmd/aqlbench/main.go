@@ -6,7 +6,7 @@
 // Usage:
 //
 //	aqlbench            run every experiment
-//	aqlbench -exp e7    run one experiment (e4, e6, e7, e8, e9, e10, e11, e15, e17, e19, a1)
+//	aqlbench -exp e7    run one experiment (e4, e6, e7, e8, e9, e10, e11, e15, e17, e19, e21, e22, a1)
 //	aqlbench -quick     smaller sweeps, for smoke testing
 //	aqlbench -report reports.jsonl
 //	                    additionally write one trace.QueryReport JSON object
@@ -54,7 +54,7 @@ var quick = flag.Bool("quick", false, "smaller sweeps")
 var reportSink trace.Sink
 
 func main() {
-	exp := flag.String("exp", "", "run a single experiment (e4, e6, e7, e8, e9, e10, e11, e15, e17, e19, a1)")
+	exp := flag.String("exp", "", "run a single experiment (e4, e6, e7, e8, e9, e10, e11, e15, e17, e19, e21, e22, a1)")
 	report := flag.String("report", "", "write per-query trace.QueryReport JSON lines to this file (- for stdout)")
 	engine := flag.String("engine", "", "execution engine for the experiments: interp or compiled (default: the session default)")
 	engJSON := flag.String("engjson", "", "with e19: write the engine-comparison results as JSON to this file (e.g. BENCH_engine.json)")
@@ -95,6 +95,7 @@ func main() {
 		{"e11", "zip-subseq commutation (sections 1 and 5)", runE11},
 		{"e19", "execution engines: interp vs compiled on tabulation workloads", runE19},
 		{"e21", "query server: cold vs cached-plan latency, sustained QPS", runE21},
+		{"e22", "cluster: scatter-gather speedup, hedged straggler tail latency", runE22},
 		{"e15", "NetCDF subslab reads (section 4.1)", runE15},
 		{"e17", "predictive caching for strided reads (section 7)", runE17},
 		{"a1", "ablation: optimizer phase structure", runA1},
@@ -129,11 +130,11 @@ func main() {
 		}
 	}
 	if *trajectory != "" {
-		if engResults == nil && srvResults == nil {
-			fmt.Fprintln(os.Stderr, "aqlbench: -trajectory requires the e19 or e21 experiment to have run")
+		if engResults == nil && srvResults == nil && clusterResults == nil {
+			fmt.Fprintln(os.Stderr, "aqlbench: -trajectory requires the e19, e21 or e22 experiment to have run")
 			os.Exit(1)
 		}
-		if err := appendTrajectory(*trajectory, *stamp, engResults, srvResults); err != nil {
+		if err := appendTrajectory(*trajectory, *stamp, engResults, srvResults, clusterResults); err != nil {
 			fmt.Fprintln(os.Stderr, "aqlbench:", err)
 			os.Exit(1)
 		}
@@ -177,13 +178,16 @@ type trajectoryEntry struct {
 	// Server carries the e21 query-server measurements when that
 	// experiment ran (cold vs cached-plan latency, sustained QPS).
 	Server *serverReport `json:"server,omitempty"`
+	// Cluster carries the e22 scatter-gather measurements when that
+	// experiment ran (distributed speedup, hedged tail latency).
+	Cluster *clusterReport `json:"cluster,omitempty"`
 }
 
 // appendTrajectory appends one entry to the trajectory file, creating it
 // (as a one-element array) if absent. A malformed existing file is an
-// error rather than silently replaced — the history is the point. Either
+// error rather than silently replaced — the history is the point. Any
 // report may be nil; at least one is present (checked by the caller).
-func appendTrajectory(path, stamp string, r *engineReport, sr *serverReport) error {
+func appendTrajectory(path, stamp string, r *engineReport, sr *serverReport, cr *clusterReport) error {
 	var entries []trajectoryEntry
 	if data, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(data, &entries); err != nil {
@@ -197,6 +201,7 @@ func appendTrajectory(path, stamp string, r *engineReport, sr *serverReport) err
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Profiling:  bench.Profiling,
 		Server:     sr,
+		Cluster:    cr,
 	}
 	if r != nil {
 		entry.GOMAXPROCS = r.GOMAXPROCS

@@ -10,6 +10,7 @@
 // Endpoints:
 //
 //	POST /query          {"query": "...", "max_steps"?: n, "timeout_ms"?: n}
+//	POST /shard          a range-restricted tabulation shard (cluster worker)
 //	GET  /val/{name}     a top-level val, in the data exchange format
 //	POST /val/{name}     bind a val from an exchange-format body
 //	GET  /metrics        Prometheus text: fleet metrics + aqld_* series
@@ -22,6 +23,15 @@
 // are visible to every query. Cancelling a request (closing the
 // connection) aborts its evaluation; exceeding -maxconcurrent queues the
 // request, and overflowing the queue rejects it with HTTP 429.
+//
+// Coordinator mode (-coordinator -workers http://w1:8080,http://w2:8080)
+// scatters parallel-eligible tabulations across worker aqld processes as
+// contiguous row-major shards via POST /shard, with per-shard retry,
+// optional hedging (-hedge-after), circuit breaking of failing workers and
+// graceful degradation to local execution (reported as mode
+// "degraded:local") when no worker is reachable. Workers need the same
+// -init environment as the coordinator: shards re-prepare the query
+// against the worker's own globals.
 package main
 
 import (
@@ -32,13 +42,26 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"github.com/aqldb/aql/internal/cluster"
 	"github.com/aqldb/aql/internal/eval"
 	"github.com/aqldb/aql/internal/repl"
 	"github.com/aqldb/aql/internal/server"
 )
+
+// splitWorkers parses the -workers list, dropping empty entries.
+func splitWorkers(s string) []string {
+	var out []string
+	for _, w := range strings.Split(s, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			out = append(out, w)
+		}
+	}
+	return out
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -58,6 +81,13 @@ func run() error {
 	maxCells := flag.Int64("maxcells", 0, "per-query collection/array cell budget (0 = unlimited)")
 	maxDepth := flag.Int("maxdepth", 0, "per-query recursion depth bound, compiled into cached plans (0 = unlimited)")
 	timeout := flag.Duration("timeout", 0, "per-query evaluation wall-clock budget (0 = unlimited)")
+	coordinator := flag.Bool("coordinator", false, "scatter parallel-eligible queries across -workers")
+	workers := flag.String("workers", "", "comma-separated worker base URLs (requires -coordinator)")
+	hedgeAfter := flag.Duration("hedge-after", 0, "re-dispatch a straggler shard to a second worker after this long (0 = no hedging)")
+	shardTimeout := flag.Duration("shard-timeout", 0, "per-shard dispatch attempt deadline (0 = none)")
+	shardRetries := flag.Int("shard-attempts", 0, "remote dispatch attempts per shard before local fallback (0 = default)")
+	minCells := flag.Int64("min-shard-cells", 0, "smallest element space worth scattering (0 = default)")
+	localWorkers := flag.Int("workers-local", 0, "local tabulation fan-out per query (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	sess, err := repl.New()
@@ -77,7 +107,7 @@ func run() error {
 		sess.Trace.Reset()
 	}
 
-	h := server.New(sess, server.Config{
+	cfg := server.Config{
 		CacheSize:     *cacheSize,
 		MaxConcurrent: *maxConcurrent,
 		MaxQueued:     *maxQueued,
@@ -88,7 +118,25 @@ func run() error {
 			MaxDepth: *maxDepth,
 			Timeout:  *timeout,
 		},
-	})
+		Workers: *localWorkers,
+	}
+	if *coordinator {
+		urls := splitWorkers(*workers)
+		if len(urls) == 0 {
+			return fmt.Errorf("-coordinator requires -workers")
+		}
+		cfg.Coordinator = cluster.New(cluster.Config{
+			Workers:      urls,
+			HedgeAfter:   *hedgeAfter,
+			ShardTimeout: *shardTimeout,
+			MaxAttempts:  *shardRetries,
+			MinCells:     *minCells,
+		})
+		fmt.Fprintf(os.Stderr, "aqld: coordinator over %d workers: %s\n", len(urls), strings.Join(urls, ", "))
+	} else if *workers != "" {
+		return fmt.Errorf("-workers requires -coordinator")
+	}
+	h := server.New(sess, cfg)
 
 	srv := &http.Server{Addr: *addr, Handler: h}
 	errc := make(chan error, 1)

@@ -1,0 +1,584 @@
+// Package cluster implements fault-tolerant scatter-gather execution of
+// parallel-eligible tabulations: a coordinator partitions the element space
+// of a range-partitionable prepared plan (compile.Program.Rangeable) into
+// contiguous row-major shards, ships each to worker aqld processes over the
+// HTTP/JSON + exchange transport, and merges values, counters and spans
+// back into exactly the single-node result.
+//
+// The merge contract is inherited from the engine's parallel tabulation
+// kernel and makes every robustness mechanism safe by construction:
+//
+//   - Shards are disjoint contiguous ranges and elements are pure in the
+//     index valuation, so re-executing a shard — a retry after a failure, a
+//     hedge racing a straggler — recomputes identical values and identical
+//     counters. The coordinator takes counters from exactly one winning
+//     attempt per shard; merged totals equal single-node totals no matter
+//     how many attempts failed, raced or were abandoned.
+//   - A ⊥ element poisons the whole tabulation; the first ⊥ in row-major
+//     order wins. Workers report (offset, diagnostic) of their shard's
+//     first ⊥ and the coordinator takes the minimum offset.
+//   - Deterministic evaluation errors carry their row-major offset; the
+//     lowest offset across shards is the error a serial scan hits first.
+//     Resource errors (cancellation, budget trips at the coordinator)
+//     abort the scatter.
+//
+// Failure handling: per-shard deadlines with capped exponential backoff
+// retry, hedged re-dispatch of stragglers (first response wins, loser
+// cancelled), per-worker circuit breakers with health-probe re-admission,
+// and graceful degradation — shards whose attempts are exhausted (or that
+// find no admissible worker) run locally; a query whose every shard ran
+// locally is annotated "degraded:local".
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/aqldb/aql/internal/compile"
+	"github.com/aqldb/aql/internal/eval"
+	"github.com/aqldb/aql/internal/exchange"
+	"github.com/aqldb/aql/internal/object"
+	"github.com/aqldb/aql/internal/trace"
+)
+
+// Config configures a Coordinator. The zero value of each field selects
+// the documented default.
+type Config struct {
+	// Workers are the base URLs of worker aqld processes.
+	Workers []string
+	// Transport ships shards; nil means HTTPTransport.
+	Transport Transport
+	// MinCells is the smallest element space worth scattering; below it the
+	// query runs locally. Default 4096.
+	MinCells int64
+	// ShardsPerWorker sets the shard count as len(Workers)*ShardsPerWorker
+	// (capped at the element count); >1 smooths load imbalance and shrinks
+	// the retry unit. Default 2.
+	ShardsPerWorker int
+	// MaxAttempts caps remote dispatches per shard (retries and hedges each
+	// consume one) before the shard falls back to local execution.
+	// Default 4.
+	MaxAttempts int
+	// BaseBackoff and MaxBackoff bound the capped exponential backoff
+	// between a shard's attempts. Defaults 25ms and 1s.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// HedgeAfter launches a second dispatch of a shard on another worker
+	// when the first has not answered within this duration; the first
+	// complete response wins and the loser is cancelled. 0 disables
+	// hedging.
+	HedgeAfter time.Duration
+	// ShardTimeout bounds each dispatch attempt; 0 means no per-attempt
+	// deadline (the query context still applies).
+	ShardTimeout time.Duration
+	// BreakerThreshold consecutive dispatch failures open a worker's
+	// circuit breaker; BreakerCooldown later a single health probe may
+	// re-admit it. Defaults 3 and 2s.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Transport == nil {
+		cfg.Transport = &HTTPTransport{}
+	}
+	if cfg.MinCells == 0 {
+		cfg.MinCells = 4096
+	}
+	if cfg.ShardsPerWorker <= 0 {
+		cfg.ShardsPerWorker = 2
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 4
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 25 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = time.Second
+	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 3
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 2 * time.Second
+	}
+	return cfg
+}
+
+// probeTimeout bounds a circuit breaker's half-open health probe.
+const probeTimeout = time.Second
+
+// Coordinator scatters range-partitionable programs across workers. Safe
+// for concurrent Execute calls.
+type Coordinator struct {
+	cfg Config
+
+	mu       sync.Mutex
+	breakers map[string]*breaker
+	next     int // round-robin cursor over cfg.Workers
+
+	stats Stats
+}
+
+// New returns a Coordinator over cfg.Workers.
+func New(cfg Config) *Coordinator {
+	return &Coordinator{cfg: cfg.withDefaults(), breakers: map[string]*breaker{}}
+}
+
+// Workers returns the configured worker URLs.
+func (c *Coordinator) Workers() []string { return c.cfg.Workers }
+
+// Stats are the coordinator's cumulative dispatch counters, exported on
+// /metrics as aqld_cluster_*.
+type Stats struct {
+	Queries       atomic.Int64 // scatter-gather executions (local-mode short-circuits excluded)
+	Shards        atomic.Int64 // shards planned
+	RemoteShards  atomic.Int64 // shards answered by a worker
+	LocalShards   atomic.Int64 // shards that fell back to local execution
+	Retries       atomic.Int64 // re-dispatches after a failed attempt
+	Hedges        atomic.Int64 // hedge dispatches launched
+	HedgeWins     atomic.Int64 // hedges whose response won
+	BreakerOpens  atomic.Int64 // breaker open transitions
+	BreakerCloses atomic.Int64 // successful probe re-admissions
+	DegradedTotal atomic.Int64 // queries answered entirely locally after failures
+}
+
+// Stats returns a pointer to the live counters (read with .Load()).
+func (c *Coordinator) Stats() *Stats { return &c.stats }
+
+// Result is one coordinator execution.
+type Result struct {
+	Value    object.Value
+	Counters eval.Counters
+	// Mode is "distributed" (every shard remote), "distributed:partial"
+	// (some shards local), "degraded:local" (every shard local, after
+	// failures) or "local" (not scattered: below MinCells, no workers
+	// configured, or a ⊥ bound).
+	Mode string
+	// Shards holds one dispatch record per shard, in shard order; nil in
+	// local mode.
+	Shards []trace.ShardSpan
+}
+
+// shardOutcome is one shard's terminal state.
+type shardOutcome struct {
+	span      trace.ShardSpan
+	values    []object.Value
+	bottomOff int64
+	bottom    object.Value
+	counters  eval.Counters
+	err       error // deterministic failure; resource failures go through abort()
+	errOff    int64 // row-major offset of err, or MaxInt64 when unpositioned
+}
+
+// Execute runs prog — whose normalized source is query, as workers must
+// re-prepare it — under the scatter-gather envelope. The result is
+// byte-identical to prog.Execute with exactly-equal counters whenever
+// execution succeeds, whatever failures were survived along the way.
+func (c *Coordinator) Execute(ctx context.Context, prog *compile.Program, query string, opts compile.ExecOpts) (*Result, error) {
+	if !prog.Rangeable() {
+		return nil, fmt.Errorf("cluster: program is not range-partitionable")
+	}
+	plan, err := prog.PlanShards(ctx, opts)
+	if err != nil {
+		return nil, err
+	}
+	if plan.Bottom.IsBottom() {
+		// A ⊥ bound decides the query during planning; nothing to scatter.
+		return &Result{Value: plan.Bottom, Counters: plan.Counters, Mode: "local"}, nil
+	}
+	if plan.Size < c.cfg.MinCells || len(c.cfg.Workers) == 0 {
+		v, cnt, err := prog.Execute(ctx, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Value: v, Counters: cnt, Mode: "local"}, nil
+	}
+
+	c.stats.Queries.Add(1)
+	nshards := len(c.cfg.Workers) * c.cfg.ShardsPerWorker
+	if int64(nshards) > plan.Size {
+		nshards = int(plan.Size)
+	}
+	c.stats.Shards.Add(int64(nshards))
+
+	// The scatter context lets a resource failure in any shard abort the
+	// rest promptly; the first such error is the query's error (siblings'
+	// induced cancellations are ignored), mirroring the in-process parallel
+	// kernel's failed-flag protocol.
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var abortOnce sync.Once
+	var abortErr error
+	abort := func(err error) {
+		abortOnce.Do(func() {
+			abortErr = err
+			cancel()
+		})
+	}
+
+	outs := make([]shardOutcome, nshards)
+	var wg sync.WaitGroup
+	base, rem := plan.Size/int64(nshards), plan.Size%int64(nshards)
+	off := int64(0)
+	for i := 0; i < nshards; i++ {
+		length := base
+		if int64(i) < rem {
+			length++
+		}
+		start, end := off, off+length
+		off = end
+		wg.Add(1)
+		go func(i int, start, end int64) {
+			defer wg.Done()
+			outs[i] = c.runShard(sctx, abort, prog, query, opts, plan.Shape, i, start, end)
+		}(i, start, end)
+	}
+	wg.Wait()
+	if abortErr != nil {
+		return nil, abortErr
+	}
+
+	// Merge. Deterministic errors first: the lowest offset is the error a
+	// serial scan hits first (⊥s never stop the scan, so an error wins over
+	// any ⊥ regardless of their relative offsets).
+	var firstErr error
+	firstErrOff := int64(math.MaxInt64)
+	for i := range outs {
+		if outs[i].err != nil && (firstErr == nil || outs[i].errOff < firstErrOff) {
+			firstErr, firstErrOff = outs[i].err, outs[i].errOff
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	merged := plan.Counters
+	spans := make([]trace.ShardSpan, nshards)
+	remote, local := 0, 0
+	bottomOff := int64(-1)
+	var bottom object.Value
+	data := make([]object.Value, plan.Size)
+	for i := range outs {
+		o := &outs[i]
+		spans[i] = o.span
+		if o.span.Worker == "local" {
+			local++
+		} else {
+			remote++
+		}
+		merged.Steps += o.counters.Steps
+		merged.Cells += o.counters.Cells
+		merged.Tabs += o.counters.Tabs
+		merged.SetOps += o.counters.SetOps
+		merged.Iters += o.counters.Iters
+		if o.bottomOff >= 0 && (bottomOff < 0 || o.bottomOff < bottomOff) {
+			bottomOff, bottom = o.bottomOff, o.bottom
+		}
+		if o.values != nil {
+			copy(data[o.span.Start:o.span.End], o.values)
+		}
+	}
+	mode := "distributed"
+	switch {
+	case local > 0 && remote > 0:
+		mode = "distributed:partial"
+	case local > 0 && remote == 0:
+		mode = "degraded:local"
+		c.stats.DegradedTotal.Add(1)
+	}
+	res := &Result{Counters: merged, Mode: mode, Shards: spans}
+	if bottomOff >= 0 {
+		res.Value = bottom
+	} else {
+		res.Value = object.Value{Kind: object.KArray, Shape: plan.Shape, Data: data}
+	}
+	return res, nil
+}
+
+// runShard drives one shard to a terminal outcome: remote attempts with
+// backoff, hedging and breaker bookkeeping, then local fallback.
+func (c *Coordinator) runShard(ctx context.Context, abort func(error), prog *compile.Program, query string, opts compile.ExecOpts, shape []int, shard int, start, end int64) shardOutcome {
+	t0 := time.Now()
+	out := shardOutcome{bottomOff: -1, errOff: math.MaxInt64}
+	out.span = trace.ShardSpan{Shard: shard, Start: start, End: end}
+	req := exchange.ShardRequest{
+		Query: query, Shape: shape, Start: start, End: end,
+		Shard: shard, MaxSteps: opts.MaxSteps,
+	}
+	if opts.Limits.Timeout > 0 {
+		req.TimeoutMS = opts.Limits.Timeout.Milliseconds()
+	}
+
+	attempt := 0
+	backoff := c.cfg.BaseBackoff
+	for attempt < c.cfg.MaxAttempts {
+		if ctx.Err() != nil {
+			abort(resourceCancelled(ctx))
+			return out
+		}
+		worker, ok := c.pickWorker(ctx, "")
+		if !ok {
+			break // every worker circuit-open: degrade this shard
+		}
+		resp, winner, hedged, derr := c.dispatch(ctx, worker, &req, &attempt)
+		out.span.Hedged = out.span.Hedged || hedged
+		if derr == nil {
+			values, bottomOff, bottom, counters, perr := decodeShard(resp, start, end)
+			if perr == nil {
+				c.breakerFor(winner).onSuccess()
+				out.values, out.bottomOff, out.bottom, out.counters = values, bottomOff, bottom, counters
+				out.span.Worker, out.span.Attempts, out.span.Wall = winner, attempt, time.Since(t0)
+				c.stats.RemoteShards.Add(1)
+				return out
+			}
+			// A response that doesn't decode to the requested range is a
+			// transport failure of the winning worker: retry.
+			derr = perr
+			c.recordFailure(winner)
+		}
+		if ctx.Err() != nil {
+			abort(resourceCancelled(ctx))
+			return out
+		}
+		if se, ok := derr.(*ShardError); ok && !se.Retryable() {
+			// Deterministic on any worker; propagate with its offset.
+			out.err = se
+			if se.Off >= 0 {
+				out.errOff = se.Off
+			}
+			out.span.Worker, out.span.Attempts, out.span.Wall = winner, attempt, time.Since(t0)
+			return out
+		}
+		if attempt < c.cfg.MaxAttempts {
+			c.stats.Retries.Add(1)
+			if !sleepCtx(ctx, backoff) {
+				abort(resourceCancelled(ctx))
+				return out
+			}
+			backoff *= 2
+			if backoff > c.cfg.MaxBackoff {
+				backoff = c.cfg.MaxBackoff
+			}
+		}
+	}
+
+	// Remote attempts exhausted (or no admissible worker): run the range
+	// in-process. Values and counters are identical by the purity argument,
+	// so degradation changes availability, never answers.
+	c.stats.LocalShards.Add(1)
+	res, err := prog.ExecuteRange(ctx, opts, shape, start, end)
+	out.span.Worker, out.span.Attempts, out.span.Wall = "local", attempt, time.Since(t0)
+	if err != nil {
+		var re *eval.ResourceError
+		if errors.As(err, &re) || ctx.Err() != nil {
+			abort(err)
+			return out
+		}
+		out.err = err
+		var rerr *compile.RangeError
+		if errors.As(err, &rerr) {
+			out.errOff = rerr.Off
+		}
+		return out
+	}
+	out.values, out.bottomOff, out.bottom, out.counters = res.Values, res.BottomOff, res.Bottom, res.Counters
+	return out
+}
+
+// dispatch performs one attempt round for a shard: a primary dispatch,
+// plus — when HedgeAfter elapses first and another worker is admissible —
+// one hedged dispatch. The first successful response wins and the loser is
+// cancelled; with no success, the last failure is returned. Every dispatch
+// consumes one attempt number (chaos schedules key on it) and counts
+// toward the shard's attempt budget.
+func (c *Coordinator) dispatch(ctx context.Context, primary string, req *exchange.ShardRequest, attempt *int) (resp *exchange.ShardResponse, winner string, hedged bool, err error) {
+	type dispResult struct {
+		resp   *exchange.ShardResponse
+		err    error
+		worker string
+	}
+	ch := make(chan dispResult, 2)
+	var cancels []context.CancelFunc
+	defer func() {
+		for _, cf := range cancels {
+			cf()
+		}
+	}()
+	launch := func(worker string) {
+		r := *req
+		r.Attempt = *attempt
+		*attempt++
+		actx := ctx
+		var cf context.CancelFunc
+		if c.cfg.ShardTimeout > 0 {
+			actx, cf = context.WithTimeout(ctx, c.cfg.ShardTimeout)
+		} else {
+			actx, cf = context.WithCancel(ctx)
+		}
+		cancels = append(cancels, cf)
+		go func() {
+			sr, serr := c.cfg.Transport.Shard(actx, worker, &r)
+			ch <- dispResult{resp: sr, err: serr, worker: worker}
+		}()
+	}
+	launch(primary)
+	inflight := 1
+	var hedgeTimer <-chan time.Time
+	if c.cfg.HedgeAfter > 0 {
+		t := time.NewTimer(c.cfg.HedgeAfter)
+		defer t.Stop()
+		hedgeTimer = t.C
+	}
+	var lastErr error
+	lastWorker := primary
+	for inflight > 0 {
+		select {
+		case r := <-ch:
+			inflight--
+			if r.err == nil {
+				if hedged && r.worker != primary {
+					c.stats.HedgeWins.Add(1)
+				}
+				return r.resp, r.worker, hedged, nil
+			}
+			lastErr, lastWorker = r.err, r.worker
+			if se, ok := r.err.(*ShardError); ok {
+				if !se.Retryable() {
+					// Deterministic: no point waiting for a racing hedge to
+					// fail the same way.
+					return nil, r.worker, hedged, se
+				}
+				c.recordFailure(r.worker)
+			}
+		case <-hedgeTimer:
+			hedgeTimer = nil
+			if *attempt >= c.cfg.MaxAttempts {
+				continue
+			}
+			if w, ok := c.pickWorker(ctx, primary); ok {
+				hedged = true
+				c.stats.Hedges.Add(1)
+				launch(w)
+				inflight++
+			}
+		case <-ctx.Done():
+			return nil, lastWorker, hedged, ctx.Err()
+		}
+	}
+	return nil, lastWorker, hedged, lastErr
+}
+
+// pickWorker round-robins over admissible workers, skipping exclude and
+// circuit-open workers; a breaker past its cooldown gets one synchronous
+// health probe and is re-admitted on success.
+func (c *Coordinator) pickWorker(ctx context.Context, exclude string) (string, bool) {
+	n := len(c.cfg.Workers)
+	if n == 0 {
+		return "", false
+	}
+	c.mu.Lock()
+	first := c.next
+	c.next++
+	c.mu.Unlock()
+	for i := 0; i < n; i++ {
+		w := c.cfg.Workers[(first+i)%n]
+		if w == exclude {
+			continue
+		}
+		switch c.breakerFor(w).allow(time.Now()) {
+		case breakerClosed:
+			return w, true
+		case breakerProbe:
+			pctx, pcancel := context.WithTimeout(ctx, probeTimeout)
+			perr := c.cfg.Transport.Healthz(pctx, w)
+			pcancel()
+			c.breakerFor(w).probeResult(perr == nil, time.Now())
+			if perr == nil {
+				c.stats.BreakerCloses.Add(1)
+				return w, true
+			}
+		case breakerOpen:
+		}
+	}
+	return "", false
+}
+
+func (c *Coordinator) breakerFor(w string) *breaker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b := c.breakers[w]
+	if b == nil {
+		b = newBreaker(c.cfg.BreakerThreshold, c.cfg.BreakerCooldown)
+		c.breakers[w] = b
+	}
+	return b
+}
+
+// recordFailure folds one dispatch failure into the worker's breaker.
+func (c *Coordinator) recordFailure(w string) {
+	if c.breakerFor(w).onFailure(time.Now()) {
+		c.stats.BreakerOpens.Add(1)
+	}
+}
+
+// decodeShard turns a worker's response into merge inputs, validating that
+// it actually answers [start, end); a mismatch is a transport-class error
+// (retryable on another attempt).
+func decodeShard(resp *exchange.ShardResponse, start, end int64) (values []object.Value, bottomOff int64, bottom object.Value, counters eval.Counters, err error) {
+	counters = eval.Counters{
+		Steps:  resp.Eval.Steps,
+		Cells:  resp.Eval.Cells,
+		Tabs:   resp.Eval.Tabulations,
+		SetOps: resp.Eval.SetOps,
+		Iters:  resp.Eval.Iterations,
+	}
+	if resp.BottomOff >= 0 {
+		if resp.BottomOff < start || resp.BottomOff >= end {
+			return nil, -1, object.Value{}, counters, &ShardError{Kind: "transport",
+				Message: fmt.Sprintf("cluster: shard ⊥ offset %d outside [%d, %d)", resp.BottomOff, start, end), Off: -1}
+		}
+		return nil, resp.BottomOff, object.Bottom(resp.BottomMsg), counters, nil
+	}
+	v, rerr := exchange.ReadString(resp.Values)
+	if rerr != nil {
+		return nil, -1, object.Value{}, counters, &ShardError{Kind: "transport",
+			Message: "cluster: undecodable shard values: " + rerr.Error(), Off: -1}
+	}
+	if v.Kind != object.KArray || len(v.Shape) != 1 || int64(len(v.Data)) != end-start {
+		return nil, -1, object.Value{}, counters, &ShardError{Kind: "transport",
+			Message: fmt.Sprintf("cluster: shard values shape mismatch: want vector of %d", end-start), Off: -1}
+	}
+	return v.Data, -1, object.Value{}, counters, nil
+}
+
+// sleepCtx sleeps d unless ctx is done first; reports whether the full
+// sleep completed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// resourceCancelled wraps the context error in the evaluator's resource
+// vocabulary so server-side classification stays uniform; the deadline
+// flavour maps to the timeout kind, exactly as the engine's own interrupt
+// check does.
+func resourceCancelled(ctx context.Context) error {
+	cause := ctx.Err()
+	if errors.Is(cause, context.DeadlineExceeded) {
+		return &eval.ResourceError{Kind: eval.ResourceTimeout, Cause: cause}
+	}
+	return &eval.ResourceError{Kind: eval.ResourceCancelled, Cause: cause}
+}

@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/aqldb/aql/internal/exchange"
+)
+
+// Transport ships shard requests to workers. The production implementation
+// is HTTPTransport; tests swap in ChaosTransport to inject failures
+// deterministically.
+type Transport interface {
+	// Shard executes req on the given worker and returns its response. A
+	// non-nil error is either a *ShardError (classified transport or worker
+	// failure) or a context error.
+	Shard(ctx context.Context, worker string, req *exchange.ShardRequest) (*exchange.ShardResponse, error)
+	// Healthz probes the worker's liveness; used by circuit-breaker
+	// half-open probes.
+	Healthz(ctx context.Context, worker string) error
+}
+
+// ShardError is a classified shard dispatch failure.
+type ShardError struct {
+	// Worker is the base URL (or test name) of the worker that failed.
+	Worker string
+	// Status is the HTTP status of the worker's error response; 0 for
+	// transport-level failures (connection refused, dropped, garbled body).
+	Status int
+	// Kind and Message mirror the worker's error envelope; for transport
+	// failures Kind is "transport".
+	Kind    string
+	Message string
+	// Off is the row-major offset of a deterministic evaluation error on
+	// the worker, -1 when the failure is not tied to an element.
+	Off int64
+}
+
+func (e *ShardError) Error() string {
+	if e.Status != 0 {
+		return fmt.Sprintf("cluster: worker %s: %s (%d): %s", e.Worker, e.Kind, e.Status, e.Message)
+	}
+	return fmt.Sprintf("cluster: worker %s: %s: %s", e.Worker, e.Kind, e.Message)
+}
+
+// Retryable reports whether another attempt (on this or another worker)
+// could succeed. Transport failures, 5xx and admission backpressure (429)
+// are retryable; other 4xx are deterministic — the same plan would fail the
+// same way anywhere — so the coordinator propagates them instead.
+func (e *ShardError) Retryable() bool {
+	return e.Status == 0 || e.Status >= 500 || e.Status == http.StatusTooManyRequests
+}
+
+// HTTPTransport dispatches shards over HTTP/JSON to worker aqld processes,
+// the same surface every other aqld client speaks.
+type HTTPTransport struct {
+	// Client is the HTTP client to use; nil means a default client with a
+	// 30s overall timeout (per-attempt deadlines come from the request
+	// context, which overrides this when shorter).
+	Client *http.Client
+}
+
+var defaultClient = &http.Client{Timeout: 30 * time.Second}
+
+func (t *HTTPTransport) client() *http.Client {
+	if t.Client != nil {
+		return t.Client
+	}
+	return defaultClient
+}
+
+// maxShardBody caps how much of a worker response the coordinator reads.
+const maxShardBody = 64 << 20
+
+// Shard implements Transport: POST {worker}/shard.
+func (t *HTTPTransport) Shard(ctx context.Context, worker string, req *exchange.ShardRequest) (*exchange.ShardResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, &ShardError{Worker: worker, Kind: "transport", Message: err.Error(), Off: -1}
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, strings.TrimRight(worker, "/")+"/shard", bytes.NewReader(body))
+	if err != nil {
+		return nil, &ShardError{Worker: worker, Kind: "transport", Message: err.Error(), Off: -1}
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := t.client().Do(hreq)
+	if err != nil {
+		// Respect cancellation: the caller distinguishes its own deadline
+		// from worker failure by the context error.
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, &ShardError{Worker: worker, Kind: "transport", Message: err.Error(), Off: -1}
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxShardBody))
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, &ShardError{Worker: worker, Kind: "transport", Message: err.Error(), Off: -1}
+	}
+	if resp.StatusCode != http.StatusOK {
+		se := &ShardError{Worker: worker, Status: resp.StatusCode, Kind: "transport", Off: -1}
+		var env exchange.ShardErrorEnvelope
+		if json.Unmarshal(data, &env) == nil && env.Error.Kind != "" {
+			se.Kind, se.Message, se.Off = env.Error.Kind, env.Error.Message, env.Error.Off
+		} else {
+			se.Message = strings.TrimSpace(string(data))
+		}
+		return nil, se
+	}
+	var sr exchange.ShardResponse
+	if err := json.Unmarshal(data, &sr); err != nil {
+		return nil, &ShardError{Worker: worker, Kind: "transport", Message: "undecodable shard response: " + err.Error(), Off: -1}
+	}
+	return &sr, nil
+}
+
+// Healthz implements Transport: GET {worker}/healthz.
+func (t *HTTPTransport) Healthz(ctx context.Context, worker string) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimRight(worker, "/")+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := t.client().Do(hreq)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: worker %s health probe: status %d", worker, resp.StatusCode)
+	}
+	return nil
+}

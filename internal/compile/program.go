@@ -36,6 +36,9 @@ type Program struct {
 	// limits holds the compile-time limits; MaxDepth is baked into the
 	// closures (the depth-guard wrapper), so Execute cannot change it.
 	limits eval.Limits
+	// shard is the range-partitionable view of the program, present when
+	// the top-level expression is a tabulation; see range.go. nil otherwise.
+	shard *shardCode
 }
 
 // NewProgram compiles expr against a snapshot of globals. limits.MaxDepth,
@@ -47,7 +50,11 @@ func NewProgram(expr ast.Expr, globals map[string]object.Value, limits eval.Limi
 		globals = map[string]object.Value{}
 	}
 	c := &compiler{globals: globals, limits: limits}
-	return &Program{code: c.compile(expr), maxSlots: c.maxSlots, limits: limits}
+	p := &Program{code: c.compile(expr), maxSlots: c.maxSlots, limits: limits}
+	if tab, ok := expr.(*ast.ArrayTab); ok {
+		p.shard = newShardCode(tab, globals, limits)
+	}
+	return p
 }
 
 // ExecOpts configures one execution of a Program.
@@ -71,6 +78,19 @@ type ExecOpts struct {
 // calls on one Program are independent: counters, budgets and cancellation
 // are all per-call.
 func (p *Program) Execute(ctx context.Context, opts ExecOpts) (object.Value, eval.Counters, error) {
+	m := p.newMachine(ctx, opts)
+	// Clear the interrupt state on the way out, as EvalExpr does: closures
+	// that escape this execution capture the machine, and a later call
+	// through them must not observe a stale context or deadline.
+	defer m.clearInterrupt()
+	fr := &frame{m: m, slots: make([]object.Value, p.maxSlots)}
+	v, err := p.code(fr)
+	return v, m.counters(), err
+}
+
+// newMachine builds the per-execution machine for one Execute-family call,
+// resolving opts against the program's compile-time limits.
+func (p *Program) newMachine(ctx context.Context, opts ExecOpts) *machine {
 	lim := opts.Limits
 	if lim == (eval.Limits{}) {
 		lim = p.limits
@@ -102,14 +122,12 @@ func (p *Program) Execute(ctx context.Context, opts ExecOpts) (object.Value, eva
 	if lim.Timeout > 0 {
 		m.deadline = time.Now().Add(lim.Timeout)
 	}
-	// Clear the interrupt state on the way out, as EvalExpr does: closures
-	// that escape this execution capture the machine, and a later call
-	// through them must not observe a stale context or deadline.
-	defer func() {
-		m.ctx = nil
-		m.deadline = time.Time{}
-	}()
-	fr := &frame{m: m, slots: make([]object.Value, p.maxSlots)}
-	v, err := p.code(fr)
-	return v, m.counters(), err
+	return m
+}
+
+// clearInterrupt drops the machine's context and deadline so closures that
+// escaped the execution cannot observe stale interrupt state.
+func (m *machine) clearInterrupt() {
+	m.ctx = nil
+	m.deadline = time.Time{}
 }

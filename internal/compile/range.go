@@ -1,0 +1,300 @@
+package compile
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"github.com/aqldb/aql/internal/ast"
+	"github.com/aqldb/aql/internal/eval"
+	"github.com/aqldb/aql/internal/object"
+)
+
+// Range-restricted execution: the prepared-plan half of distributed
+// scatter-gather (internal/cluster). A program whose top-level expression is
+// a tabulation [[ e | i1 < b1, ..., ik < bk ]] can be executed in two
+// separable pieces that together charge exactly the counters of a
+// single-node run:
+//
+//   - PlanShards evaluates the tabulation prologue — the node's own step,
+//     the bounds, and the whole-array cell charge — yielding the shape a
+//     coordinator partitions into contiguous row-major shards.
+//   - ExecuteRange evaluates the element loop over one such shard
+//     [start, end), charging only the head evaluations of that range.
+//
+// The decomposition is exactly-once by construction: elements are pure in
+// the index valuation, ranges are disjoint, and a failed or abandoned
+// attempt contributes nothing (its counters are discarded; re-executing a
+// range recomputes identical values and identical counts). Summing the
+// planning counters with each range's counters therefore reproduces a
+// serial run's totals no matter how ranges were retried, hedged or moved
+// between workers.
+
+// shardCode is the separately-compiled tabulation pieces behind a
+// range-partitionable Program: the bound expressions, the index slots, and
+// the head closure, sharing one frame layout of maxSlots slots.
+type shardCode struct {
+	bounds   []compiledExpr
+	idxSlots []int
+	head     compiledExpr
+	maxSlots int
+}
+
+// newShardCode compiles the tabulation's pieces with a fresh resolve pass
+// (unprofiled, exactly as Programs always are; see Program doc).
+func newShardCode(tab *ast.ArrayTab, globals map[string]object.Value, limits eval.Limits) *shardCode {
+	c := &compiler{globals: globals, limits: limits}
+	bounds := make([]compiledExpr, len(tab.Bounds))
+	for j, b := range tab.Bounds {
+		bounds[j] = c.compile(b)
+	}
+	idxSlots := make([]int, len(tab.Idx))
+	for j, name := range tab.Idx {
+		idxSlots[j] = c.bind(name)
+	}
+	head := c.compile(tab.Head)
+	c.unbind(len(tab.Idx))
+	return &shardCode{bounds: bounds, idxSlots: idxSlots, head: head, maxSlots: c.maxSlots}
+}
+
+// Rangeable reports whether the program's top-level expression is a
+// tabulation, i.e. whether PlanShards/ExecuteRange are available.
+func (p *Program) Rangeable() bool { return p.shard != nil }
+
+// ShardPlan is the result of evaluating a tabulation's prologue: the shape
+// to partition, and the work that evaluation charged.
+type ShardPlan struct {
+	Shape []int
+	// Size is product(Shape): the row-major element space to partition.
+	Size int64
+	// Bottom is set (IsBottom) when a bound evaluated to ⊥; the query's
+	// result is that ⊥ and there is nothing to shard.
+	Bottom object.Value
+	// Counters is the prologue's work: the tabulation node's step, the
+	// bound evaluations, and the whole-array cell charge. Adding every
+	// range's counters to it reproduces a single-node run's totals.
+	Counters eval.Counters
+}
+
+// PlanShards evaluates the tabulation prologue under ctx and opts. It
+// mirrors the compiled tabulation closure exactly — step charge, bounds in
+// order, ⊥ short-circuit, size saturation, the pre-allocation cell charge,
+// and the shape-overflow diagnostic — so a distributed run's merged
+// counters and failure behaviour match a local one's.
+func (p *Program) PlanShards(ctx context.Context, opts ExecOpts) (*ShardPlan, error) {
+	sc := p.shard
+	if sc == nil {
+		return nil, fmt.Errorf("compile: program is not range-partitionable")
+	}
+	m := p.newMachine(ctx, opts)
+	defer m.clearInterrupt()
+	fr := &frame{m: m, slots: make([]object.Value, sc.maxSlots)}
+	if err := m.step(); err != nil {
+		return nil, err
+	}
+	m.tabs.Add(1)
+	shape := make([]int, len(sc.bounds))
+	size := int64(1)
+	for j, b := range sc.bounds {
+		v, err := b(fr)
+		if err != nil {
+			return nil, err
+		}
+		if v.IsBottom() {
+			return &ShardPlan{Bottom: v, Counters: m.counters()}, nil
+		}
+		n, err := v.AsNat()
+		if err != nil {
+			return nil, fmt.Errorf("eval: tabulation bound %d: %w", j+1, err)
+		}
+		shape[j] = int(n)
+		if n > 0 && size > math.MaxInt64/n {
+			size = math.MaxInt64 // saturate; the charge below will trip
+		} else {
+			size *= n
+		}
+	}
+	if err := m.chargeCells(size); err != nil {
+		return nil, err
+	}
+	// Mirror tabulateSerial's int-width overflow diagnostic for shapes that
+	// survive an unlimited cell budget.
+	isize := 1
+	for _, n := range shape {
+		if n > 0 && isize > int(^uint(0)>>1)/n {
+			return nil, fmt.Errorf("object: tabulation shape %v overflows", shape)
+		}
+		isize *= n
+	}
+	return &ShardPlan{Shape: shape, Size: size, Counters: m.counters()}, nil
+}
+
+// RangeResult is one contiguous row-major slice of a tabulation's elements.
+type RangeResult struct {
+	// Values holds the end-start elements of the range, in row-major order.
+	Values []object.Value
+	// BottomOff is the absolute offset of the first ⊥ element within the
+	// range (-1 when none); Bottom is that element. A ⊥ poisons the whole
+	// tabulation, but the scan still completes the range — exactly as the
+	// serial kernel does — so counters stay execution-order independent.
+	BottomOff int64
+	Bottom    object.Value
+	// Counters is the work the range's head evaluations charged.
+	Counters eval.Counters
+}
+
+// RangeError wraps a deterministic evaluation error with the row-major
+// offset at which it occurred, so a scatter-gather merge can select the
+// error a serial scan would have hit first (the lowest offset: bottoms
+// never stop the scan, so the serial scan always reaches the lowest-offset
+// erroring element).
+type RangeError struct {
+	Off int64
+	Err error
+}
+
+func (e *RangeError) Error() string { return e.Err.Error() }
+func (e *RangeError) Unwrap() error { return e.Err }
+
+// ExecuteRange evaluates the tabulation head over offsets [start, end) of
+// the given shape, charging exactly the counters a serial scan of those
+// offsets charges. The shape is a parameter — not re-derived from the
+// bounds — so a worker executing a shard does not repeat (or re-count) the
+// coordinator's prologue. Ranges of at least the parallel threshold fan out
+// across local workers with forked counter machines, preserving exact
+// totals and first-⊥/lowest-offset-error determinism exactly as the
+// whole-array kernel does.
+func (p *Program) ExecuteRange(ctx context.Context, opts ExecOpts, shape []int, start, end int64) (*RangeResult, error) {
+	sc := p.shard
+	if sc == nil {
+		return nil, fmt.Errorf("compile: program is not range-partitionable")
+	}
+	size := int64(1)
+	for _, n := range shape {
+		if n < 0 {
+			return nil, fmt.Errorf("compile: negative dimension in shape %v", shape)
+		}
+		if n > 0 && size > math.MaxInt64/int64(n) {
+			return nil, fmt.Errorf("compile: shape %v overflows", shape)
+		}
+		size *= int64(n)
+	}
+	if start < 0 || end < start || end > size {
+		return nil, fmt.Errorf("compile: range [%d, %d) outside element space of size %d", start, end, size)
+	}
+	m := p.newMachine(ctx, opts)
+	defer m.clearInterrupt()
+	n := end - start
+	if n >= m.threshold && n <= math.MaxInt64/2 && m.workers > 1 {
+		return rangeParallel(m, sc, shape, start, end)
+	}
+	return rangeSerial(m, sc, shape, start, end)
+}
+
+// rangeSerial scans [start, end) on the calling goroutine.
+func rangeSerial(m *machine, sc *shardCode, shape []int, start, end int64) (*RangeResult, error) {
+	fr := &frame{m: m, slots: make([]object.Value, sc.maxSlots)}
+	data := make([]object.Value, end-start)
+	res := &RangeResult{Values: data, BottomOff: -1}
+	idx := unflatten(int(start), shape)
+	for off := start; off < end; off++ {
+		for j, s := range sc.idxSlots {
+			fr.slots[s] = object.Nat(int64(idx[j]))
+		}
+		v, err := sc.head(fr)
+		if err != nil {
+			res.Counters = m.counters()
+			return nil, &RangeError{Off: off, Err: err}
+		}
+		if v.IsBottom() && res.BottomOff < 0 {
+			res.Bottom, res.BottomOff = v, off
+		}
+		data[off-start] = v
+		advance(idx, shape)
+	}
+	res.Counters = m.counters()
+	return res, nil
+}
+
+// rangeParallel fans [start, end) across local workers, mirroring
+// tabulateParallel: contiguous sub-ranges, forked machines flushed at join
+// (so counters equal a serial scan's), lowest-offset error and first-⊥
+// determinism, and early exit only for resource errors.
+func rangeParallel(m *machine, sc *shardCode, shape []int, start, end int64) (*RangeResult, error) {
+	size := int(end - start)
+	nw := m.workers
+	if max := (size + minChunk - 1) / minChunk; nw > max {
+		nw = max
+	}
+	chunk := (size + nw - 1) / nw
+
+	type workerResult struct {
+		err       error
+		errOff    int64
+		bottom    object.Value
+		bottomOff int64
+	}
+	results := make([]workerResult, nw)
+	data := make([]object.Value, size)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		lo := start + int64(w*chunk)
+		hi := lo + int64(chunk)
+		if hi > end {
+			hi = end
+		}
+		res := &results[w]
+		res.errOff, res.bottomOff = -1, -1
+		if lo >= hi {
+			continue
+		}
+		wm := m.fork()
+		wg.Add(1)
+		go func(lo, hi int64, res *workerResult, wm *machine) {
+			defer wg.Done()
+			wfr := &frame{m: wm, slots: make([]object.Value, sc.maxSlots)}
+			defer wm.flush()
+			idx := unflatten(int(lo), shape)
+			for off := lo; off < hi; off++ {
+				if failed.Load() {
+					return
+				}
+				for j, s := range sc.idxSlots {
+					wfr.slots[s] = object.Nat(int64(idx[j]))
+				}
+				v, err := sc.head(wfr)
+				if err != nil {
+					res.err, res.errOff = err, off
+					if isResourceErr(err) {
+						failed.Store(true)
+					}
+					return
+				}
+				if v.IsBottom() && res.bottomOff < 0 {
+					res.bottom, res.bottomOff = v, off
+				}
+				data[off-start] = v
+				advance(idx, shape)
+			}
+		}(lo, hi, res, wm)
+	}
+	wg.Wait()
+
+	// Workers cover disjoint ascending sub-ranges, so the first hit wins.
+	for i := range results {
+		if results[i].err != nil {
+			return nil, &RangeError{Off: results[i].errOff, Err: results[i].err}
+		}
+	}
+	out := &RangeResult{Values: data, BottomOff: -1, Counters: m.counters()}
+	for i := range results {
+		if results[i].bottomOff >= 0 {
+			out.Bottom, out.BottomOff = results[i].bottom, results[i].bottomOff
+			break
+		}
+	}
+	return out, nil
+}

@@ -1,6 +1,7 @@
 package netcdf
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -113,6 +114,11 @@ type RetryConfig struct {
 	// io.EOF and io.ErrUnexpectedEOF as permanent (re-reading a short
 	// file cannot help) and everything else as transient.
 	IsTransient func(error) bool
+	// Context, when non-nil, bounds every backoff sleep: cancelling it
+	// makes an in-backoff ReadAt return promptly with the last read error
+	// joined with the context's, instead of sleeping out the schedule.
+	// (io.ReaderAt has no per-call context, so the policy carries it.)
+	Context context.Context
 }
 
 func (c *RetryConfig) maxRetries() int {
@@ -180,11 +186,31 @@ func (r *RetryingReaderAt) ReadAt(p []byte, off int64) (int, error) {
 			return n, fmt.Errorf("netcdf: read failed after %d attempts: %w", attempt+1, err)
 		}
 		atomic.AddInt64(&r.retries, 1)
-		time.Sleep(delay)
+		if serr := r.sleep(delay); serr != nil {
+			return n, fmt.Errorf("netcdf: read cancelled during retry backoff after %d attempts: %w",
+				attempt+1, errors.Join(err, serr))
+		}
 		delay *= 2
 		if max := r.cfg.maxDelay(); delay > max {
 			delay = max
 		}
+	}
+}
+
+// sleep waits out one backoff delay, cut short by the policy context.
+func (r *RetryingReaderAt) sleep(d time.Duration) error {
+	ctx := r.cfg.Context
+	if ctx == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 

@@ -2,6 +2,7 @@ package netcdf
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"io"
 	"strings"
@@ -167,5 +168,64 @@ func TestFaultyReaderConcurrentUse(t *testing.T) {
 	}
 	for g := 0; g < 4; g++ {
 		<-done
+	}
+}
+
+// TestRetryingReaderCancelledBackoff: cancelling the policy context while
+// a retry backoff is sleeping returns promptly — well before the schedule
+// would have slept out — with an error wrapping both the read failure and
+// the cancellation.
+func TestRetryingReaderCancelledBackoff(t *testing.T) {
+	faults := make([]Fault, 64)
+	for i := range faults {
+		faults[i] = Fault{Err: ErrInjected}
+	}
+	fr := NewFaultyReaderAt(bytes.NewReader([]byte("x")), faults...)
+	ctx, cancel := context.WithCancel(context.Background())
+	rr := NewRetryingReaderAt(fr, RetryConfig{
+		MaxRetries: 8,
+		BaseDelay:  time.Hour, // would block forever if Sleep were unconditional
+		Context:    ctx,
+	})
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := rr.ReadAt(make([]byte, 1), 0)
+		done <- err
+	}()
+
+	// Let the first attempt fail and enter its one-hour backoff.
+	for rr.Retries() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("error %v should wrap context.Canceled", err)
+		}
+		if !errors.Is(err, ErrInjected) {
+			t.Errorf("error %v should wrap the read failure", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ReadAt did not return after cancellation")
+	}
+	if fr.Calls() != 1 {
+		t.Errorf("Calls = %d after cancel during first backoff, want 1", fr.Calls())
+	}
+}
+
+// TestRetryingReaderContextPreCancelled: an already-cancelled context still
+// allows the first attempt (only backoffs consult it), so a clean read
+// succeeds.
+func TestRetryingReaderContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	data := []byte("payload")
+	rr := NewRetryingReaderAt(bytes.NewReader(data), RetryConfig{Context: ctx})
+	buf := make([]byte, len(data))
+	if n, err := rr.ReadAt(buf, 0); err != nil || n != len(data) {
+		t.Fatalf("ReadAt = %d, %v; a cancelled context must not block fault-free reads", n, err)
 	}
 }

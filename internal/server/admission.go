@@ -76,6 +76,8 @@ type admission struct {
 	rejectedFull atomic.Int64
 	rejectedWait atomic.Int64
 	cancelled    atomic.Int64
+
+	queueWait waitHist
 }
 
 func newAdmission(maxConcurrent, maxQueued int, queueTimeout time.Duration) *admission {
@@ -96,30 +98,35 @@ func newAdmission(maxConcurrent, maxQueued int, queueTimeout time.Duration) *adm
 }
 
 // acquire blocks until the request holds an execution slot, up to the queue
-// timeout, and returns a release func. The error, when non-nil, is an
-// *AdmissionError; the caller maps its Kind to an HTTP status.
-func (a *admission) acquire(ctx context.Context) (release func(), err error) {
+// timeout, and returns a release func plus the time spent queued (zero on
+// the fast path). The error, when non-nil, is an *AdmissionError; the
+// caller maps its Kind to an HTTP status. Every wait — admitted or not —
+// feeds the queue-wait histogram, so /metrics separates queueing delay
+// from evaluation time under overload.
+func (a *admission) acquire(ctx context.Context) (release func(), waited time.Duration, err error) {
 	// A client that is already gone is never admitted, even when a slot is
 	// free: running its query would only be torn down again by the eval
 	// context, skewing the admitted/active counters meanwhile.
 	if ctx.Err() != nil {
 		a.cancelled.Add(1)
-		return nil, &AdmissionError{Kind: AdmissionCancelled}
+		return nil, 0, &AdmissionError{Kind: AdmissionCancelled}
 	}
 
 	// Fast path: a slot is free right now.
 	select {
 	case a.slots <- struct{}{}:
 		a.admitted.Add(1)
-		return a.release, nil
+		a.queueWait.observe(0)
+		return a.release, 0, nil
 	default:
 	}
 
-	// Queue, if there is room.
+	// Queue, if there is room. Turned-away requests never waited, so they
+	// do not feed the histogram.
 	if q := a.queued.Add(1); q > int64(a.maxQueued) {
 		a.queued.Add(-1)
 		a.rejectedFull.Add(1)
-		return nil, &AdmissionError{Kind: AdmissionQueueFull}
+		return nil, 0, &AdmissionError{Kind: AdmissionQueueFull}
 	}
 	defer a.queued.Add(-1)
 
@@ -129,15 +136,68 @@ func (a *admission) acquire(ctx context.Context) (release func(), err error) {
 	select {
 	case a.slots <- struct{}{}:
 		a.admitted.Add(1)
-		return a.release, nil
+		waited = time.Since(start)
+		a.queueWait.observe(waited)
+		return a.release, waited, nil
 	case <-t.C:
 		a.rejectedWait.Add(1)
-		return nil, &AdmissionError{Kind: AdmissionQueueTimeout, Waited: time.Since(start)}
+		waited = time.Since(start)
+		a.queueWait.observe(waited)
+		return nil, waited, &AdmissionError{Kind: AdmissionQueueTimeout, Waited: waited}
 	case <-ctx.Done():
 		a.cancelled.Add(1)
-		return nil, &AdmissionError{Kind: AdmissionCancelled, Waited: time.Since(start)}
+		waited = time.Since(start)
+		a.queueWait.observe(waited)
+		return nil, waited, &AdmissionError{Kind: AdmissionCancelled, Waited: waited}
 	}
 }
+
+// queueWaitBuckets are the histogram's upper bounds in seconds; a final
+// implicit +Inf bucket catches the rest. The range spans "never queued"
+// through the default queue timeout.
+var queueWaitBuckets = [...]float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5}
+
+// waitHist is a fixed-bucket, lock-free duration histogram in the
+// Prometheus cumulative-exposition shape.
+type waitHist struct {
+	counts [len(queueWaitBuckets) + 1]atomic.Int64
+	sumNS  atomic.Int64
+}
+
+func (h *waitHist) observe(d time.Duration) {
+	sec := d.Seconds()
+	i := 0
+	for ; i < len(queueWaitBuckets); i++ {
+		if sec <= queueWaitBuckets[i] {
+			break
+		}
+	}
+	h.counts[i].Add(1)
+	h.sumNS.Add(int64(d))
+}
+
+// WaitHistogram is a snapshot of the queue-wait histogram: Counts[i] is the
+// cumulative count at le=Buckets[i], with Counts[len(Buckets)] the +Inf
+// (total) count.
+type WaitHistogram struct {
+	Buckets []float64
+	Counts  []int64
+	Sum     time.Duration
+}
+
+func (h *waitHist) snapshot() WaitHistogram {
+	out := WaitHistogram{Buckets: queueWaitBuckets[:], Counts: make([]int64, len(h.counts))}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		out.Counts[i] = cum
+	}
+	out.Sum = time.Duration(h.sumNS.Load())
+	return out
+}
+
+// QueueWaitHistogram snapshots the admission queue-wait histogram.
+func (a *admission) queueWaitHistogram() WaitHistogram { return a.queueWait.snapshot() }
 
 func (a *admission) release() { <-a.slots }
 

@@ -1,0 +1,62 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestPlanCacheEvictionRace: a tiny cache thrashed by concurrent queries —
+// every request cycles through more distinct plans than the cache holds, so
+// entries are constantly evicted while other goroutines still execute the
+// evicted Programs. Compiled Programs are immutable, so an eviction must
+// never affect an in-flight execution; run under -race this doubles as a
+// data-race check on get/put/evict and on shared Program execution.
+func TestPlanCacheEvictionRace(t *testing.T) {
+	s, ts := newTestServer(t, Config{CacheSize: 2, MaxConcurrent: 16, MaxQueued: 256})
+
+	const distinct = 8
+	queries := make([]string, distinct)
+	for k := range queries {
+		queries[k] = fmt.Sprintf("%d * 7 + 1", k)
+	}
+
+	const workers = 8
+	const iters = 40
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := (w + i) % distinct
+				qr, status, err := postQuery(ts, QueryRequest{Query: queries[k]})
+				if err != nil {
+					t.Errorf("worker %d iter %d: %v (status %d)", w, i, err, status)
+					return
+				}
+				want := fmt.Sprintf("%d", k*7+1)
+				if qr.Value != want {
+					t.Errorf("worker %d: %q = %q, want %s", w, queries[k], qr.Value, want)
+					return
+				}
+				if qr.Eval.Steps == 0 {
+					t.Errorf("worker %d: zero step count on %q", w, queries[k])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	cs := s.cache.stats()
+	if cs.Evictions == 0 {
+		t.Error("cache was never evicted; the test did not thrash")
+	}
+	if cs.Size > 2 {
+		t.Errorf("cache size %d exceeds capacity 2", cs.Size)
+	}
+	if cs.Hits+cs.Misses != workers*iters {
+		t.Errorf("hits %d + misses %d != %d lookups", cs.Hits, cs.Misses, workers*iters)
+	}
+}

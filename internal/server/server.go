@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"github.com/aqldb/aql/internal/ast"
+	"github.com/aqldb/aql/internal/cluster"
 	"github.com/aqldb/aql/internal/compile"
 	"github.com/aqldb/aql/internal/desugar"
 	"github.com/aqldb/aql/internal/eval"
@@ -69,6 +70,14 @@ type Config struct {
 	// cached plans; the other fields are per-execution defaults a request
 	// may tighten (never exceed) with its own max_steps / timeout_ms.
 	Limits eval.Limits
+	// Workers caps per-query local tabulation fan-out (0 = GOMAXPROCS). A
+	// coordinator node typically sets 1 so local fallback doesn't contend
+	// with dispatching.
+	Workers int
+	// Coordinator, when non-nil, enables scatter-gather execution: queries
+	// whose prepared plan is range-partitionable are scattered across its
+	// workers instead of executing in-process. See internal/cluster.
+	Coordinator *cluster.Coordinator
 }
 
 // Server is the aqld HTTP handler. Create with New, serve with net/http.
@@ -103,6 +112,7 @@ func New(sess *repl.Session, cfg Config) *Server {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /shard", s.handleShard)
 	mux.HandleFunc("GET /val/{name}", s.handleValGet)
 	mux.HandleFunc("POST /val/{name}", s.handleValSet)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -143,6 +153,13 @@ type QueryResponse struct {
 	WallNS int64              `json:"wall_ns"`
 	Phases []trace.PhaseTime  `json:"phases"`
 	Eval   trace.EvalCounters `json:"eval"`
+	// QueueWaitNS is time spent queued in admission control before
+	// execution began; 0 when a slot was free immediately.
+	QueueWaitNS int64 `json:"queue_wait_ns,omitempty"`
+	// Mode and Shards describe coordinator execution (see
+	// trace.QueryReport.Mode); absent on non-coordinator servers.
+	Mode   string            `json:"mode,omitempty"`
+	Shards []trace.ShardSpan `json:"shards,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx response.
@@ -175,7 +192,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	ctx := r.Context()
-	release, err := s.adm.acquire(ctx)
+	release, waited, err := s.adm.acquire(ctx)
 	if err != nil {
 		status, info := admissionHTTP(err)
 		writeError(w, status, info)
@@ -184,7 +201,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer release()
 
 	id := fmt.Sprintf("q%06d", s.qid.Add(1))
-	resp, errInfo, status := s.runQuery(ctx, id, req)
+	resp, errInfo, status := s.runQuery(ctx, id, req, waited)
 	if errInfo != nil {
 		errInfo.ID = id
 		writeError(w, status, *errInfo)
@@ -196,11 +213,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // runQuery executes one admitted request: plan-cache lookup or prepare,
 // then execution on a fresh machine, all recorded on a per-request recorder
 // whose report feeds the shared fleet/flight sinks.
-func (s *Server) runQuery(ctx context.Context, id string, req QueryRequest) (*QueryResponse, *ErrorInfo, int) {
+func (s *Server) runQuery(ctx context.Context, id string, req QueryRequest, waited time.Duration) (*QueryResponse, *ErrorInfo, int) {
 	norm := NormalizeQuery(req.Query)
 
 	rec := trace.NewRecorder(trace.MultiSink{s.sess.Fleet, s.sess.Flight})
 	rec.Begin(norm)
+	rec.RecordQueueWait(waited)
 
 	p, hit, err := s.plan(norm, rec)
 	if err != nil {
@@ -211,10 +229,27 @@ func (s *Server) runQuery(ctx context.Context, id string, req QueryRequest) (*Qu
 	rec.RecordCached(hit)
 
 	opts := s.execOpts(req)
+	var v object.Value
+	var counters eval.Counters
+	var mode string
+	var shards []trace.ShardSpan
 	sp := rec.StartPhase(trace.PhaseEval)
-	v, counters, err := executeGuarded(ctx, p.prog, opts, norm)
+	if s.cfg.Coordinator != nil && p.prog.Rangeable() {
+		// Scatter-gather path: the coordinator's merge contract guarantees
+		// the value and counters below are byte-identical to what the
+		// in-process branch would produce.
+		var res *cluster.Result
+		res, err = s.cfg.Coordinator.Execute(ctx, p.prog, norm, opts)
+		if err == nil {
+			v, counters, mode, shards = res.Value, res.Counters, res.Mode, res.Shards
+		}
+	} else {
+		v, counters, err = executeGuarded(ctx, p.prog, opts, norm)
+	}
 	sp.End()
 	rec.RecordEngine("compiled")
+	rec.RecordMode(mode)
+	rec.RecordShards(shards)
 	rec.RecordEval(trace.EvalCounters{
 		Steps:       counters.Steps,
 		Cells:       counters.Cells,
@@ -233,13 +268,16 @@ func (s *Server) runQuery(ctx context.Context, id string, req QueryRequest) (*Qu
 		return nil, &ErrorInfo{Kind: "encode", Message: err.Error()}, http.StatusInternalServerError
 	}
 	return &QueryResponse{
-		ID:     id,
-		Cached: hit,
-		Type:   p.typ.String(),
-		Value:  text,
-		WallNS: int64(rep.Wall),
-		Phases: rep.Phases,
-		Eval:   rep.Eval,
+		ID:          id,
+		Cached:      hit,
+		Type:        p.typ.String(),
+		Value:       text,
+		WallNS:      int64(rep.Wall),
+		Phases:      rep.Phases,
+		Eval:        rep.Eval,
+		QueueWaitNS: int64(waited),
+		Mode:        mode,
+		Shards:      shards,
 	}, nil, 0
 }
 
@@ -341,7 +379,7 @@ func (s *Server) execOpts(req QueryRequest) compile.ExecOpts {
 			lim.Timeout = t
 		}
 	}
-	return compile.ExecOpts{Limits: lim}
+	return compile.ExecOpts{Limits: lim, Workers: s.cfg.Workers}
 }
 
 // executeGuarded is the server's panic boundary, mirroring the session's
@@ -441,6 +479,33 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "aqld_admission_total{outcome=\"queue_full\"} %d\n", as.RejectedFull)
 	fmt.Fprintf(w, "aqld_admission_total{outcome=\"queue_timeout\"} %d\n", as.RejectedWait)
 	fmt.Fprintf(w, "aqld_admission_total{outcome=\"cancelled\"} %d\n", as.Cancelled)
+	qh := s.adm.queueWaitHistogram()
+	fmt.Fprintf(w, "# HELP aqld_admission_queue_seconds Time spent queued for an execution slot.\n")
+	fmt.Fprintf(w, "# TYPE aqld_admission_queue_seconds histogram\n")
+	for i, le := range qh.Buckets {
+		fmt.Fprintf(w, "aqld_admission_queue_seconds_bucket{le=\"%g\"} %d\n", le, qh.Counts[i])
+	}
+	fmt.Fprintf(w, "aqld_admission_queue_seconds_bucket{le=\"+Inf\"} %d\n", qh.Counts[len(qh.Buckets)])
+	fmt.Fprintf(w, "aqld_admission_queue_seconds_sum %g\n", qh.Sum.Seconds())
+	fmt.Fprintf(w, "aqld_admission_queue_seconds_count %d\n", qh.Counts[len(qh.Buckets)])
+	if coord := s.cfg.Coordinator; coord != nil {
+		st := coord.Stats()
+		fmt.Fprintf(w, "# HELP aqld_cluster_queries_total Scatter-gather query executions.\n")
+		fmt.Fprintf(w, "# TYPE aqld_cluster_queries_total counter\n")
+		fmt.Fprintf(w, "aqld_cluster_queries_total %d\n", st.Queries.Load())
+		fmt.Fprintf(w, "# HELP aqld_cluster_shards_total Shards dispatched, by terminal executor.\n")
+		fmt.Fprintf(w, "# TYPE aqld_cluster_shards_total counter\n")
+		fmt.Fprintf(w, "aqld_cluster_shards_total{executor=\"remote\"} %d\n", st.RemoteShards.Load())
+		fmt.Fprintf(w, "aqld_cluster_shards_total{executor=\"local\"} %d\n", st.LocalShards.Load())
+		fmt.Fprintf(w, "# HELP aqld_cluster_events_total Robustness-envelope events by kind.\n")
+		fmt.Fprintf(w, "# TYPE aqld_cluster_events_total counter\n")
+		fmt.Fprintf(w, "aqld_cluster_events_total{event=\"retry\"} %d\n", st.Retries.Load())
+		fmt.Fprintf(w, "aqld_cluster_events_total{event=\"hedge\"} %d\n", st.Hedges.Load())
+		fmt.Fprintf(w, "aqld_cluster_events_total{event=\"hedge_win\"} %d\n", st.HedgeWins.Load())
+		fmt.Fprintf(w, "aqld_cluster_events_total{event=\"breaker_open\"} %d\n", st.BreakerOpens.Load())
+		fmt.Fprintf(w, "aqld_cluster_events_total{event=\"breaker_close\"} %d\n", st.BreakerCloses.Load())
+		fmt.Fprintf(w, "aqld_cluster_events_total{event=\"degraded\"} %d\n", st.DegradedTotal.Load())
+	}
 }
 
 func (s *Server) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
@@ -507,6 +572,16 @@ func execHTTP(err error) (ErrorInfo, int) {
 	var pe *repl.PanicError
 	if errors.As(err, &pe) {
 		return ErrorInfo{Kind: "panic", Message: pe.Error()}, http.StatusInternalServerError
+	}
+	// A worker's deterministic shard failure carries the worker's own kind
+	// and status; re-serve them (the same plan fails the same way here).
+	var se *cluster.ShardError
+	if errors.As(err, &se) {
+		status := se.Status
+		if status == 0 {
+			status = http.StatusBadGateway
+		}
+		return ErrorInfo{Kind: se.Kind, Message: se.Message}, status
 	}
 	return ErrorInfo{Kind: "eval", Message: err.Error()}, http.StatusUnprocessableEntity
 }

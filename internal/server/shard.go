@@ -1,0 +1,142 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+
+	"github.com/aqldb/aql/internal/compile"
+	"github.com/aqldb/aql/internal/exchange"
+	"github.com/aqldb/aql/internal/object"
+	"github.com/aqldb/aql/internal/repl"
+	"github.com/aqldb/aql/internal/trace"
+)
+
+// handleShard is the worker half of scatter-gather execution: POST /shard
+// executes one contiguous row-major range of a tabulation. The request
+// flows through the same admission controller and prepared-plan cache as
+// /query — a shard is a query whose element loop has been range-restricted
+// — so worker capacity protection and plan reuse need no separate
+// machinery. Errors use the shard envelope (exchange.ShardErrorEnvelope)
+// with the same kind vocabulary as /query.
+func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, maxQueryBody)
+	var req exchange.ShardRequest
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeShardError(w, http.StatusBadRequest, "request", "bad shard body: "+err.Error(), -1, "")
+		return
+	}
+	if err := req.Validate(); err != nil {
+		writeShardError(w, http.StatusBadRequest, "request", err.Error(), -1, "")
+		return
+	}
+
+	ctx := r.Context()
+	release, _, err := s.adm.acquire(ctx)
+	if err != nil {
+		status, info := admissionHTTP(err)
+		writeShardError(w, status, info.Kind, info.Message, -1, "")
+		return
+	}
+	defer release()
+
+	id := fmt.Sprintf("s%06d", s.qid.Add(1))
+	norm := NormalizeQuery(req.Query)
+
+	// Shard executions record like queries: the worker's fleet totals and
+	// flight recorder reflect shard work, attributable via the "shard"
+	// mode stamp.
+	rec := trace.NewRecorder(trace.MultiSink{s.sess.Fleet, s.sess.Flight})
+	rec.Begin(norm)
+	rec.RecordMode("shard")
+
+	p, hit, err := s.plan(norm, rec)
+	if err != nil {
+		rec.End(err)
+		info, status := compileHTTP(err)
+		writeShardError(w, status, info.Kind, info.Message, -1, id)
+		return
+	}
+	rec.RecordCached(hit)
+	if !p.prog.Rangeable() {
+		rec.End(errors.New("shard: not rangeable"))
+		writeShardError(w, http.StatusBadRequest, "shard:not_rangeable",
+			"query's top-level expression is not a tabulation", -1, id)
+		return
+	}
+
+	opts := s.execOpts(QueryRequest{MaxSteps: req.MaxSteps, TimeoutMS: req.TimeoutMS})
+	sp := rec.StartPhase(trace.PhaseEval)
+	res, err := executeRangeGuarded(ctx, p.prog, opts, req.Shape, req.Start, req.End, norm)
+	sp.End()
+	rec.RecordEngine("compiled")
+	if res != nil {
+		rec.RecordEval(trace.EvalCounters{
+			Steps:       res.Counters.Steps,
+			Cells:       res.Counters.Cells,
+			Tabulations: res.Counters.Tabs,
+			SetOps:      res.Counters.SetOps,
+			Iterations:  res.Counters.Iters,
+		})
+	}
+	rec.End(err)
+	if err != nil {
+		info, status := execHTTP(err)
+		off := int64(-1)
+		var rerr *compile.RangeError
+		if errors.As(err, &rerr) {
+			off = rerr.Off
+		}
+		writeShardError(w, status, info.Kind, info.Message, off, id)
+		return
+	}
+
+	resp := exchange.ShardResponse{
+		ID:        id,
+		Cached:    hit,
+		BottomOff: res.BottomOff,
+		Eval: exchange.ShardCounters{
+			Steps:       res.Counters.Steps,
+			Cells:       res.Counters.Cells,
+			Tabulations: res.Counters.Tabs,
+			SetOps:      res.Counters.SetOps,
+			Iterations:  res.Counters.Iters,
+		},
+	}
+	if res.BottomOff >= 0 {
+		// The ⊥ decides the whole tabulation; its diagnostic travels as a
+		// separate field because the exchange reader (correctly) drops
+		// comments, which is where Write puts ⊥ payloads.
+		resp.BottomMsg = res.Bottom.S
+	} else {
+		vec := object.Value{Kind: object.KArray, Shape: []int{len(res.Values)}, Data: res.Values}
+		text, werr := exchange.WriteString(vec)
+		if werr != nil {
+			writeShardError(w, http.StatusInternalServerError, "encode", werr.Error(), -1, id)
+			return
+		}
+		resp.Values = text
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// executeRangeGuarded is ExecuteRange behind the server's panic boundary,
+// mirroring executeGuarded.
+func executeRangeGuarded(ctx context.Context, prog *compile.Program, opts compile.ExecOpts, shape []int, start, end int64, src string) (res *compile.RangeResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = &repl.PanicError{Src: src, Val: r, Stack: debug.Stack()}
+		}
+	}()
+	return prog.ExecuteRange(ctx, opts, shape, start, end)
+}
+
+func writeShardError(w http.ResponseWriter, status int, kind, msg string, off int64, id string) {
+	writeJSON(w, status, exchange.ShardErrorEnvelope{Error: exchange.ShardErrorInfo{
+		Kind: kind, Message: msg, Off: off, ID: id,
+	}})
+}

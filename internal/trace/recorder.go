@@ -225,6 +225,43 @@ func (r *Recorder) RecordCached(hit bool) {
 	r.mu.Unlock()
 }
 
+// RecordQueueWait stamps the admission-queue wait time on the open report.
+func (r *Recorder) RecordQueueWait(d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.cur != nil {
+		r.cur.QueueWait = d
+	}
+	r.mu.Unlock()
+}
+
+// RecordMode stamps the coordinator execution mode on the open report.
+func (r *Recorder) RecordMode(mode string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.cur != nil {
+		r.cur.Mode = mode
+	}
+	r.mu.Unlock()
+}
+
+// RecordShards attaches a coordinator execution's per-shard dispatch
+// records to the open report.
+func (r *Recorder) RecordShards(spans []ShardSpan) {
+	if r == nil || len(spans) == 0 {
+		return
+	}
+	r.mu.Lock()
+	if r.cur != nil {
+		r.cur.Shards = spans
+	}
+	r.mu.Unlock()
+}
+
 // RecordIO folds I/O counters into the open report; the NetCDF readers
 // call it once per file read.
 func (r *Recorder) RecordIO(c IOCounters) {

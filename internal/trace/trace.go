@@ -156,8 +156,34 @@ type QueryReport struct {
 	// hit: no parse/typecheck/optimize/compile phase ran for this request
 	// (their PhaseTime entries are absent or zero).
 	Cached bool `json:"cached,omitempty"`
+	// QueueWait is the time the request spent queued in admission control
+	// before a slot freed (zero when admitted on the fast path), so overload
+	// investigations can separate queueing from evaluation.
+	QueueWait time.Duration `json:"queue_wait_ns,omitempty"`
+	// Mode records how a coordinator executed the query: "distributed" (all
+	// shards remote), "distributed:partial" (some shards fell back to local
+	// execution), "degraded:local" (no worker reachable, everything local)
+	// or "local" (not sharded). Empty outside coordinator mode.
+	Mode string `json:"mode,omitempty"`
+	// Shards holds per-shard dispatch outcomes of a coordinator execution.
+	Shards []ShardSpan `json:"shards,omitempty"`
 	// Err is the error text when the query failed, "" otherwise.
 	Err string `json:"err,omitempty"`
+}
+
+// ShardSpan is the dispatch record of one scatter-gather shard: its
+// row-major range, the worker whose response won ("local" when the shard
+// fell back to in-process execution), how many dispatch attempts it took
+// (retries and hedges each count one), whether a hedge was launched, and
+// the shard's wall time from first dispatch to winning response.
+type ShardSpan struct {
+	Shard    int           `json:"shard"`
+	Start    int64         `json:"start"`
+	End      int64         `json:"end"`
+	Worker   string        `json:"worker"`
+	Attempts int           `json:"attempts"`
+	Hedged   bool          `json:"hedged,omitempty"`
+	Wall     time.Duration `json:"wall_ns"`
 }
 
 // SpanNode is one profiled operator of a query's span tree: invocation
