@@ -24,12 +24,16 @@
 // Observability: `-explain` and `-profile` (with -q) print the optimizer
 // rule trace or the per-phase timing report for the query; the interactive
 // loop accepts the same as :explain/:profile/:stats commands plus :top
-// (hottest operators of the last query), :fleet (cross-query aggregates)
-// and :prof (profiling level). `-proflevel off|sampled|full` sets the
+// (hottest operators of the last query), :fleet (cross-query aggregates),
+// :prof (profiling level) and :trace (export the last query as Chrome
+// trace-event JSON). `-tracejson file.json` (with -q) writes the same
+// export non-interactively. `-proflevel off|sampled|full` sets the
 // operator-profiling level (default sampled), and `-metricsaddr :8080`
-// serves a JSON summary on /, Prometheus text on /metrics, the flight
-// recorder on /debug/queries, the slow-query log on /debug/slow, and the
-// standard pprof handlers under /debug/pprof/.
+// serves a JSON summary on /, Prometheus text on /metrics (OpenMetrics
+// with exemplars via Accept negotiation), the flight recorder on
+// /debug/queries, per-report Chrome traces on /debug/trace/{id}, the
+// slow-query log on /debug/slow, and the standard pprof handlers under
+// /debug/pprof/.
 package main
 
 import (
@@ -43,6 +47,7 @@ import (
 
 	"github.com/aqldb/aql"
 	"github.com/aqldb/aql/internal/repl"
+	"github.com/aqldb/aql/internal/trace"
 )
 
 func main() {
@@ -55,6 +60,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort queries that run longer than this, e.g. 5s (0 = unlimited)")
 	explain := flag.Bool("explain", false, "with -q: print the optimized query and the optimizer rule trace instead of evaluating")
 	profile := flag.Bool("profile", false, "with -q: after the value, print per-phase wall times and work counters")
+	traceJSON := flag.String("tracejson", "", "with -q: write the query's trace as Chrome trace-event JSON to this file")
 	metricsAddr := flag.String("metricsaddr", "", "serve observability counters as JSON over HTTP on this address, e.g. :8080")
 	engine := flag.String("engine", "compiled", "execution engine: compiled (closure-compiled, parallel tabulation) or interp (reference interpreter)")
 	profLevel := flag.String("proflevel", "sampled", "operator profiling level: off, sampled, or full")
@@ -112,6 +118,17 @@ func main() {
 				fmt.Print(rep.FormatProfile())
 			}
 		}
+		if *traceJSON != "" {
+			rep := s.LastReport()
+			if rep == nil {
+				fmt.Fprintln(os.Stderr, "aql: -tracejson: no report recorded (tracing disabled?)")
+				os.Exit(1)
+			}
+			if err := writeTraceFile(*traceJSON, rep); err != nil {
+				fmt.Fprintln(os.Stderr, "aql:", err)
+				os.Exit(1)
+			}
+		}
 	case *file != "":
 		src, err := os.ReadFile(*file)
 		if err != nil {
@@ -142,7 +159,7 @@ func main() {
 func interact(s *aql.Session, limit int) {
 	fmt.Println("AQL — a query language for multidimensional arrays (SIGMOD 1996)")
 	fmt.Println(`End statements with ';'. Ctrl-D exits; Ctrl-C cancels a running query.`)
-	fmt.Println(`Commands: :explain <q>  :profile <q>  :stats  :top  :fleet  :prof  :engine  :help`)
+	fmt.Println(`Commands: :explain <q>  :profile <q>  :stats  :top  :trace  :fleet  :prof  :engine  :help`)
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -190,6 +207,20 @@ func interact(s *aql.Session, limit int) {
 			fmt.Println("error:", err)
 		}
 	}
+}
+
+// writeTraceFile exports a report as Chrome trace-event JSON, loadable in
+// chrome://tracing or Perfetto.
+func writeTraceFile(path string, rep *aql.QueryReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChromeTrace(f, rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func printResult(r aql.Result, limit int) {

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	aqlbench            run every experiment
-//	aqlbench -exp e7    run one experiment (e4, e6, e7, e8, e9, e10, e11, e15, e17, e19, e21, e22, a1)
+//	aqlbench -exp e7    run one experiment (e4, e6, e7, e8, e9, e10, e11, e15, e17, e19, e21, e22, e23, a1)
 //	aqlbench -quick     smaller sweeps, for smoke testing
 //	aqlbench -report reports.jsonl
 //	                    additionally write one trace.QueryReport JSON object
@@ -54,7 +54,7 @@ var quick = flag.Bool("quick", false, "smaller sweeps")
 var reportSink trace.Sink
 
 func main() {
-	exp := flag.String("exp", "", "run a single experiment (e4, e6, e7, e8, e9, e10, e11, e15, e17, e19, e21, e22, a1)")
+	exp := flag.String("exp", "", "run a single experiment (e4, e6, e7, e8, e9, e10, e11, e15, e17, e19, e21, e22, e23, a1)")
 	report := flag.String("report", "", "write per-query trace.QueryReport JSON lines to this file (- for stdout)")
 	engine := flag.String("engine", "", "execution engine for the experiments: interp or compiled (default: the session default)")
 	engJSON := flag.String("engjson", "", "with e19: write the engine-comparison results as JSON to this file (e.g. BENCH_engine.json)")
@@ -96,6 +96,7 @@ func main() {
 		{"e19", "execution engines: interp vs compiled on tabulation workloads", runE19},
 		{"e21", "query server: cold vs cached-plan latency, sustained QPS", runE21},
 		{"e22", "cluster: scatter-gather speedup, hedged straggler tail latency", runE22},
+		{"e23", "per-plan stats store: templated workload profiles in /debug/planstats", runE23},
 		{"e15", "NetCDF subslab reads (section 4.1)", runE15},
 		{"e17", "predictive caching for strided reads (section 7)", runE17},
 		{"a1", "ablation: optimizer phase structure", runA1},

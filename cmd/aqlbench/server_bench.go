@@ -14,6 +14,7 @@ import (
 
 	"github.com/aqldb/aql/internal/bench"
 	"github.com/aqldb/aql/internal/server"
+	"github.com/aqldb/aql/internal/trace"
 )
 
 // serverReport is the e21 payload: prepared-plan cache effect on request
@@ -121,4 +122,80 @@ func runE21() {
 	fmt.Printf("| cold / cached | %.1fx |\n", speedup)
 	fmt.Printf("| sustained QPS (%d workers, %v) | %.0f |\n", workers, window, qps)
 	fmt.Printf("| plan cache | %d hits, %d misses |\n", cs.Hits, cs.Misses)
+}
+
+// runE23 exercises the per-plan stats store: a templated workload — a few
+// distinct query shapes, each executed at different frequencies — runs
+// through the server, then /debug/planstats is scraped and its per-plan
+// profiles (execution counts, cache-hit ratios, cell and latency EWMAs)
+// are tabulated. The store is the substrate the feedback-directed
+// optimizer roadmap item reads: it must attribute work to plans, not to
+// individual requests.
+func runE23() {
+	sess := bench.MustSession()
+	srv := server.New(sess, server.Config{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	post := func(query string) {
+		body, err := json.Marshal(server.QueryRequest{Query: query})
+		if err != nil {
+			panic(err)
+		}
+		resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aqlbench:", err)
+			os.Exit(1)
+		}
+		if resp.StatusCode != http.StatusOK {
+			fmt.Fprintf(os.Stderr, "aqlbench: e23 query status %d\n", resp.StatusCode)
+			os.Exit(1)
+		}
+		resp.Body.Close()
+	}
+
+	n, hot := 20000, 60
+	if *quick {
+		n, hot = 2000, 12
+	}
+
+	// A skewed workload over three plan shapes: one hot plan executed
+	// repeatedly (all cache hits after the first), one warm plan with a
+	// different cell count, and a spread of cold one-off template
+	// instances that each pay a full prepare.
+	hotQ := fmt.Sprintf(`[[ (i*i + 11*i + 7) %% 97 | \i < %d ]]`, n)
+	warmQ := fmt.Sprintf(`count!(dom!([[ i + 1 | \i < %d ]]))`, n/2)
+	for k := 0; k < hot; k++ {
+		post(hotQ)
+	}
+	for k := 0; k < hot/3; k++ {
+		post(warmQ)
+	}
+	for k := 0; k < 5; k++ {
+		post(fmt.Sprintf("%s + %d", e21Query, k))
+	}
+
+	resp, err := http.Get(ts.URL + "/debug/planstats")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aqlbench:", err)
+		os.Exit(1)
+	}
+	var snap trace.PlanStatsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		fmt.Fprintln(os.Stderr, "aqlbench: decode /debug/planstats:", err)
+		os.Exit(1)
+	}
+	resp.Body.Close()
+
+	fmt.Printf("| plan (cache key, truncated) | queries | cache hits | cells EWMA | latency EWMA |\n|---|---|---|---|---|\n")
+	for _, p := range snap.Plans {
+		key := p.Key
+		if len(key) > 40 {
+			key = key[:37] + "..."
+		}
+		fmt.Printf("| `%s` | %d | %d | %.0f | %v |\n",
+			key, p.Queries, p.CacheHits, p.CellsEWMA, p.LatencyEWMA.Round(time.Microsecond))
+	}
+	fmt.Printf("\n%d plans tracked, %d evicted; profiles outlive the flight recorder's per-report ring\n",
+		len(snap.Plans), snap.Evictions)
 }

@@ -9,14 +9,25 @@
 //
 // Endpoints:
 //
-//	POST /query          {"query": "...", "max_steps"?: n, "timeout_ms"?: n}
-//	POST /shard          a range-restricted tabulation shard (cluster worker)
-//	GET  /val/{name}     a top-level val, in the data exchange format
-//	POST /val/{name}     bind a val from an exchange-format body
-//	GET  /metrics        Prometheus text: fleet metrics + aqld_* series
-//	GET  /debug/queries  flight recorder, full reports as JSON
-//	GET  /debug/server   plan-cache and admission counters
-//	GET  /healthz        liveness
+//	POST /query             {"query": "...", "max_steps"?: n, "timeout_ms"?: n}
+//	POST /shard             a range-restricted tabulation shard (cluster worker)
+//	GET  /val/{name}        a top-level val, in the data exchange format
+//	POST /val/{name}        bind a val from an exchange-format body
+//	GET  /metrics           Prometheus text: fleet metrics + aqld_* series
+//	                        (OpenMetrics with trace-id exemplars via Accept)
+//	GET  /debug/queries     flight recorder, full reports as JSON
+//	GET  /debug/trace/{id}  one recorded query as Chrome trace-event JSON,
+//	                        looked up by request id or trace id
+//	GET  /debug/planstats   per-plan execution profiles, keyed like the cache
+//	GET  /debug/server      plan-cache and admission counters
+//	GET  /healthz           liveness
+//
+// Distributed tracing: POST /query honors an inbound W3C traceparent
+// header (minting a context when absent) and an X-Request-ID header
+// (sanitized), echoing both on the response; the coordinator propagates
+// the trace to every POST /shard, and workers return their span tree for
+// stitching, so one flight-recorder report holds the whole multi-node
+// trace, exportable via /debug/trace/{id}.
 //
 // The -init script runs through the ordinary session pipeline before the
 // listener opens, so vals, macros and readval statements registered there

@@ -124,6 +124,10 @@ type Coordinator struct {
 	next     int // round-robin cursor over cfg.Workers
 
 	stats Stats
+	// shardLatency is the shard round-trip (first dispatch to winning
+	// response) distribution, with trace-id exemplars; exported on /metrics
+	// as aqld_cluster_shard_seconds.
+	shardLatency trace.ExemplarHistogram
 }
 
 // New returns a Coordinator over cfg.Workers.
@@ -152,6 +156,9 @@ type Stats struct {
 // Stats returns a pointer to the live counters (read with .Load()).
 func (c *Coordinator) Stats() *Stats { return &c.stats }
 
+// ShardLatency returns a snapshot of the shard round-trip histogram.
+func (c *Coordinator) ShardLatency() trace.HistogramSnapshot { return c.shardLatency.Snapshot() }
+
 // Result is one coordinator execution.
 type Result struct {
 	Value    object.Value
@@ -164,6 +171,13 @@ type Result struct {
 	// Shards holds one dispatch record per shard, in shard order; nil in
 	// local mode.
 	Shards []trace.ShardSpan
+	// Spans is the stitched whole-query span tree of a scattered execution:
+	// a "scatter" root over the plan prologue and one "shard" subtree per
+	// shard, each holding its dispatch attempts with the winning attempt
+	// carrying the worker's own span tree. Nil in local mode. Summing self
+	// counters over the tree reproduces Counters exactly (trace.CheckStitched
+	// verifies).
+	Spans *trace.SpanNode
 }
 
 // shardOutcome is one shard's terminal state.
@@ -182,13 +196,24 @@ type shardOutcome struct {
 // byte-identical to prog.Execute with exactly-equal counters whenever
 // execution succeeds, whatever failures were survived along the way.
 func (c *Coordinator) Execute(ctx context.Context, prog *compile.Program, query string, opts compile.ExecOpts) (*Result, error) {
+	return c.ExecuteTraced(ctx, prog, query, opts, trace.TraceContext{})
+}
+
+// ExecuteTraced is Execute under a distributed trace context: the trace id
+// is propagated on every shard dispatch (body fields and traceparent
+// header), worker span subtrees are stitched into Result.Spans, and shard
+// round-trips land in the exemplar histogram linked to tc.TraceID. A zero
+// tc disables propagation but still builds the stitched tree.
+func (c *Coordinator) ExecuteTraced(ctx context.Context, prog *compile.Program, query string, opts compile.ExecOpts, tc trace.TraceContext) (*Result, error) {
 	if !prog.Rangeable() {
 		return nil, fmt.Errorf("cluster: program is not range-partitionable")
 	}
+	t0 := time.Now()
 	plan, err := prog.PlanShards(ctx, opts)
 	if err != nil {
 		return nil, err
 	}
+	planWall := time.Since(t0)
 	if plan.Bottom.IsBottom() {
 		// A ⊥ bound decides the query during planning; nothing to scatter.
 		return &Result{Value: plan.Bottom, Counters: plan.Counters, Mode: "local"}, nil
@@ -237,7 +262,7 @@ func (c *Coordinator) Execute(ctx context.Context, prog *compile.Program, query 
 		wg.Add(1)
 		go func(i int, start, end int64) {
 			defer wg.Done()
-			outs[i] = c.runShard(sctx, abort, prog, query, opts, plan.Shape, i, start, end)
+			outs[i] = c.runShard(sctx, abort, prog, query, opts, plan.Shape, i, start, end, tc)
 		}(i, start, end)
 	}
 	wg.Wait()
@@ -299,12 +324,35 @@ func (c *Coordinator) Execute(ctx context.Context, prog *compile.Program, query 
 	} else {
 		res.Value = object.Value{Kind: object.KArray, Shape: plan.Shape, Data: data}
 	}
+
+	// Stitch the whole-query span tree: scatter root over the plan prologue
+	// and every shard subtree. Only the plan node and each shard's winning
+	// attempt carry counters, so summing self counters over the tree
+	// reproduces the merged totals exactly.
+	root := trace.NewSpan(trace.SpanScatter, "coordinator", time.Since(t0))
+	planSpan := trace.NewSpan(trace.SpanPlan, "coordinator", planWall)
+	planSpan.SetCounters(toTraceCounters(plan.Counters)).FinalizeSelf()
+	root.Children = append(root.Children, planSpan)
+	for i := range spans {
+		if spans[i].Spans != nil {
+			root.Children = append(root.Children, spans[i].Spans)
+		}
+	}
+	res.Spans = root.FinalizeSelf()
 	return res, nil
 }
 
+// toTraceCounters converts engine counters to the trace mirror.
+func toTraceCounters(c eval.Counters) trace.EvalCounters {
+	return trace.EvalCounters{Steps: c.Steps, Cells: c.Cells, Tabulations: c.Tabs,
+		SetOps: c.SetOps, Iterations: c.Iters}
+}
+
 // runShard drives one shard to a terminal outcome: remote attempts with
-// backoff, hedging and breaker bookkeeping, then local fallback.
-func (c *Coordinator) runShard(ctx context.Context, abort func(error), prog *compile.Program, query string, opts compile.ExecOpts, shape []int, shard int, start, end int64) shardOutcome {
+// backoff, hedging and breaker bookkeeping, then local fallback. Every
+// dispatch attempt leaves an AttemptSpan on the shard's dispatch record,
+// and the winning execution's span subtree is stitched under its attempt.
+func (c *Coordinator) runShard(ctx context.Context, abort func(error), prog *compile.Program, query string, opts compile.ExecOpts, shape []int, shard int, start, end int64, tc trace.TraceContext) shardOutcome {
 	t0 := time.Now()
 	out := shardOutcome{bottomOff: -1, errOff: math.MaxInt64}
 	out.span = trace.ShardSpan{Shard: shard, Start: start, End: end}
@@ -327,7 +375,7 @@ func (c *Coordinator) runShard(ctx context.Context, abort func(error), prog *com
 		if !ok {
 			break // every worker circuit-open: degrade this shard
 		}
-		resp, winner, hedged, derr := c.dispatch(ctx, worker, &req, &attempt)
+		resp, winner, hedged, derr := c.dispatch(ctx, worker, &req, &attempt, t0, &out.span, tc)
 		out.span.Hedged = out.span.Hedged || hedged
 		if derr == nil {
 			values, bottomOff, bottom, counters, perr := decodeShard(resp, start, end)
@@ -335,13 +383,18 @@ func (c *Coordinator) runShard(ctx context.Context, abort func(error), prog *com
 				c.breakerFor(winner).onSuccess()
 				out.values, out.bottomOff, out.bottom, out.counters = values, bottomOff, bottom, counters
 				out.span.Worker, out.span.Attempts, out.span.Wall = winner, attempt, time.Since(t0)
+				out.span.QueueWait = time.Duration(resp.QueueWaitNS)
+				out.span.Spans = stitchShard(&out.span, workerSubtree(resp, winner, toTraceCounters(counters)))
 				c.stats.RemoteShards.Add(1)
+				c.shardLatency.Observe(out.span.Wall, tc.TraceID, time.Now())
 				return out
 			}
 			// A response that doesn't decode to the requested range is a
-			// transport failure of the winning worker: retry.
+			// transport failure of the winning worker: retry. Its attempt
+			// span loses the "won" it was marked with on response receipt.
 			derr = perr
 			c.recordFailure(winner)
+			demoteWonAttempt(&out.span, perr.Error())
 		}
 		if ctx.Err() != nil {
 			abort(resourceCancelled(ctx))
@@ -373,6 +426,7 @@ func (c *Coordinator) runShard(ctx context.Context, abort func(error), prog *com
 	// in-process. Values and counters are identical by the purity argument,
 	// so degradation changes availability, never answers.
 	c.stats.LocalShards.Add(1)
+	lt0 := time.Now()
 	res, err := prog.ExecuteRange(ctx, opts, shape, start, end)
 	out.span.Worker, out.span.Attempts, out.span.Wall = "local", attempt, time.Since(t0)
 	if err != nil {
@@ -389,7 +443,93 @@ func (c *Coordinator) runShard(ctx context.Context, abort func(error), prog *com
 		return out
 	}
 	out.values, out.bottomOff, out.bottom, out.counters = res.Values, res.BottomOff, res.Bottom, res.Counters
+	lwall := time.Since(lt0)
+	out.span.AttemptSpans = append(out.span.AttemptSpans, trace.AttemptSpan{
+		Attempt: attempt, Worker: "local", Outcome: "won",
+		StartOff: lt0.Sub(t0), Wall: lwall,
+	})
+	local := trace.NewSpan(trace.SpanEval, "local", lwall)
+	local.SetCounters(toTraceCounters(out.counters)).FinalizeSelf()
+	out.span.Spans = stitchShard(&out.span, local)
+	c.shardLatency.Observe(out.span.Wall, tc.TraceID, time.Now())
 	return out
+}
+
+// demoteWonAttempt flips the shard's most recent "won" attempt span to
+// "lost" (a winning response that failed to decode is a transport failure).
+func demoteWonAttempt(span *trace.ShardSpan, errText string) {
+	for i := len(span.AttemptSpans) - 1; i >= 0; i-- {
+		if span.AttemptSpans[i].Outcome == "won" {
+			span.AttemptSpans[i].Outcome = "lost"
+			span.AttemptSpans[i].Err = errText
+			return
+		}
+	}
+}
+
+// stitchShard builds one shard's span subtree from its dispatch record: a
+// "shard" node whose children are the attempt spans in launch order, with
+// winTree — the winning execution's span subtree — grafted under the "won"
+// attempt. Counters live only inside winTree, preserving the merge
+// contract's "counters from exactly one attempt" in the tree.
+func stitchShard(span *trace.ShardSpan, winTree *trace.SpanNode) *trace.SpanNode {
+	root := trace.NewSpan(trace.SpanShard, "", span.Wall)
+	for _, a := range span.AttemptSpans {
+		an := trace.NewSpan(trace.SpanAttempt, a.Worker, a.Wall)
+		an.Outcome, an.StartOff = a.Outcome, a.StartOff
+		if a.Outcome == "won" && winTree != nil {
+			an.Children = append(an.Children, winTree)
+		}
+		root.Children = append(root.Children, an.FinalizeSelf())
+	}
+	return root.FinalizeSelf()
+}
+
+// Defensive caps on worker-returned span subtrees: a buggy (or hostile)
+// worker must not be able to balloon coordinator memory through its trace
+// payload.
+const (
+	maxWorkerSpanDepth = 32
+	maxWorkerSpanNodes = 4096
+)
+
+// workerSubtree converts the winning worker's wire span tree into the
+// trace mirror, labelled with the worker's name at every node. A response
+// without spans — or whose spans fail the stitching invariants against the
+// shard's decoded counters — gets a synthetic "eval" span instead, so the
+// stitched tree stays well-formed whatever the worker sent.
+func workerSubtree(resp *exchange.ShardResponse, worker string, counters trace.EvalCounters) *trace.SpanNode {
+	if resp.Spans != nil {
+		budget := maxWorkerSpanNodes
+		if n := convertSpan(resp.Spans, worker, maxWorkerSpanDepth, &budget); n != nil {
+			if trace.CheckStitched(n, counters) == nil {
+				return n
+			}
+		}
+	}
+	n := trace.NewSpan(trace.SpanEval, worker, 0)
+	return n.SetCounters(counters).FinalizeSelf()
+}
+
+// convertSpan maps one wire span node (and its children, depth- and
+// node-capped) into the trace mirror.
+func convertSpan(s *exchange.Span, node string, depth int, budget *int) *trace.SpanNode {
+	if s == nil || depth <= 0 || *budget <= 0 {
+		return nil
+	}
+	*budget--
+	n := trace.NewSpan(s.Op, node, time.Duration(s.WallNS))
+	n.WallSelf = time.Duration(s.SelfNS)
+	n.SetCounters(trace.EvalCounters{
+		Steps: s.Eval.Steps, Cells: s.Eval.Cells, Tabulations: s.Eval.Tabulations,
+		SetOps: s.Eval.SetOps, Iterations: s.Eval.Iterations,
+	})
+	for _, ch := range s.Children {
+		if cn := convertSpan(ch, node, depth-1, budget); cn != nil {
+			n.Children = append(n.Children, cn)
+		}
+	}
+	return n
 }
 
 // dispatch performs one attempt round for a shard: a primary dispatch,
@@ -397,24 +537,53 @@ func (c *Coordinator) runShard(ctx context.Context, abort func(error), prog *com
 // one hedged dispatch. The first successful response wins and the loser is
 // cancelled; with no success, the last failure is returned. Every dispatch
 // consumes one attempt number (chaos schedules key on it) and counts
-// toward the shard's attempt budget.
-func (c *Coordinator) dispatch(ctx context.Context, primary string, req *exchange.ShardRequest, attempt *int) (resp *exchange.ShardResponse, winner string, hedged bool, err error) {
+// toward the shard's attempt budget. Each dispatch leaves an AttemptSpan
+// on span in launch order: the used response is "won", completed failures
+// are "lost", and anything still in flight when the round ends — a hedge
+// loser, or everything on cancellation — is "cancelled".
+func (c *Coordinator) dispatch(ctx context.Context, primary string, req *exchange.ShardRequest, attempt *int, t0 time.Time, span *trace.ShardSpan, tc trace.TraceContext) (resp *exchange.ShardResponse, winner string, hedged bool, err error) {
 	type dispResult struct {
 		resp   *exchange.ShardResponse
 		err    error
 		worker string
+		idx    int
+	}
+	type attemptState struct {
+		num     int
+		worker  string
+		start   time.Time
+		hedge   bool
+		outcome string // "" while in flight
+		wall    time.Duration
+		errText string
 	}
 	ch := make(chan dispResult, 2)
+	var states []*attemptState
 	var cancels []context.CancelFunc
 	defer func() {
 		for _, cf := range cancels {
 			cf()
 		}
+		for _, st := range states {
+			if st.outcome == "" {
+				st.outcome, st.wall = "cancelled", time.Since(st.start)
+			}
+			span.AttemptSpans = append(span.AttemptSpans, trace.AttemptSpan{
+				Attempt: st.num, Worker: st.worker, Outcome: st.outcome, Hedge: st.hedge,
+				StartOff: st.start.Sub(t0), Wall: st.wall, Err: st.errText,
+			})
+		}
 	}()
-	launch := func(worker string) {
+	launch := func(worker string, hedge bool) {
 		r := *req
 		r.Attempt = *attempt
 		*attempt++
+		if tc.TraceID != "" {
+			r.TraceID = tc.TraceID
+			r.ParentSpan = trace.NewSpanID()
+		}
+		idx := len(states)
+		states = append(states, &attemptState{num: r.Attempt, worker: worker, start: time.Now(), hedge: hedge})
 		actx := ctx
 		var cf context.CancelFunc
 		if c.cfg.ShardTimeout > 0 {
@@ -425,10 +594,10 @@ func (c *Coordinator) dispatch(ctx context.Context, primary string, req *exchang
 		cancels = append(cancels, cf)
 		go func() {
 			sr, serr := c.cfg.Transport.Shard(actx, worker, &r)
-			ch <- dispResult{resp: sr, err: serr, worker: worker}
+			ch <- dispResult{resp: sr, err: serr, worker: worker, idx: idx}
 		}()
 	}
-	launch(primary)
+	launch(primary, false)
 	inflight := 1
 	var hedgeTimer <-chan time.Time
 	if c.cfg.HedgeAfter > 0 {
@@ -442,12 +611,16 @@ func (c *Coordinator) dispatch(ctx context.Context, primary string, req *exchang
 		select {
 		case r := <-ch:
 			inflight--
+			st := states[r.idx]
+			st.wall = time.Since(st.start)
 			if r.err == nil {
+				st.outcome = "won"
 				if hedged && r.worker != primary {
 					c.stats.HedgeWins.Add(1)
 				}
 				return r.resp, r.worker, hedged, nil
 			}
+			st.outcome, st.errText = "lost", r.err.Error()
 			lastErr, lastWorker = r.err, r.worker
 			if se, ok := r.err.(*ShardError); ok {
 				if !se.Retryable() {
@@ -465,7 +638,7 @@ func (c *Coordinator) dispatch(ctx context.Context, primary string, req *exchang
 			if w, ok := c.pickWorker(ctx, primary); ok {
 				hedged = true
 				c.stats.Hedges.Add(1)
-				launch(w)
+				launch(w, true)
 				inflight++
 			}
 		case <-ctx.Done():

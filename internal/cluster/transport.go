@@ -89,6 +89,11 @@ func (t *HTTPTransport) Shard(ctx context.Context, worker string, req *exchange.
 		return nil, &ShardError{Worker: worker, Kind: "transport", Message: err.Error(), Off: -1}
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	if req.TraceID != "" && req.ParentSpan != "" {
+		// W3C trace context: proxies and middleboxes between coordinator and
+		// worker see the trace id too (the body copy is authoritative).
+		hreq.Header.Set("traceparent", "00-"+req.TraceID+"-"+req.ParentSpan+"-01")
+	}
 	resp, err := t.client().Do(hreq)
 	if err != nil {
 		// Respect cancellation: the caller distinguishes its own deadline

@@ -37,6 +37,13 @@ type ShardRequest struct {
 	// as the same fields of a /query request do. Budgets apply per shard.
 	MaxSteps  int64 `json:"max_steps,omitempty"`
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// TraceID / ParentSpan propagate the coordinator's distributed trace
+	// context: the 32-hex trace id of the whole query and the 16-hex span id
+	// of this dispatch attempt. HTTP transports also send them as a
+	// traceparent header; the body copy keeps transports that drop headers
+	// (or in-process ones) lossless. Empty when the query is untraced.
+	TraceID    string `json:"trace_id,omitempty"`
+	ParentSpan string `json:"parent_span,omitempty"`
 }
 
 // Size returns product(Shape), saturating at MaxInt64.
@@ -102,6 +109,27 @@ type ShardResponse struct {
 	BottomMsg string `json:"bottom_msg,omitempty"`
 	// Eval is the work this shard's (winning) execution charged.
 	Eval ShardCounters `json:"eval"`
+	// TraceID echoes the request's trace id (diagnostics: a mismatch means a
+	// proxy crossed streams).
+	TraceID string `json:"trace_id,omitempty"`
+	// QueueWaitNS is how long the request waited in the worker's admission
+	// queue before a slot freed, in nanoseconds.
+	QueueWaitNS int64 `json:"queue_wait_ns,omitempty"`
+	// Spans is the worker-side span subtree of this shard's execution, which
+	// the coordinator grafts under the dispatch attempt's span to stitch the
+	// whole-query trace. Nil when the worker recorded no spans.
+	Spans *Span `json:"spans,omitempty"`
+}
+
+// Span is the wire form of one span-tree node a worker returns; the mirror
+// of trace.SpanNode's stitching subset (exchange stays free of a trace
+// dependency). Wall times are nanoseconds; counters are self counters.
+type Span struct {
+	Op       string        `json:"op"`
+	WallNS   int64         `json:"wall_ns"`
+	SelfNS   int64         `json:"self_ns"`
+	Eval     ShardCounters `json:"eval,omitempty"`
+	Children []*Span       `json:"children,omitempty"`
 }
 
 // ShardErrorInfo is the typed error body of a failed shard request. Kind

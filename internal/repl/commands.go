@@ -3,9 +3,25 @@ package repl
 import (
 	"context"
 	"fmt"
+	"os"
 	"sort"
 	"strings"
+
+	"github.com/aqldb/aql/internal/trace"
 )
+
+// writeChromeTraceFile exports one report as Chrome trace-event JSON.
+func writeChromeTraceFile(path string, rep *trace.QueryReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChromeTrace(f, rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 // IsCommand reports whether an input line is a session colon-command
 // (":explain", ":profile", ":stats", ":help") rather than an AQL statement.
@@ -88,6 +104,24 @@ var commands = map[string]command{
 				}
 			}
 			return fmt.Sprintf("profiling: %s\n", s.Profiling), nil
+		},
+	},
+	":trace": {
+		usage:   ":trace [file]",
+		summary: "export the last query as Chrome trace-event JSON",
+		run: func(s *Session, _ context.Context, arg string) (string, error) {
+			rep := s.Trace.Last()
+			if rep == nil {
+				return "no query recorded yet\n", nil
+			}
+			file := arg
+			if file == "" {
+				file = "aql-trace.json"
+			}
+			if err := writeChromeTraceFile(file, rep); err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("wrote %s (load in chrome://tracing or Perfetto)\n", file), nil
 		},
 	},
 	":engine": {

@@ -2,6 +2,7 @@ package server
 
 import (
 	"container/list"
+	"strconv"
 	"strings"
 	"sync"
 	"unicode"
@@ -98,6 +99,13 @@ func NormalizeQuery(src string) string {
 type planKey struct {
 	query string
 	epoch uint64
+}
+
+// String renders the key for external keying: the per-plan stats store
+// aggregates under exactly the identity the cache serves plans by, so a
+// rebound environment (epoch bump) starts a fresh profile.
+func (k planKey) String() string {
+	return k.query + "@e" + strconv.FormatUint(k.epoch, 10)
 }
 
 // plan is one cache entry: the compiled program, its inferred type, and the

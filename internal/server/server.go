@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime/debug"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -87,6 +88,9 @@ type Server struct {
 
 	cache *planCache
 	adm   *admission
+	// planStats aggregates per-plan runtime profiles keyed by plan-cache
+	// key; served on /debug/planstats.
+	planStats *trace.PlanStatsStore
 
 	// envMu makes (epoch, globals snapshot) reads atomic with respect to
 	// environment mutations: prepares hold RLock across reading the epoch
@@ -105,10 +109,11 @@ type Server struct {
 // REPL work while the server is running; the server owns it.
 func New(sess *repl.Session, cfg Config) *Server {
 	s := &Server{
-		sess:  sess,
-		cfg:   cfg,
-		cache: newPlanCache(cfg.CacheSize),
-		adm:   newAdmission(cfg.MaxConcurrent, cfg.MaxQueued, cfg.QueueTimeout),
+		sess:      sess,
+		cfg:       cfg,
+		cache:     newPlanCache(cfg.CacheSize),
+		adm:       newAdmission(cfg.MaxConcurrent, cfg.MaxQueued, cfg.QueueTimeout),
+		planStats: trace.NewPlanStatsStore(0),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
@@ -118,6 +123,8 @@ func New(sess *repl.Session, cfg Config) *Server {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/queries", s.handleDebugQueries)
 	mux.HandleFunc("GET /debug/server", s.handleDebugServer)
+	mux.HandleFunc("GET /debug/planstats", s.handleDebugPlanStats)
+	mux.HandleFunc("GET /debug/trace/{id}", s.handleDebugTrace)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
@@ -133,6 +140,9 @@ func (s *Server) CacheStats() CacheStats { return s.cache.stats() }
 // AdmissionStats exposes the admission counters.
 func (s *Server) AdmissionStats() AdmissionStats { return s.adm.stats() }
 
+// PlanStats exposes the per-plan stats store (tests and benchmarks).
+func (s *Server) PlanStats() *trace.PlanStatsStore { return s.planStats }
+
 // QueryRequest is the POST /query body.
 type QueryRequest struct {
 	Query string `json:"query"`
@@ -145,9 +155,13 @@ type QueryRequest struct {
 
 // QueryResponse is the POST /query success body.
 type QueryResponse struct {
-	ID     string `json:"id"`
-	Cached bool   `json:"cached"`
-	Type   string `json:"type"`
+	ID string `json:"id"`
+	// TraceID is the distributed trace id the query ran under: honored from
+	// the request's traceparent header, or minted by the server. Fetch the
+	// stitched trace with GET /debug/trace/{trace_id}.
+	TraceID string `json:"trace_id,omitempty"`
+	Cached  bool   `json:"cached"`
+	Type    string `json:"type"`
 	// Value is the result in the complex-object data exchange format.
 	Value  string             `json:"value"`
 	WallNS int64              `json:"wall_ns"`
@@ -191,17 +205,34 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Request identity: a sanitized client X-Request-ID wins (so the caller
+	// can correlate the response, the slow log and the flight recorder with
+	// its own systems); otherwise the server mints one. Echoed on every
+	// response, success or error.
+	id := trace.SanitizeRequestID(r.Header.Get("X-Request-ID"))
+	if id == "" {
+		id = fmt.Sprintf("q%06d", s.qid.Add(1))
+	}
+	w.Header().Set("X-Request-ID", id)
+
+	// Trace context: honor an inbound W3C traceparent, else mint a root.
+	tc, ok := trace.ParseTraceparent(r.Header.Get("traceparent"))
+	if !ok {
+		tc = trace.NewTraceContext()
+	}
+	w.Header().Set("traceparent", tc.Traceparent())
+
 	ctx := r.Context()
 	release, waited, err := s.adm.acquire(ctx)
 	if err != nil {
 		status, info := admissionHTTP(err)
+		info.ID = id
 		writeError(w, status, info)
 		return
 	}
 	defer release()
 
-	id := fmt.Sprintf("q%06d", s.qid.Add(1))
-	resp, errInfo, status := s.runQuery(ctx, id, req, waited)
+	resp, errInfo, status := s.runQuery(ctx, id, tc, req, waited)
 	if errInfo != nil {
 		errInfo.ID = id
 		writeError(w, status, *errInfo)
@@ -212,15 +243,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 // runQuery executes one admitted request: plan-cache lookup or prepare,
 // then execution on a fresh machine, all recorded on a per-request recorder
-// whose report feeds the shared fleet/flight sinks.
-func (s *Server) runQuery(ctx context.Context, id string, req QueryRequest, waited time.Duration) (*QueryResponse, *ErrorInfo, int) {
+// whose report feeds the shared fleet/flight sinks and the per-plan stats
+// store.
+func (s *Server) runQuery(ctx context.Context, id string, tc trace.TraceContext, req QueryRequest, waited time.Duration) (*QueryResponse, *ErrorInfo, int) {
 	norm := NormalizeQuery(req.Query)
 
 	rec := trace.NewRecorder(trace.MultiSink{s.sess.Fleet, s.sess.Flight})
 	rec.Begin(norm)
+	rec.RecordID(id)
+	rec.RecordTraceID(tc.TraceID)
 	rec.RecordQueueWait(waited)
 
-	p, hit, err := s.plan(norm, rec)
+	p, key, hit, err := s.plan(norm, rec)
 	if err != nil {
 		rec.End(err)
 		info, status := compileHTTP(err)
@@ -233,15 +267,17 @@ func (s *Server) runQuery(ctx context.Context, id string, req QueryRequest, wait
 	var counters eval.Counters
 	var mode string
 	var shards []trace.ShardSpan
+	var stitched *trace.SpanNode
 	sp := rec.StartPhase(trace.PhaseEval)
 	if s.cfg.Coordinator != nil && p.prog.Rangeable() {
 		// Scatter-gather path: the coordinator's merge contract guarantees
 		// the value and counters below are byte-identical to what the
 		// in-process branch would produce.
 		var res *cluster.Result
-		res, err = s.cfg.Coordinator.Execute(ctx, p.prog, norm, opts)
+		res, err = s.cfg.Coordinator.ExecuteTraced(ctx, p.prog, norm, opts, tc)
 		if err == nil {
 			v, counters, mode, shards = res.Value, res.Counters, res.Mode, res.Shards
+			stitched = res.Spans
 		}
 	} else {
 		v, counters, err = executeGuarded(ctx, p.prog, opts, norm)
@@ -250,14 +286,24 @@ func (s *Server) runQuery(ctx context.Context, id string, req QueryRequest, wait
 	rec.RecordEngine("compiled")
 	rec.RecordMode(mode)
 	rec.RecordShards(shards)
-	rec.RecordEval(trace.EvalCounters{
+	tcnt := trace.EvalCounters{
 		Steps:       counters.Steps,
 		Cells:       counters.Cells,
 		Tabulations: counters.Tabs,
 		SetOps:      counters.SetOps,
 		Iterations:  counters.Iters,
-	})
+	}
+	rec.RecordEval(tcnt)
+	if stitched != nil {
+		// Record the stitched multi-node tree only when it verifies against
+		// the merged counters: a skewed tree (a buggy worker's payload)
+		// degrades to the flat report rather than serving wrong attribution.
+		if trace.CheckStitched(stitched, tcnt) == nil {
+			rec.RecordSpans(stitched, trace.ProfStitched)
+		}
+	}
 	rep := rec.End(err)
+	s.planStats.Observe(key.String(), rep)
 	if err != nil {
 		info, status := execHTTP(err)
 		return nil, &info, status
@@ -269,6 +315,7 @@ func (s *Server) runQuery(ctx context.Context, id string, req QueryRequest, wait
 	}
 	return &QueryResponse{
 		ID:          id,
+		TraceID:     tc.TraceID,
 		Cached:      hit,
 		Type:        p.typ.String(),
 		Value:       text,
@@ -285,7 +332,7 @@ func (s *Server) runQuery(ctx context.Context, id string, req QueryRequest, wait
 // caching it on a miss. The prepare phases (parse/desugar/macro/typecheck/
 // optimize/compile) are timed on rec only when they actually run, which is
 // what makes a hit's report carry zero prepare time.
-func (s *Server) plan(norm string, rec *trace.Recorder) (*plan, bool, error) {
+func (s *Server) plan(norm string, rec *trace.Recorder) (*plan, planKey, bool, error) {
 	// The epoch read and the prepare must see one environment state; see
 	// envMu. The read lock is held across the whole prepare — prepares are
 	// pure CPU (no I/O), and val rebinds are rare control operations.
@@ -294,15 +341,15 @@ func (s *Server) plan(norm string, rec *trace.Recorder) (*plan, bool, error) {
 
 	key := planKey{query: norm, epoch: s.sess.Env.Epoch()}
 	if p, ok := s.cache.get(key); ok {
-		return p, true, nil
+		return p, key, true, nil
 	}
 
 	p, err := s.prepare(norm, rec)
 	if err != nil {
-		return nil, false, err
+		return nil, key, false, err
 	}
 	s.cache.put(key, p)
-	return p, false, nil
+	return p, key, false, nil
 }
 
 // PrepareError tags an error from one prepare phase with the phase that
@@ -449,67 +496,95 @@ func (s *Server) handleValSet(w http.ResponseWriter, r *http.Request) {
 
 // --- observability endpoints ------------------------------------------------
 
-// handleMetrics serves the fleet's Prometheus exposition with the server's
-// own plan-cache and admission gauges/counters appended.
+// handleMetrics serves the fleet's metrics exposition with the server's
+// own plan-cache, admission and cluster families appended. The classic
+// Prometheus text format is the default; an Accept header asking for
+// application/openmetrics-text negotiates OpenMetrics 1.0, which adds
+// trace-id exemplars on the latency histograms and the # EOF terminator.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	if err := trace.WritePrometheus(w, s.sess.Fleet.Snapshot()); err != nil {
+	om := trace.AcceptsOpenMetrics(r.Header.Get("Accept"))
+	if om {
+		w.Header().Set("Content-Type", trace.OpenMetricsContentType)
+	} else {
+		w.Header().Set("Content-Type", trace.PrometheusContentType)
+	}
+	b := trace.NewMetricWriter(w, om)
+	snap := s.sess.Fleet.Snapshot()
+	if om {
+		if err := trace.WriteOpenMetrics(w, snap); err != nil {
+			return
+		}
+	} else if err := trace.WritePrometheus(w, snap); err != nil {
 		return
 	}
 	cs := s.cache.stats()
 	as := s.adm.stats()
-	fmt.Fprintf(w, "# HELP aqld_plan_cache_entries Prepared plans currently cached.\n")
-	fmt.Fprintf(w, "# TYPE aqld_plan_cache_entries gauge\n")
-	fmt.Fprintf(w, "aqld_plan_cache_entries %d\n", cs.Size)
-	fmt.Fprintf(w, "# HELP aqld_plan_cache_events_total Plan cache events by kind.\n")
-	fmt.Fprintf(w, "# TYPE aqld_plan_cache_events_total counter\n")
-	fmt.Fprintf(w, "aqld_plan_cache_events_total{event=\"hit\"} %d\n", cs.Hits)
-	fmt.Fprintf(w, "aqld_plan_cache_events_total{event=\"miss\"} %d\n", cs.Misses)
-	fmt.Fprintf(w, "aqld_plan_cache_events_total{event=\"eviction\"} %d\n", cs.Evictions)
-	fmt.Fprintf(w, "aqld_plan_cache_events_total{event=\"invalidation\"} %d\n", cs.Invalidations)
-	fmt.Fprintf(w, "# HELP aqld_admission_active Queries currently executing.\n")
-	fmt.Fprintf(w, "# TYPE aqld_admission_active gauge\n")
-	fmt.Fprintf(w, "aqld_admission_active %d\n", as.Active)
-	fmt.Fprintf(w, "# HELP aqld_admission_queued Queries currently waiting for a slot.\n")
-	fmt.Fprintf(w, "# TYPE aqld_admission_queued gauge\n")
-	fmt.Fprintf(w, "aqld_admission_queued %d\n", as.Queued)
-	fmt.Fprintf(w, "# HELP aqld_admission_total Admission outcomes by kind.\n")
-	fmt.Fprintf(w, "# TYPE aqld_admission_total counter\n")
-	fmt.Fprintf(w, "aqld_admission_total{outcome=\"admitted\"} %d\n", as.Admitted)
-	fmt.Fprintf(w, "aqld_admission_total{outcome=\"queue_full\"} %d\n", as.RejectedFull)
-	fmt.Fprintf(w, "aqld_admission_total{outcome=\"queue_timeout\"} %d\n", as.RejectedWait)
-	fmt.Fprintf(w, "aqld_admission_total{outcome=\"cancelled\"} %d\n", as.Cancelled)
+	b.Header("aqld_plan_cache_entries", "gauge", "Prepared plans currently cached.")
+	b.Val("aqld_plan_cache_entries", "", int64(cs.Size))
+	b.Header("aqld_plan_cache_events_total", "counter", "Plan cache events by kind.")
+	b.Val("aqld_plan_cache_events_total", `event="hit"`, cs.Hits)
+	b.Val("aqld_plan_cache_events_total", `event="miss"`, cs.Misses)
+	b.Val("aqld_plan_cache_events_total", `event="eviction"`, cs.Evictions)
+	b.Val("aqld_plan_cache_events_total", `event="invalidation"`, cs.Invalidations)
+	b.Header("aqld_admission_active", "gauge", "Queries currently executing.")
+	b.Val("aqld_admission_active", "", int64(as.Active))
+	b.Header("aqld_admission_queued", "gauge", "Queries currently waiting for a slot.")
+	b.Val("aqld_admission_queued", "", int64(as.Queued))
+	b.Header("aqld_admission_total", "counter", "Admission outcomes by kind.")
+	b.Val("aqld_admission_total", `outcome="admitted"`, as.Admitted)
+	b.Val("aqld_admission_total", `outcome="queue_full"`, as.RejectedFull)
+	b.Val("aqld_admission_total", `outcome="queue_timeout"`, as.RejectedWait)
+	b.Val("aqld_admission_total", `outcome="cancelled"`, as.Cancelled)
 	qh := s.adm.queueWaitHistogram()
-	fmt.Fprintf(w, "# HELP aqld_admission_queue_seconds Time spent queued for an execution slot.\n")
-	fmt.Fprintf(w, "# TYPE aqld_admission_queue_seconds histogram\n")
+	b.Header("aqld_admission_queue_seconds", "histogram", "Time spent queued for an execution slot.")
 	for i, le := range qh.Buckets {
-		fmt.Fprintf(w, "aqld_admission_queue_seconds_bucket{le=\"%g\"} %d\n", le, qh.Counts[i])
+		b.Val("aqld_admission_queue_seconds_bucket", `le="`+strconv.FormatFloat(le, 'g', -1, 64)+`"`, qh.Counts[i])
 	}
-	fmt.Fprintf(w, "aqld_admission_queue_seconds_bucket{le=\"+Inf\"} %d\n", qh.Counts[len(qh.Buckets)])
-	fmt.Fprintf(w, "aqld_admission_queue_seconds_sum %g\n", qh.Sum.Seconds())
-	fmt.Fprintf(w, "aqld_admission_queue_seconds_count %d\n", qh.Counts[len(qh.Buckets)])
+	b.Val("aqld_admission_queue_seconds_bucket", `le="+Inf"`, qh.Counts[len(qh.Buckets)])
+	b.Valf("aqld_admission_queue_seconds_sum", "", qh.Sum.Seconds())
+	b.Val("aqld_admission_queue_seconds_count", "", qh.Counts[len(qh.Buckets)])
 	if coord := s.cfg.Coordinator; coord != nil {
 		st := coord.Stats()
-		fmt.Fprintf(w, "# HELP aqld_cluster_queries_total Scatter-gather query executions.\n")
-		fmt.Fprintf(w, "# TYPE aqld_cluster_queries_total counter\n")
-		fmt.Fprintf(w, "aqld_cluster_queries_total %d\n", st.Queries.Load())
-		fmt.Fprintf(w, "# HELP aqld_cluster_shards_total Shards dispatched, by terminal executor.\n")
-		fmt.Fprintf(w, "# TYPE aqld_cluster_shards_total counter\n")
-		fmt.Fprintf(w, "aqld_cluster_shards_total{executor=\"remote\"} %d\n", st.RemoteShards.Load())
-		fmt.Fprintf(w, "aqld_cluster_shards_total{executor=\"local\"} %d\n", st.LocalShards.Load())
-		fmt.Fprintf(w, "# HELP aqld_cluster_events_total Robustness-envelope events by kind.\n")
-		fmt.Fprintf(w, "# TYPE aqld_cluster_events_total counter\n")
-		fmt.Fprintf(w, "aqld_cluster_events_total{event=\"retry\"} %d\n", st.Retries.Load())
-		fmt.Fprintf(w, "aqld_cluster_events_total{event=\"hedge\"} %d\n", st.Hedges.Load())
-		fmt.Fprintf(w, "aqld_cluster_events_total{event=\"hedge_win\"} %d\n", st.HedgeWins.Load())
-		fmt.Fprintf(w, "aqld_cluster_events_total{event=\"breaker_open\"} %d\n", st.BreakerOpens.Load())
-		fmt.Fprintf(w, "aqld_cluster_events_total{event=\"breaker_close\"} %d\n", st.BreakerCloses.Load())
-		fmt.Fprintf(w, "aqld_cluster_events_total{event=\"degraded\"} %d\n", st.DegradedTotal.Load())
+		b.Header("aqld_cluster_queries_total", "counter", "Scatter-gather query executions.")
+		b.Val("aqld_cluster_queries_total", "", st.Queries.Load())
+		b.Header("aqld_cluster_shards_total", "counter", "Shards dispatched, by terminal executor.")
+		b.Val("aqld_cluster_shards_total", `executor="remote"`, st.RemoteShards.Load())
+		b.Val("aqld_cluster_shards_total", `executor="local"`, st.LocalShards.Load())
+		b.Header("aqld_cluster_events_total", "counter", "Robustness-envelope events by kind.")
+		b.Val("aqld_cluster_events_total", `event="retry"`, st.Retries.Load())
+		b.Val("aqld_cluster_events_total", `event="hedge"`, st.Hedges.Load())
+		b.Val("aqld_cluster_events_total", `event="hedge_win"`, st.HedgeWins.Load())
+		b.Val("aqld_cluster_events_total", `event="breaker_open"`, st.BreakerOpens.Load())
+		b.Val("aqld_cluster_events_total", `event="breaker_close"`, st.BreakerCloses.Load())
+		b.Val("aqld_cluster_events_total", `event="degraded"`, st.DegradedTotal.Load())
+		b.Histogram("aqld_cluster_shard_seconds",
+			"Shard round-trip time, first dispatch to winning response.", coord.ShardLatency())
 	}
+	b.WriteEOF()
 }
 
 func (s *Server) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.sess.Flight.Reports())
+}
+
+// handleDebugPlanStats dumps the per-plan stats store: one aggregated
+// runtime profile per plan-cache key.
+func (s *Server) handleDebugPlanStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.planStats.Snapshot())
+}
+
+// handleDebugTrace serves one retained query report as Chrome trace-event
+// JSON, looked up by request id or trace id — load the body straight into
+// chrome://tracing or Perfetto.
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	rep, ok := s.sess.Flight.Find(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrorInfo{Kind: "request",
+			Message: "no retained report with id or trace id " + r.PathValue("id")})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = trace.WriteChromeTrace(w, &rep)
 }
 
 func (s *Server) handleDebugServer(w http.ResponseWriter, r *http.Request) {

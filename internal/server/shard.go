@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime/debug"
+	"time"
 
 	"github.com/aqldb/aql/internal/compile"
 	"github.com/aqldb/aql/internal/exchange"
@@ -34,8 +35,18 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Trace context: the coordinator ships it in the body (authoritative)
+	// and as a traceparent header; either identifies this shard's report as
+	// part of the distributed query's trace.
+	traceID := req.TraceID
+	if traceID == "" {
+		if tc, ok := trace.ParseTraceparent(r.Header.Get("traceparent")); ok {
+			traceID = tc.TraceID
+		}
+	}
+
 	ctx := r.Context()
-	release, _, err := s.adm.acquire(ctx)
+	release, waited, err := s.adm.acquire(ctx)
 	if err != nil {
 		status, info := admissionHTTP(err)
 		writeShardError(w, status, info.Kind, info.Message, -1, "")
@@ -48,12 +59,15 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 
 	// Shard executions record like queries: the worker's fleet totals and
 	// flight recorder reflect shard work, attributable via the "shard"
-	// mode stamp.
+	// mode stamp and the shared trace id.
 	rec := trace.NewRecorder(trace.MultiSink{s.sess.Fleet, s.sess.Flight})
 	rec.Begin(norm)
+	rec.RecordID(id)
+	rec.RecordTraceID(traceID)
 	rec.RecordMode("shard")
+	rec.RecordQueueWait(waited)
 
-	p, hit, err := s.plan(norm, rec)
+	p, _, hit, err := s.plan(norm, rec)
 	if err != nil {
 		rec.End(err)
 		info, status := compileHTTP(err)
@@ -82,7 +96,7 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 			Iterations:  res.Counters.Iters,
 		})
 	}
-	rec.End(err)
+	rep := rec.End(err)
 	if err != nil {
 		info, status := execHTTP(err)
 		off := int64(-1)
@@ -94,17 +108,21 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	cnt := exchange.ShardCounters{
+		Steps:       res.Counters.Steps,
+		Cells:       res.Counters.Cells,
+		Tabulations: res.Counters.Tabs,
+		SetOps:      res.Counters.SetOps,
+		Iterations:  res.Counters.Iters,
+	}
 	resp := exchange.ShardResponse{
-		ID:        id,
-		Cached:    hit,
-		BottomOff: res.BottomOff,
-		Eval: exchange.ShardCounters{
-			Steps:       res.Counters.Steps,
-			Cells:       res.Counters.Cells,
-			Tabulations: res.Counters.Tabs,
-			SetOps:      res.Counters.SetOps,
-			Iterations:  res.Counters.Iters,
-		},
+		ID:          id,
+		Cached:      hit,
+		BottomOff:   res.BottomOff,
+		Eval:        cnt,
+		TraceID:     traceID,
+		QueueWaitNS: int64(waited),
+		Spans:       workerSpanTree(rep, waited, cnt),
 	}
 	if res.BottomOff >= 0 {
 		// The ⊥ decides the whole tabulation; its diagnostic travels as a
@@ -121,6 +139,36 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 		resp.Values = text
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// workerSpanTree builds the phase-level span subtree a worker returns for
+// stitching: a "worker" root spanning queue wait plus pipeline, with one
+// child per phase that actually ran (a plan-cache hit therefore shows no
+// prepare children) and the eval child carrying all of the shard's
+// counters. Programs compile unprofiled closures, so the worker's tree is
+// phase-granular, not operator-granular — the coordinator's stitching
+// invariants (exact counter sums, self-time consistency) hold regardless.
+func workerSpanTree(rep *trace.QueryReport, waited time.Duration, cnt exchange.ShardCounters) *exchange.Span {
+	root := &exchange.Span{Op: trace.SpanWorker, WallNS: int64(rep.Wall + waited)}
+	var kids int64
+	add := func(op string, wall int64, eval exchange.ShardCounters) {
+		root.Children = append(root.Children, &exchange.Span{Op: op, WallNS: wall, SelfNS: wall, Eval: eval})
+		kids += wall
+	}
+	if waited > 0 {
+		add(trace.SpanQueueWait, int64(waited), exchange.ShardCounters{})
+	}
+	for _, p := range rep.Phases {
+		if p.Name == trace.PhaseEval {
+			continue
+		}
+		add(p.Name, int64(p.Wall), exchange.ShardCounters{})
+	}
+	add(trace.SpanEval, int64(rep.Phase(trace.PhaseEval)), cnt)
+	if self := root.WallNS - kids; self > 0 {
+		root.SelfNS = self
+	}
+	return root
 }
 
 // executeRangeGuarded is ExecuteRange behind the server's panic boundary,

@@ -28,11 +28,13 @@ const DefaultFlightCap = 64
 
 // SlowQuery is one entry of the bounded slow-query log.
 type SlowQuery struct {
-	Query  string        `json:"query"`
-	Engine string        `json:"engine,omitempty"`
-	Start  time.Time     `json:"start"`
-	Wall   time.Duration `json:"wall_ns"`
-	Err    string        `json:"err,omitempty"`
+	Query   string        `json:"query"`
+	ID      string        `json:"id,omitempty"`
+	TraceID string        `json:"trace_id,omitempty"`
+	Engine  string        `json:"engine,omitempty"`
+	Start   time.Time     `json:"start"`
+	Wall    time.Duration `json:"wall_ns"`
+	Err     string        `json:"err,omitempty"`
 }
 
 // Aggregator accumulates fleet-wide statistics across queries: a
@@ -40,12 +42,13 @@ type SlowQuery struct {
 // counts, evaluator and NetCDF I/O totals, and a bounded slow-query log.
 // It implements Sink; attach it to a Recorder (possibly via MultiSink).
 type Aggregator struct {
-	mu      sync.Mutex
-	totals  Totals
-	buckets [nLatencyBuckets + 1]int64 // per-bucket counts; last is +Inf
-	rules   map[string]int64
-	slow    []SlowQuery // sorted by Wall, slowest first
-	slowCap int
+	mu        sync.Mutex
+	totals    Totals
+	buckets   [nLatencyBuckets + 1]int64 // per-bucket counts; last is +Inf
+	exemplars [nLatencyBuckets + 1]*Exemplar
+	rules     map[string]int64
+	slow      []SlowQuery // sorted by Wall, slowest first
+	slowCap   int
 }
 
 // NewAggregator returns an aggregator keeping the slowCap slowest queries
@@ -65,11 +68,21 @@ func (a *Aggregator) Emit(r *QueryReport) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.totals.add(r)
-	a.buckets[bucketFor(r.Wall)]++
+	bi := bucketFor(r.Wall)
+	a.buckets[bi]++
+	if r.TraceID != "" {
+		// Latest traced observation per bucket becomes the exemplar: the
+		// OpenMetrics hook from "this bucket is hot" to a concrete trace.
+		a.exemplars[bi] = &Exemplar{
+			TraceID: r.TraceID,
+			Value:   r.Wall.Seconds(),
+			Ts:      float64(r.Start.Add(r.Wall).UnixNano()) / 1e9,
+		}
+	}
 	for _, f := range r.Rules {
 		a.rules[f.Rule]++
 	}
-	sq := SlowQuery{Query: r.Query, Engine: r.Engine, Start: r.Start, Wall: r.Wall, Err: r.Err}
+	sq := SlowQuery{Query: r.Query, ID: r.ID, TraceID: r.TraceID, Engine: r.Engine, Start: r.Start, Wall: r.Wall, Err: r.Err}
 	i := sort.Search(len(a.slow), func(i int) bool { return a.slow[i].Wall < sq.Wall })
 	if i < a.slowCap {
 		a.slow = append(a.slow, SlowQuery{})
@@ -98,6 +111,10 @@ type AggregateSnapshot struct {
 	// wall time in (LatencyBucketBound(i-1), LatencyBucketBound(i)], and the
 	// final element counts the overflow (+Inf) bucket.
 	Buckets []int64 `json:"latency_buckets"`
+	// Exemplars holds, per latency bucket, the most recent traced
+	// observation that landed there (nil for untraced buckets); indexes
+	// parallel Buckets. Rendered only by the OpenMetrics exposition.
+	Exemplars []*Exemplar `json:"exemplars,omitempty"`
 	// Rules counts optimizer rule firings by rule name.
 	Rules map[string]int64 `json:"rule_firings"`
 	// Slow lists the slowest queries seen, slowest first.
@@ -112,12 +129,19 @@ func (a *Aggregator) Snapshot() AggregateSnapshot {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	s := AggregateSnapshot{
-		Totals:  a.totals.clone(),
-		Buckets: make([]int64, len(a.buckets)),
-		Rules:   make(map[string]int64, len(a.rules)),
-		Slow:    make([]SlowQuery, len(a.slow)),
+		Totals:    a.totals.clone(),
+		Buckets:   make([]int64, len(a.buckets)),
+		Exemplars: make([]*Exemplar, len(a.exemplars)),
+		Rules:     make(map[string]int64, len(a.rules)),
+		Slow:      make([]SlowQuery, len(a.slow)),
 	}
 	copy(s.Buckets, a.buckets[:])
+	for i, ex := range a.exemplars {
+		if ex != nil {
+			cp := *ex
+			s.Exemplars[i] = &cp
+		}
+	}
 	for k, v := range a.rules {
 		s.Rules[k] = v
 	}
@@ -133,6 +157,7 @@ func (a *Aggregator) Reset() {
 	a.mu.Lock()
 	a.totals = Totals{}
 	a.buckets = [nLatencyBuckets + 1]int64{}
+	a.exemplars = [nLatencyBuckets + 1]*Exemplar{}
 	a.rules = map[string]int64{}
 	a.slow = nil
 	a.mu.Unlock()
@@ -191,6 +216,30 @@ func (f *FlightRecorder) Total() int64 {
 	return f.total
 }
 
+// Find returns a copy of the newest retained report whose request ID or
+// trace ID equals id. This is what /debug/trace/{id} serves: the retention
+// story for stitched traces is simply that they ride the flight recorder's
+// ring alongside every other report.
+func (f *FlightRecorder) Find(id string) (QueryReport, bool) {
+	if f == nil || id == "" {
+		return QueryReport{}, false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := len(f.buf)
+	if !f.full {
+		n = f.next
+	}
+	// Scan newest to oldest.
+	for k := 1; k <= n; k++ {
+		i := (f.next - k + len(f.buf)) % len(f.buf)
+		if f.buf[i].ID == id || f.buf[i].TraceID == id {
+			return f.buf[i], true
+		}
+	}
+	return QueryReport{}, false
+}
+
 // Reports returns the retained reports, oldest first.
 func (f *FlightRecorder) Reports() []QueryReport {
 	if f == nil {
@@ -208,4 +257,64 @@ func (f *FlightRecorder) Reports() []QueryReport {
 		copy(out, f.buf[:f.next])
 	}
 	return out
+}
+
+// ExemplarHistogram is a concurrency-safe log-2 latency histogram whose
+// buckets carry trace-id exemplars, for histograms outside the Aggregator's
+// fleet snapshot (the coordinator's shard round-trip distribution).
+type ExemplarHistogram struct {
+	mu        sync.Mutex
+	buckets   [nLatencyBuckets + 1]int64
+	exemplars [nLatencyBuckets + 1]*Exemplar
+	sum       time.Duration
+	count     int64
+}
+
+// Observe folds one observation in; ts is when it completed.
+func (h *ExemplarHistogram) Observe(d time.Duration, traceID string, ts time.Time) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	bi := bucketFor(d)
+	h.buckets[bi]++
+	h.sum += d
+	h.count++
+	if traceID != "" {
+		h.exemplars[bi] = &Exemplar{TraceID: traceID, Value: d.Seconds(), Ts: float64(ts.UnixNano()) / 1e9}
+	}
+}
+
+// HistogramSnapshot is a consistent copy of an ExemplarHistogram, in the
+// shape MetricWriter.Histogram renders: per-bucket counts (last is +Inf)
+// with parallel exemplars, plus sum and count.
+type HistogramSnapshot struct {
+	Buckets   []int64       `json:"buckets"`
+	Exemplars []*Exemplar   `json:"exemplars,omitempty"`
+	Sum       time.Duration `json:"sum_ns"`
+	Count     int64         `json:"count"`
+}
+
+// Snapshot returns a copy safe to read without locks.
+func (h *ExemplarHistogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{
+		Buckets:   make([]int64, len(h.buckets)),
+		Exemplars: make([]*Exemplar, len(h.exemplars)),
+		Sum:       h.sum,
+		Count:     h.count,
+	}
+	copy(s.Buckets, h.buckets[:])
+	for i, ex := range h.exemplars {
+		if ex != nil {
+			cp := *ex
+			s.Exemplars[i] = &cp
+		}
+	}
+	return s
 }

@@ -1,0 +1,168 @@
+package trace
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"strings"
+)
+
+// Distributed trace context: the identity a query carries across processes
+// so one logical execution — a client call fanning out to a coordinator and
+// N worker aqlds — assembles into a single trace. The wire format is the
+// W3C Trace Context `traceparent` header,
+//
+//	00-<32 hex trace-id>-<16 hex parent-span-id>-<2 hex flags>
+//
+// which aqld honors inbound on POST /query (adopting the caller's trace id)
+// and forwards on every POST /shard, so external tracing infrastructure and
+// aqld's own stitched QueryReports agree on trace identity.
+
+// TraceContext identifies one distributed trace: the trace id shared by
+// every span of the query, the span id of the caller's span (the parent of
+// whatever span the receiver opens), and the sampled flag.
+type TraceContext struct {
+	// TraceID is 32 lowercase hex digits, non-zero.
+	TraceID string `json:"trace_id"`
+	// ParentSpanID is 16 lowercase hex digits, non-zero.
+	ParentSpanID string `json:"parent_span_id"`
+	// Sampled is the W3C sampled flag (01); aqld echoes it downstream.
+	Sampled bool `json:"sampled"`
+}
+
+// IsZero reports whether the context carries no trace identity.
+func (tc TraceContext) IsZero() bool { return tc.TraceID == "" }
+
+// Traceparent renders the context as a W3C traceparent header value.
+func (tc TraceContext) Traceparent() string {
+	flags := "00"
+	if tc.Sampled {
+		flags = "01"
+	}
+	parent := tc.ParentSpanID
+	if parent == "" {
+		parent = "0000000000000001"
+	}
+	return "00-" + tc.TraceID + "-" + parent + "-" + flags
+}
+
+// Child returns a context with the same trace id but spanID as the parent:
+// what a server forwards downstream after opening its own span.
+func (tc TraceContext) Child(spanID string) TraceContext {
+	return TraceContext{TraceID: tc.TraceID, ParentSpanID: spanID, Sampled: tc.Sampled}
+}
+
+// ParseTraceparent parses a W3C traceparent header value. It accepts any
+// version whose first four fields are laid out like version 00 (per the
+// spec, unknown versions parse forward-compatibly) and rejects malformed,
+// all-zero, or wrong-length ids.
+func ParseTraceparent(h string) (TraceContext, bool) {
+	h = strings.TrimSpace(h)
+	parts := strings.Split(h, "-")
+	if len(parts) < 4 {
+		return TraceContext{}, false
+	}
+	version, traceID, spanID, flags := parts[0], parts[1], parts[2], parts[3]
+	if len(version) != 2 || !isHex(version) || version == "ff" {
+		return TraceContext{}, false
+	}
+	if version == "00" && len(parts) != 4 {
+		return TraceContext{}, false
+	}
+	if len(traceID) != 32 || !isHex(traceID) || allZero(traceID) {
+		return TraceContext{}, false
+	}
+	if len(spanID) != 16 || !isHex(spanID) || allZero(spanID) {
+		return TraceContext{}, false
+	}
+	if len(flags) != 2 || !isHex(flags) {
+		return TraceContext{}, false
+	}
+	return TraceContext{
+		TraceID:      strings.ToLower(traceID),
+		ParentSpanID: strings.ToLower(spanID),
+		Sampled:      hexByte(flags)&0x01 != 0,
+	}, true
+}
+
+// NewTraceContext mints a fresh sampled context with random trace and span
+// ids (the root of a new trace).
+func NewTraceContext() TraceContext {
+	return TraceContext{TraceID: randHex(16), ParentSpanID: NewSpanID(), Sampled: true}
+}
+
+// NewSpanID mints a random 16-hex-digit span id.
+func NewSpanID() string { return randHex(8) }
+
+// randHex returns 2n lowercase hex digits of cryptographic randomness,
+// guaranteed non-zero.
+func randHex(n int) string {
+	b := make([]byte, n)
+	for {
+		if _, err := rand.Read(b); err != nil {
+			// crypto/rand never fails on supported platforms; if it somehow
+			// does, a fixed id is still a valid (if colliding) identity.
+			for i := range b {
+				b[i] = byte(i + 1)
+			}
+		}
+		if !bytesAllZero(b) {
+			return hex.EncodeToString(b)
+		}
+	}
+}
+
+func bytesAllZero(b []byte) bool {
+	for _, c := range b {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f' || 'A' <= c && c <= 'F') {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+func allZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}
+
+func hexByte(s string) byte {
+	v, _ := hex.DecodeString(strings.ToLower(s))
+	if len(v) == 0 {
+		return 0
+	}
+	return v[0]
+}
+
+// requestIDMaxLen caps client-supplied request ids (X-Request-ID).
+const requestIDMaxLen = 64
+
+// SanitizeRequestID makes a client-supplied request id safe to echo in
+// logs, reports and headers: only [A-Za-z0-9._:-] survive, length is capped
+// at 64, and an id that sanitizes to nothing returns "" (callers then mint
+// their own).
+func SanitizeRequestID(id string) string {
+	var b strings.Builder
+	for i := 0; i < len(id) && b.Len() < requestIDMaxLen; i++ {
+		c := id[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9',
+			c == '.', c == '_', c == ':', c == '-':
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}

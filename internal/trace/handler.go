@@ -14,16 +14,44 @@ type metricsPayload struct {
 }
 
 // querySummary is the compact per-query line of the summary endpoint; the
-// full reports (span trees included) live on /debug/queries.
+// full reports (span trees included) live on /debug/queries. It mirrors
+// every dimension a debugging session pivots on: request/trace ids,
+// admission queue wait, execution mode and per-shard dispatch outcomes were
+// once dropped here, which made the summary view useless for exactly the
+// overloaded-cluster investigations it exists for.
 type querySummary struct {
 	Query       string       `json:"query"`
+	ID          string       `json:"id,omitempty"`
+	TraceID     string       `json:"trace_id,omitempty"`
 	WallNanos   int64        `json:"wall_ns"`
+	QueueWait   int64        `json:"queue_wait_ns,omitempty"`
+	Mode        string       `json:"mode,omitempty"`
 	Eval        EvalCounters `json:"eval"`
 	IO          IOCounters   `json:"io,omitempty"`
 	RuleFirings int          `json:"rule_firings"`
 	NodesBefore int          `json:"nodes_before"`
 	NodesAfter  int          `json:"nodes_after"`
+	Shards      []ShardSpan  `json:"shards,omitempty"`
 	Err         string       `json:"err,omitempty"`
+}
+
+// summarize renders one report as its summary line.
+func summarize(rep *QueryReport) querySummary {
+	return querySummary{
+		Query:       rep.Query,
+		ID:          rep.ID,
+		TraceID:     rep.TraceID,
+		WallNanos:   int64(rep.Wall),
+		QueueWait:   int64(rep.QueueWait),
+		Mode:        rep.Mode,
+		Eval:        rep.Eval,
+		IO:          rep.IO,
+		RuleFirings: len(rep.Rules) + rep.RulesDropped,
+		NodesBefore: rep.NodesBefore,
+		NodesAfter:  rep.NodesAfter,
+		Shards:      rep.Shards,
+		Err:         rep.Err,
+	}
 }
 
 // Handler serves the recorder-only observability endpoints; kept for
@@ -32,11 +60,14 @@ func Handler(r *Recorder) http.Handler { return NewHandler(r, nil, nil) }
 
 // NewHandler routes the -metricsaddr observability surface:
 //
-//	GET /              JSON summary: cumulative totals + recent queries
-//	GET /metrics       Prometheus text exposition (requires agg)
-//	GET /debug/queries flight-recorder contents as JSON (requires flight)
-//	GET /debug/slow    slow-query log as JSON (requires agg)
-//	/debug/pprof/...   standard net/http/pprof handlers
+//	GET /                JSON summary: cumulative totals + recent queries
+//	GET /metrics         Prometheus text exposition (requires agg); serves
+//	                     OpenMetrics with exemplars when Accept asks for it
+//	GET /debug/queries   flight-recorder contents as JSON (requires flight)
+//	GET /debug/trace/{id} one retained report as Chrome trace-event JSON,
+//	                     looked up by request or trace id (requires flight)
+//	GET /debug/slow      slow-query log as JSON (requires agg)
+//	/debug/pprof/...     standard net/http/pprof handlers
 //
 // Every endpoint sets its Content-Type; unknown paths get 404 and non-GET
 // methods on known paths get 405. Endpoints whose backing component is nil
@@ -49,17 +80,7 @@ func NewHandler(r *Recorder, agg *Aggregator, flight *FlightRecorder) http.Handl
 		recent := r.Recent()
 		payload := metricsPayload{Totals: r.Totals(), Recent: make([]querySummary, 0, len(recent))}
 		for i := range recent {
-			rep := &recent[i]
-			payload.Recent = append(payload.Recent, querySummary{
-				Query:       rep.Query,
-				WallNanos:   int64(rep.Wall),
-				Eval:        rep.Eval,
-				IO:          rep.IO,
-				RuleFirings: len(rep.Rules) + rep.RulesDropped,
-				NodesBefore: rep.NodesBefore,
-				NodesAfter:  rep.NodesAfter,
-				Err:         rep.Err,
-			})
+			payload.Recent = append(payload.Recent, summarize(&recent[i]))
 		}
 		serveJSON(w, payload)
 	})
@@ -69,8 +90,29 @@ func NewHandler(r *Recorder, agg *Aggregator, flight *FlightRecorder) http.Handl
 			http.NotFound(w, req)
 			return
 		}
+		if AcceptsOpenMetrics(req.Header.Get("Accept")) {
+			w.Header().Set("Content-Type", OpenMetricsContentType)
+			b := NewMetricWriter(w, true)
+			writeFleetMetrics(b, agg.Snapshot())
+			b.WriteEOF()
+			return
+		}
 		w.Header().Set("Content-Type", PrometheusContentType)
 		_ = WritePrometheus(w, agg.Snapshot())
+	})
+
+	mux.HandleFunc("GET /debug/trace/{id}", func(w http.ResponseWriter, req *http.Request) {
+		if flight == nil {
+			http.NotFound(w, req)
+			return
+		}
+		rep, ok := flight.Find(req.PathValue("id"))
+		if !ok {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteChromeTrace(w, &rep)
 	})
 
 	mux.HandleFunc("GET /debug/queries", func(w http.ResponseWriter, req *http.Request) {

@@ -1,0 +1,229 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Per-plan runtime statistics: the durable substrate the feedback-directed
+// optimizer roadmap item reads. A PlanStatsStore aggregates stitched
+// QueryReports by plan-cache key into per-plan profiles — observed cell
+// counts, a span self-time profile by operator, worker busy-balance, shard
+// retry/hedge rates, and an EWMA latency — that survive individual
+// reports' eviction from the flight recorder.
+
+// ewmaAlpha weights new observations in the exponentially-weighted moving
+// averages (≈ the last ~10 queries dominate).
+const ewmaAlpha = 0.2
+
+// DefaultPlanStatsCap bounds how many distinct plans a store tracks.
+const DefaultPlanStatsCap = 1024
+
+// OpProfile is the cumulative self-profile of one span operator across a
+// plan's executions.
+type OpProfile struct {
+	SelfNS int64 `json:"self_ns"`
+	Steps  int64 `json:"steps,omitempty"`
+	Cells  int64 `json:"cells,omitempty"`
+}
+
+// PlanStats is the aggregated runtime profile of one prepared plan.
+type PlanStats struct {
+	// Key is the plan-cache key the stats aggregate over.
+	Key string `json:"key"`
+	// Queries / Errors / CacheHits count executions of the plan.
+	Queries   int64 `json:"queries"`
+	Errors    int64 `json:"errors,omitempty"`
+	CacheHits int64 `json:"cache_hits"`
+	// Cells tracks observed cell counts: the last execution's, the total,
+	// and an EWMA (the adaptive threshold chooser's input).
+	CellsLast  int64   `json:"cells_last"`
+	CellsTotal int64   `json:"cells_total"`
+	CellsEWMA  float64 `json:"cells_ewma"`
+	// LatencyLast / LatencyEWMA track wall time per execution.
+	LatencyLast time.Duration `json:"latency_last_ns"`
+	LatencyEWMA time.Duration `json:"latency_ewma_ns"`
+	// SelfTime profiles where evaluation time went, by span operator,
+	// accumulated from the report's (stitched or profiled) span tree.
+	SelfTime map[string]*OpProfile `json:"self_time_by_op,omitempty"`
+	// Shard dispatch profile of distributed executions.
+	ShardsPlanned int64 `json:"shards_planned,omitempty"`
+	ShardsRemote  int64 `json:"shards_remote,omitempty"`
+	ShardsLocal   int64 `json:"shards_local,omitempty"`
+	ShardRetries  int64 `json:"shard_retries,omitempty"`
+	ShardHedges   int64 `json:"shard_hedges,omitempty"`
+	// BalanceEWMA tracks worker busy-balance: max shard wall over mean
+	// shard wall per distributed execution (1.0 = perfectly balanced),
+	// smoothed. Zero when the plan never scattered.
+	BalanceEWMA float64 `json:"balance_ewma,omitempty"`
+	// LastSeen orders eviction and tells drift detectors how stale the
+	// profile is.
+	LastSeen time.Time `json:"last_seen"`
+}
+
+// observe folds one report into the stats.
+func (p *PlanStats) observe(r *QueryReport) {
+	p.Queries++
+	if r.Err != "" {
+		p.Errors++
+	}
+	if r.Cached {
+		p.CacheHits++
+	}
+	p.CellsLast = r.Eval.Cells
+	p.CellsTotal += r.Eval.Cells
+	p.CellsEWMA += ewmaAlpha * (float64(r.Eval.Cells) - p.CellsEWMA)
+	p.LatencyLast = r.Wall
+	p.LatencyEWMA += time.Duration(ewmaAlpha * float64(r.Wall-p.LatencyEWMA))
+	p.LastSeen = r.Start.Add(r.Wall)
+
+	if r.Spans != nil {
+		if p.SelfTime == nil {
+			p.SelfTime = map[string]*OpProfile{}
+		}
+		r.Spans.Walk(func(n *SpanNode) {
+			op := p.SelfTime[n.Op]
+			if op == nil {
+				op = &OpProfile{}
+				p.SelfTime[n.Op] = op
+			}
+			op.SelfNS += int64(n.WallSelf)
+			op.Steps += n.Steps
+			op.Cells += n.Cells
+		})
+	}
+
+	if len(r.Shards) > 0 {
+		var sum, max time.Duration
+		for i := range r.Shards {
+			sh := &r.Shards[i]
+			p.ShardsPlanned++
+			if sh.Worker == "local" {
+				p.ShardsLocal++
+			} else {
+				p.ShardsRemote++
+			}
+			if sh.Attempts > 1 {
+				p.ShardRetries += int64(sh.Attempts - 1)
+			}
+			if sh.Hedged {
+				p.ShardHedges++
+			}
+			sum += sh.Wall
+			if sh.Wall > max {
+				max = sh.Wall
+			}
+		}
+		if mean := sum / time.Duration(len(r.Shards)); mean > 0 {
+			balance := float64(max) / float64(mean)
+			if p.BalanceEWMA == 0 {
+				p.BalanceEWMA = balance
+			} else {
+				p.BalanceEWMA += ewmaAlpha * (balance - p.BalanceEWMA)
+			}
+		}
+	}
+}
+
+// clone deep-copies the stats for lock-free reading.
+func (p *PlanStats) clone() PlanStats {
+	out := *p
+	if p.SelfTime != nil {
+		out.SelfTime = make(map[string]*OpProfile, len(p.SelfTime))
+		for k, v := range p.SelfTime {
+			cp := *v
+			out.SelfTime[k] = &cp
+		}
+	}
+	return out
+}
+
+// PlanStatsStore is a concurrency-safe store of PlanStats keyed by
+// plan-cache key. At capacity, observing a new key evicts the
+// least-recently-seen plan.
+type PlanStatsStore struct {
+	mu  sync.Mutex
+	cap int
+	m   map[string]*PlanStats
+	// evictions counts plans dropped at capacity.
+	evictions int64
+}
+
+// NewPlanStatsStore returns a store tracking at most capacity plans
+// (DefaultPlanStatsCap when capacity <= 0).
+func NewPlanStatsStore(capacity int) *PlanStatsStore {
+	if capacity <= 0 {
+		capacity = DefaultPlanStatsCap
+	}
+	return &PlanStatsStore{cap: capacity, m: map[string]*PlanStats{}}
+}
+
+// Observe folds one finished report into the stats of the plan key.
+func (s *PlanStatsStore) Observe(key string, r *QueryReport) {
+	if s == nil || r == nil || key == "" {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.m[key]
+	if p == nil {
+		if len(s.m) >= s.cap {
+			s.evictOldestLocked()
+		}
+		p = &PlanStats{Key: key}
+		s.m[key] = p
+	}
+	p.observe(r)
+}
+
+// evictOldestLocked drops the least-recently-seen plan.
+func (s *PlanStatsStore) evictOldestLocked() {
+	var oldestKey string
+	var oldest time.Time
+	first := true
+	for k, p := range s.m {
+		if first || p.LastSeen.Before(oldest) {
+			oldestKey, oldest, first = k, p.LastSeen, false
+		}
+	}
+	if oldestKey != "" {
+		delete(s.m, oldestKey)
+		s.evictions++
+	}
+}
+
+// Get returns a copy of the stats for key, if tracked.
+func (s *PlanStatsStore) Get(key string) (PlanStats, bool) {
+	if s == nil {
+		return PlanStats{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.m[key]
+	if !ok {
+		return PlanStats{}, false
+	}
+	return p.clone(), true
+}
+
+// PlanStatsSnapshot is the /debug/planstats document.
+type PlanStatsSnapshot struct {
+	Plans     []PlanStats `json:"plans"`
+	Evictions int64       `json:"evictions,omitempty"`
+}
+
+// Snapshot returns copies of every tracked plan's stats, sorted by key.
+func (s *PlanStatsStore) Snapshot() PlanStatsSnapshot {
+	if s == nil {
+		return PlanStatsSnapshot{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := PlanStatsSnapshot{Plans: make([]PlanStats, 0, len(s.m)), Evictions: s.evictions}
+	for _, p := range s.m {
+		out.Plans = append(out.Plans, p.clone())
+	}
+	sort.Slice(out.Plans, func(i, j int) bool { return out.Plans[i].Key < out.Plans[j].Key })
+	return out
+}

@@ -5,25 +5,73 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 )
 
-// PrometheusContentType is the content type of the text exposition format.
+// PrometheusContentType is the content type of the classic text exposition
+// format.
 const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// OpenMetricsContentType is the content type of the OpenMetrics 1.0 text
+// format (the one that admits exemplars).
+const OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// Exemplar links one histogram observation to the distributed trace that
+// produced it: the OpenMetrics mechanism by which "the p99 bucket is hot"
+// dereferences to a concrete slow query's stitched trace.
+type Exemplar struct {
+	TraceID string  `json:"trace_id"`
+	Value   float64 `json:"value"` // the observation, in the metric's unit
+	Ts      float64 `json:"ts"`    // unix seconds
+}
 
 // WritePrometheus renders the aggregate snapshot in the Prometheus text
 // exposition format (version 0.0.4), hand-rolled so the trace package stays
 // dependency-free. Output is deterministic: labelled series are sorted by
 // label value (phases in pipeline order first).
 func WritePrometheus(w io.Writer, s AggregateSnapshot) error {
-	b := &promWriter{w: w}
+	b := NewMetricWriter(w, false)
+	writeFleetMetrics(b, s)
+	return b.Err()
+}
 
-	b.header("aql_queries_total", "counter", "Queries executed.")
-	b.val("aql_queries_total", "", s.Totals.Queries)
-	b.header("aql_query_errors_total", "counter", "Queries that ended in an error.")
-	b.val("aql_query_errors_total", "", s.Totals.Errors)
+// WriteOpenMetrics renders the snapshot in the OpenMetrics 1.0 text format,
+// with trace-id exemplars attached to the latency histogram buckets. It
+// does NOT write the terminating "# EOF" line — callers appending their own
+// metric families (the query server does) write it once at the very end via
+// MetricWriter.WriteEOF or the OpenMetricsEOF constant.
+func WriteOpenMetrics(w io.Writer, s AggregateSnapshot) error {
+	b := NewMetricWriter(w, true)
+	writeFleetMetrics(b, s)
+	return b.Err()
+}
 
-	b.header("aql_query_duration_seconds", "histogram", "Query wall time, log-2 buckets.")
+// OpenMetricsEOF terminates an OpenMetrics exposition.
+const OpenMetricsEOF = "# EOF\n"
+
+// AcceptsOpenMetrics reports whether an Accept header asks for the
+// OpenMetrics format (how Prometheus scrapers opt into exemplars).
+func AcceptsOpenMetrics(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mt := strings.TrimSpace(part)
+		if i := strings.IndexByte(mt, ';'); i >= 0 {
+			mt = strings.TrimSpace(mt[:i])
+		}
+		if strings.EqualFold(mt, "application/openmetrics-text") {
+			return true
+		}
+	}
+	return false
+}
+
+func writeFleetMetrics(b *MetricWriter, s AggregateSnapshot) {
+	b.Header("aql_queries_total", "counter", "Queries executed.")
+	b.Val("aql_queries_total", "", s.Totals.Queries)
+	b.Header("aql_query_errors_total", "counter", "Queries that ended in an error.")
+	b.Val("aql_query_errors_total", "", s.Totals.Errors)
+
+	b.Header("aql_query_duration_seconds", "histogram", "Query wall time, log-2 buckets.")
 	var cum int64
 	for i, n := range s.Buckets {
 		cum += n
@@ -31,53 +79,55 @@ func WritePrometheus(w io.Writer, s AggregateSnapshot) error {
 		if i < nLatencyBuckets {
 			le = strconv.FormatFloat(LatencyBucketBound(i).Seconds(), 'g', -1, 64)
 		}
-		b.val("aql_query_duration_seconds_bucket", `le="`+le+`"`, cum)
+		var ex *Exemplar
+		if i < len(s.Exemplars) {
+			ex = s.Exemplars[i]
+		}
+		b.ValEx("aql_query_duration_seconds_bucket", `le="`+le+`"`, cum, ex)
 	}
-	b.valf("aql_query_duration_seconds_sum", "", s.Totals.Wall.Seconds())
-	b.val("aql_query_duration_seconds_count", "", s.Totals.Queries)
+	b.Valf("aql_query_duration_seconds_sum", "", s.Totals.Wall.Seconds())
+	b.Val("aql_query_duration_seconds_count", "", s.Totals.Queries)
 
-	b.header("aql_phase_seconds_total", "counter", "Wall time by pipeline phase.")
+	b.Header("aql_phase_seconds_total", "counter", "Wall time by pipeline phase.")
 	for _, name := range phaseNames(s.Totals.PhaseWall) {
-		b.valf("aql_phase_seconds_total", `phase="`+name+`"`, s.Totals.PhaseWall[name].Seconds())
+		b.Valf("aql_phase_seconds_total", `phase="`+name+`"`, s.Totals.PhaseWall[name].Seconds())
 	}
 
-	b.header("aql_rule_firings_total", "counter", "Optimizer rule applications by rule.")
+	b.Header("aql_rule_firings_total", "counter", "Optimizer rule applications by rule.")
 	rules := make([]string, 0, len(s.Rules))
 	for r := range s.Rules {
 		rules = append(rules, r)
 	}
 	sort.Strings(rules)
 	for _, r := range rules {
-		b.val("aql_rule_firings_total", `rule="`+r+`"`, s.Rules[r])
+		b.Val("aql_rule_firings_total", `rule="`+r+`"`, s.Rules[r])
 	}
 
-	b.header("aql_eval_steps_total", "counter", "Evaluator steps charged.")
-	b.val("aql_eval_steps_total", "", s.Totals.Eval.Steps)
-	b.header("aql_eval_cells_total", "counter", "Collection/array cells charged.")
-	b.val("aql_eval_cells_total", "", s.Totals.Eval.Cells)
-	b.header("aql_eval_tabulations_total", "counter", "Array tabulations performed.")
-	b.val("aql_eval_tabulations_total", "", s.Totals.Eval.Tabulations)
-	b.header("aql_eval_set_ops_total", "counter", "Set/bag algebra operations.")
-	b.val("aql_eval_set_ops_total", "", s.Totals.Eval.SetOps)
-	b.header("aql_eval_iterations_total", "counter", "Comprehension loop iterations.")
-	b.val("aql_eval_iterations_total", "", s.Totals.Eval.Iterations)
+	b.Header("aql_eval_steps_total", "counter", "Evaluator steps charged.")
+	b.Val("aql_eval_steps_total", "", s.Totals.Eval.Steps)
+	b.Header("aql_eval_cells_total", "counter", "Collection/array cells charged.")
+	b.Val("aql_eval_cells_total", "", s.Totals.Eval.Cells)
+	b.Header("aql_eval_tabulations_total", "counter", "Array tabulations performed.")
+	b.Val("aql_eval_tabulations_total", "", s.Totals.Eval.Tabulations)
+	b.Header("aql_eval_set_ops_total", "counter", "Set/bag algebra operations.")
+	b.Val("aql_eval_set_ops_total", "", s.Totals.Eval.SetOps)
+	b.Header("aql_eval_iterations_total", "counter", "Comprehension loop iterations.")
+	b.Val("aql_eval_iterations_total", "", s.Totals.Eval.Iterations)
 
-	b.header("aql_io_slab_reads_total", "counter", "NetCDF hyperslab reads.")
-	b.val("aql_io_slab_reads_total", "", s.Totals.IO.SlabReads)
-	b.header("aql_io_bytes_read_total", "counter", "NetCDF data bytes read.")
-	b.val("aql_io_bytes_read_total", "", s.Totals.IO.BytesRead)
-	b.header("aql_io_cache_hits_total", "counter", "NetCDF block-cache hits.")
-	b.val("aql_io_cache_hits_total", "", s.Totals.IO.CacheHits)
-	b.header("aql_io_cache_misses_total", "counter", "NetCDF block-cache misses.")
-	b.val("aql_io_cache_misses_total", "", s.Totals.IO.CacheMisses)
-	b.header("aql_io_prefetches_total", "counter", "NetCDF block-cache prefetches.")
-	b.val("aql_io_prefetches_total", "", s.Totals.IO.Prefetches)
-	b.header("aql_io_retries_total", "counter", "NetCDF transient-error retries.")
-	b.val("aql_io_retries_total", "", s.Totals.IO.Retries)
-	b.header("aql_io_faults_total", "counter", "NetCDF injected faults observed.")
-	b.val("aql_io_faults_total", "", s.Totals.IO.Faults)
-
-	return b.err
+	b.Header("aql_io_slab_reads_total", "counter", "NetCDF hyperslab reads.")
+	b.Val("aql_io_slab_reads_total", "", s.Totals.IO.SlabReads)
+	b.Header("aql_io_bytes_read_total", "counter", "NetCDF data bytes read.")
+	b.Val("aql_io_bytes_read_total", "", s.Totals.IO.BytesRead)
+	b.Header("aql_io_cache_hits_total", "counter", "NetCDF block-cache hits.")
+	b.Val("aql_io_cache_hits_total", "", s.Totals.IO.CacheHits)
+	b.Header("aql_io_cache_misses_total", "counter", "NetCDF block-cache misses.")
+	b.Val("aql_io_cache_misses_total", "", s.Totals.IO.CacheMisses)
+	b.Header("aql_io_prefetches_total", "counter", "NetCDF block-cache prefetches.")
+	b.Val("aql_io_prefetches_total", "", s.Totals.IO.Prefetches)
+	b.Header("aql_io_retries_total", "counter", "NetCDF transient-error retries.")
+	b.Val("aql_io_retries_total", "", s.Totals.IO.Retries)
+	b.Header("aql_io_faults_total", "counter", "NetCDF injected faults observed.")
+	b.Val("aql_io_faults_total", "", s.Totals.IO.Faults)
 }
 
 // phaseNames orders phase labels: standard pipeline phases first (those
@@ -101,29 +151,62 @@ func phaseNames(m map[string]time.Duration) []string {
 	return append(out, extra...)
 }
 
-type promWriter struct {
+// MetricWriter renders metric families in either the classic Prometheus
+// text format (version 0.0.4) or the OpenMetrics 1.0 text format. The two
+// differ in family naming (OpenMetrics TYPE/HELP lines name a counter
+// family without its _total suffix) and in what OpenMetrics adds: exemplars
+// on histogram buckets and the terminating # EOF line. The query server
+// shares this writer with the fleet exposition so its aqld_* families
+// content-negotiate identically.
+type MetricWriter struct {
 	w   io.Writer
+	om  bool
 	err error
 }
 
-func (b *promWriter) header(name, typ, help string) {
+// NewMetricWriter returns a writer in the chosen flavor.
+func NewMetricWriter(w io.Writer, openMetrics bool) *MetricWriter {
+	return &MetricWriter{w: w, om: openMetrics}
+}
+
+// OpenMetrics reports the writer's flavor.
+func (b *MetricWriter) OpenMetrics() bool { return b.om }
+
+// Err returns the first write error.
+func (b *MetricWriter) Err() error { return b.err }
+
+// Header writes the HELP and TYPE lines of one metric family. name is the
+// sample name of the family's principal series (counters keep their _total
+// suffix here); in OpenMetrics mode the family name drops the suffix, as
+// the spec requires.
+func (b *MetricWriter) Header(name, typ, help string) {
 	if b.err != nil {
 		return
 	}
-	_, b.err = fmt.Fprintf(b.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	family := name
+	if b.om && typ == "counter" {
+		family = strings.TrimSuffix(family, "_total")
+	}
+	_, b.err = fmt.Fprintf(b.w, "# HELP %s %s\n# TYPE %s %s\n", family, help, family, typ)
 }
 
-func (b *promWriter) val(name, labels string, v int64) {
+// Val writes one integer sample.
+func (b *MetricWriter) Val(name, labels string, v int64) { b.ValEx(name, labels, v, nil) }
+
+// ValEx writes one integer sample with an optional exemplar (rendered only
+// in OpenMetrics mode; histogram buckets and counters admit them).
+func (b *MetricWriter) ValEx(name, labels string, v int64, ex *Exemplar) {
 	if b.err != nil {
 		return
 	}
 	if labels != "" {
 		labels = "{" + labels + "}"
 	}
-	_, b.err = fmt.Fprintf(b.w, "%s%s %d\n", name, labels, v)
+	_, b.err = fmt.Fprintf(b.w, "%s%s %d%s\n", name, labels, v, b.exemplar(ex))
 }
 
-func (b *promWriter) valf(name, labels string, v float64) {
+// Valf writes one float sample.
+func (b *MetricWriter) Valf(name, labels string, v float64) {
 	if b.err != nil {
 		return
 	}
@@ -131,4 +214,43 @@ func (b *promWriter) valf(name, labels string, v float64) {
 		labels = "{" + labels + "}"
 	}
 	_, b.err = fmt.Fprintf(b.w, "%s%s %s\n", name, labels, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+// Histogram writes a whole histogram family from a snapshot: cumulative
+// buckets (with exemplars where available), the +Inf bucket, sum and count.
+func (b *MetricWriter) Histogram(name, help string, h HistogramSnapshot) {
+	b.Header(name, "histogram", help)
+	var cum int64
+	for i, n := range h.Buckets {
+		cum += n
+		le := "+Inf"
+		if i < len(h.Buckets)-1 {
+			le = strconv.FormatFloat(LatencyBucketBound(i).Seconds(), 'g', -1, 64)
+		}
+		var ex *Exemplar
+		if i < len(h.Exemplars) {
+			ex = h.Exemplars[i]
+		}
+		b.ValEx(name+"_bucket", `le="`+le+`"`, cum, ex)
+	}
+	b.Valf(name+"_sum", "", h.Sum.Seconds())
+	b.Val(name+"_count", "", h.Count)
+}
+
+// exemplar renders an exemplar suffix, or "" outside OpenMetrics mode.
+func (b *MetricWriter) exemplar(ex *Exemplar) string {
+	if !b.om || ex == nil || ex.TraceID == "" {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=\"%s\"} %s %s", ex.TraceID,
+		strconv.FormatFloat(ex.Value, 'g', -1, 64),
+		strconv.FormatFloat(ex.Ts, 'f', 3, 64))
+}
+
+// WriteEOF terminates an OpenMetrics exposition (no-op in classic mode).
+func (b *MetricWriter) WriteEOF() {
+	if b.err != nil || !b.om {
+		return
+	}
+	_, b.err = io.WriteString(b.w, OpenMetricsEOF)
 }

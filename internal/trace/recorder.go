@@ -212,6 +212,30 @@ func (r *Recorder) RecordSpans(root *SpanNode, level string) {
 	r.mu.Unlock()
 }
 
+// RecordID stamps the request id on the open report.
+func (r *Recorder) RecordID(id string) {
+	if r == nil || id == "" {
+		return
+	}
+	r.mu.Lock()
+	if r.cur != nil {
+		r.cur.ID = id
+	}
+	r.mu.Unlock()
+}
+
+// RecordTraceID stamps the distributed trace id on the open report.
+func (r *Recorder) RecordTraceID(id string) {
+	if r == nil || id == "" {
+		return
+	}
+	r.mu.Lock()
+	if r.cur != nil {
+		r.cur.TraceID = id
+	}
+	r.mu.Unlock()
+}
+
 // RecordCached marks the open report as having executed from a
 // prepared-plan cache hit.
 func (r *Recorder) RecordCached(hit bool) {

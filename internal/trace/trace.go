@@ -126,6 +126,14 @@ type QueryReport struct {
 	// Query is the source text (or a statement label like "readval x
 	// using NETCDF").
 	Query string `json:"query"`
+	// ID is the request id of the query: client-supplied (X-Request-ID,
+	// sanitized) or server-minted. Empty outside the query server.
+	ID string `json:"id,omitempty"`
+	// TraceID is the distributed trace id (32 hex digits) the query ran
+	// under: honored from an inbound traceparent header or minted at the
+	// coordinator, and shared by every worker-side shard report of the same
+	// logical query. Empty when no trace context was in play.
+	TraceID string `json:"trace_id,omitempty"`
 	// Start is when the pipeline began; Wall is total elapsed time.
 	Start time.Time     `json:"start"`
 	Wall  time.Duration `json:"wall_ns"`
@@ -176,6 +184,12 @@ type QueryReport struct {
 // fell back to in-process execution), how many dispatch attempts it took
 // (retries and hedges each count one), whether a hedge was launched, and
 // the shard's wall time from first dispatch to winning response.
+//
+// Since distributed tracing (DESIGN.md §10) a ShardSpan also carries the
+// cross-node stitching payload: the winning worker's span subtree grafted
+// under an attempt span, sibling attempt spans for every retry/hedge
+// dispatch annotated won/lost/cancelled, and the winning worker's
+// admission queue wait.
 type ShardSpan struct {
 	Shard    int           `json:"shard"`
 	Start    int64         `json:"start"`
@@ -184,6 +198,37 @@ type ShardSpan struct {
 	Attempts int           `json:"attempts"`
 	Hedged   bool          `json:"hedged,omitempty"`
 	Wall     time.Duration `json:"wall_ns"`
+	// QueueWait is the winning worker's admission-queue wait for this
+	// shard (zero for local execution or an immediately-admitted shard).
+	QueueWait time.Duration `json:"queue_wait_ns,omitempty"`
+	// AttemptSpans records every dispatch attempt of the shard in launch
+	// order: exactly one has Outcome "won"; failed dispatches are "lost"
+	// and abandoned in-flight dispatches (hedge losers) are "cancelled".
+	AttemptSpans []AttemptSpan `json:"attempt_spans,omitempty"`
+	// Spans is the shard's stitched span subtree: a "shard" node whose
+	// children are the attempt spans, with the winning attempt carrying the
+	// worker's own span tree (or a local "eval" span after fallback).
+	// Counters appear only under the winning attempt — the one whose work
+	// the merged totals count.
+	Spans *SpanNode `json:"spans,omitempty"`
+}
+
+// AttemptSpan records one dispatch attempt of a shard. StartOff is the
+// attempt's launch time relative to the shard's first dispatch, so hedges
+// render as overlapping spans in exported traces.
+type AttemptSpan struct {
+	Attempt int    `json:"attempt"`
+	Worker  string `json:"worker"`
+	// Outcome is "won" (this response was used), "lost" (the dispatch
+	// completed with a failure) or "cancelled" (abandoned in flight when a
+	// sibling won or the shard moved on).
+	Outcome string `json:"outcome"`
+	// Hedge marks attempts launched by the hedging timer rather than the
+	// retry loop.
+	Hedge    bool          `json:"hedge,omitempty"`
+	StartOff time.Duration `json:"start_off_ns"`
+	Wall     time.Duration `json:"wall_ns"`
+	Err      string        `json:"err,omitempty"`
 }
 
 // SpanNode is one profiled operator of a query's span tree: invocation
@@ -192,7 +237,17 @@ type ShardSpan struct {
 // package keeps its own mirror of eval.SpanNode so it stays decoupled from
 // the engines (it depends only on the standard library).
 type SpanNode struct {
-	Op          string        `json:"op"`
+	Op string `json:"op"`
+	// Node names the process the span executed on, for stitched multi-node
+	// trees: a worker base URL, "local", or "coordinator". Empty in
+	// single-process trees.
+	Node string `json:"node,omitempty"`
+	// Outcome annotates shard attempt spans: "won", "lost" or "cancelled".
+	Outcome string `json:"outcome,omitempty"`
+	// StartOff is a stitched attempt span's launch offset relative to its
+	// parent shard span's start, so exported traces show retries as
+	// sequential and hedges as overlapping. Zero elsewhere.
+	StartOff    time.Duration `json:"start_off_ns,omitempty"`
 	Invocations int64         `json:"invocations"`
 	Measured    int64         `json:"measured,omitempty"`
 	WallCum     time.Duration `json:"wall_cum_ns"`
