@@ -6,7 +6,7 @@
 // Usage:
 //
 //	aqlbench            run every experiment
-//	aqlbench -exp e7    run one experiment (e4, e6, e7, e8, e9, e10, e11, e15, e17, e19, e21, e22, e23, a1)
+//	aqlbench -exp e7    run one experiment (e4, e6, e7, e8, e9, e10, e11, e15, e17, e19, e21, e22, e23, e24, a1)
 //	aqlbench -quick     smaller sweeps, for smoke testing
 //	aqlbench -report reports.jsonl
 //	                    additionally write one trace.QueryReport JSON object
@@ -54,11 +54,11 @@ var quick = flag.Bool("quick", false, "smaller sweeps")
 var reportSink trace.Sink
 
 func main() {
-	exp := flag.String("exp", "", "run a single experiment (e4, e6, e7, e8, e9, e10, e11, e15, e17, e19, e21, e22, e23, a1)")
+	exp := flag.String("exp", "", "run a single experiment (e4, e6, e7, e8, e9, e10, e11, e15, e17, e19, e21, e22, e23, e24, a1)")
 	report := flag.String("report", "", "write per-query trace.QueryReport JSON lines to this file (- for stdout)")
 	engine := flag.String("engine", "", "execution engine for the experiments: interp or compiled (default: the session default)")
 	engJSON := flag.String("engjson", "", "with e19: write the engine-comparison results as JSON to this file (e.g. BENCH_engine.json)")
-	failWorse := flag.Bool("failworse", false, "with e19: exit nonzero if the compiled engine is slower than interp on the pure-tabulation workload")
+	failWorse := flag.Bool("failworse", false, "with e19/e24: exit nonzero if the compiled engine is slower than interp on the pure-tabulation workload, or the templated plan-cache hit rate falls below 99%")
 	profLevel := flag.String("proflevel", "off", "operator profiling level for the experiments: off, sampled, or full")
 	trajectory := flag.String("trajectory", "", "with e19: append the measurements to this JSON trajectory file (e.g. BENCH_trajectory.json)")
 	stamp := flag.String("stamp", "", "label for the -trajectory entry (a version or commit id; kept a flag so runs are reproducible)")
@@ -97,6 +97,7 @@ func main() {
 		{"e21", "query server: cold vs cached-plan latency, sustained QPS", runE21},
 		{"e22", "cluster: scatter-gather speedup, hedged straggler tail latency", runE22},
 		{"e23", "per-plan stats store: templated workload profiles in /debug/planstats", runE23},
+		{"e24", "prepared templates: plan-cache hit rate and latency vs literal substitution", runE24},
 		{"e15", "NetCDF subslab reads (section 4.1)", runE15},
 		{"e17", "predictive caching for strided reads (section 7)", runE17},
 		{"a1", "ablation: optimizer phase structure", runA1},
@@ -131,11 +132,11 @@ func main() {
 		}
 	}
 	if *trajectory != "" {
-		if engResults == nil && srvResults == nil && clusterResults == nil {
-			fmt.Fprintln(os.Stderr, "aqlbench: -trajectory requires the e19, e21 or e22 experiment to have run")
+		if engResults == nil && srvResults == nil && clusterResults == nil && tmplResults == nil {
+			fmt.Fprintln(os.Stderr, "aqlbench: -trajectory requires the e19, e21, e22 or e24 experiment to have run")
 			os.Exit(1)
 		}
-		if err := appendTrajectory(*trajectory, *stamp, engResults, srvResults, clusterResults); err != nil {
+		if err := appendTrajectory(*trajectory, *stamp, engResults, srvResults, clusterResults, tmplResults); err != nil {
 			fmt.Fprintln(os.Stderr, "aqlbench:", err)
 			os.Exit(1)
 		}
@@ -146,6 +147,13 @@ func main() {
 				fmt.Fprintf(os.Stderr, "aqlbench: compiled engine slower than interp on %s (%.2fx)\n", eb.Name, eb.Speedup)
 				os.Exit(1)
 			}
+		}
+	}
+	if *failWorse && tmplResults != nil {
+		if tmplResults.TemplatedHitRate < 0.99 {
+			fmt.Fprintf(os.Stderr, "aqlbench: templated workload plan-cache hit rate %.1f%%, want >= 99%%\n",
+				100*tmplResults.TemplatedHitRate)
+			os.Exit(1)
 		}
 	}
 }
@@ -182,13 +190,16 @@ type trajectoryEntry struct {
 	// Cluster carries the e22 scatter-gather measurements when that
 	// experiment ran (distributed speedup, hedged tail latency).
 	Cluster *clusterReport `json:"cluster,omitempty"`
+	// Templated carries the e24 prepared-template measurements when that
+	// experiment ran (plan-cache hit rate, cached-exec latency).
+	Templated *templatedReport `json:"templated,omitempty"`
 }
 
 // appendTrajectory appends one entry to the trajectory file, creating it
 // (as a one-element array) if absent. A malformed existing file is an
 // error rather than silently replaced — the history is the point. Any
 // report may be nil; at least one is present (checked by the caller).
-func appendTrajectory(path, stamp string, r *engineReport, sr *serverReport, cr *clusterReport) error {
+func appendTrajectory(path, stamp string, r *engineReport, sr *serverReport, cr *clusterReport, tr *templatedReport) error {
 	var entries []trajectoryEntry
 	if data, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(data, &entries); err != nil {
@@ -203,6 +214,7 @@ func appendTrajectory(path, stamp string, r *engineReport, sr *serverReport, cr 
 		Profiling:  bench.Profiling,
 		Server:     sr,
 		Cluster:    cr,
+		Templated:  tr,
 	}
 	if r != nil {
 		entry.GOMAXPROCS = r.GOMAXPROCS

@@ -68,6 +68,12 @@ const (
 // a top-level val, or the name of a registered primitive.
 type Var struct{ Name string }
 
+// Param is the input placeholder $name of a prepared query: a typed hole
+// filled per execution from the argument frame. It is a leaf — macro
+// expansion and substitution never touch it, and the optimizer treats it as
+// an opaque constant (its value is unknown at rewrite time).
+type Param struct{ Name string }
+
 // Lam is lambda abstraction λx.e. Patterns are desugared away before the
 // core calculus, so the parameter is a bare variable.
 type Lam struct {
@@ -241,6 +247,11 @@ func none() [][]string { return nil }
 func (e *Var) Children() []Expr           { return nil }
 func (e *Var) WithChildren(k []Expr) Expr { return e }
 func (e *Var) Binders() [][]string        { return none() }
+
+// Param
+func (e *Param) Children() []Expr           { return nil }
+func (e *Param) WithChildren(k []Expr) Expr { return e }
+func (e *Param) Binders() [][]string        { return none() }
 
 // Lam
 func (e *Lam) Children() []Expr           { return []Expr{e.Body} }
@@ -422,6 +433,7 @@ func (e *RankBagUnion) Binders() [][]string { return [][]string{{e.Var, e.RankVa
 // sanity check: all nodes implement Expr.
 var (
 	_ Expr = (*Var)(nil)
+	_ Expr = (*Param)(nil)
 	_ Expr = (*Lam)(nil)
 	_ Expr = (*App)(nil)
 	_ Expr = (*Tuple)(nil)
@@ -458,7 +470,7 @@ var (
 // traversal coverage.
 func AllNodeNames() []string {
 	return []string{
-		"Var", "Lam", "App", "Tuple", "Proj", "EmptySet", "Singleton", "Union",
+		"Var", "Param", "Lam", "App", "Tuple", "Proj", "EmptySet", "Singleton", "Union",
 		"BigUnion", "Get", "BoolLit", "If", "Cmp", "NatLit", "RealLit",
 		"StringLit", "Arith", "Gen", "Sum", "ArrayTab", "Subscript", "Dim",
 		"Index", "MkArray", "Bottom", "EmptyBag", "SingletonBag", "BagUnion",
@@ -472,6 +484,8 @@ func NodeName(e Expr) string {
 	switch e.(type) {
 	case *Var:
 		return "Var"
+	case *Param:
+		return "Param"
 	case *Lam:
 		return "Lam"
 	case *App:

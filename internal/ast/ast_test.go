@@ -173,6 +173,7 @@ func TestWithChildrenRoundTrip(t *testing.T) {
 	// the original, and Binders must align with Children.
 	exprs := []Expr{
 		&Var{Name: "x"},
+		&Param{Name: "q"},
 		&Lam{Param: "x", Body: &Var{Name: "x"}},
 		&App{Fn: &Var{Name: "f"}, Arg: &Var{Name: "x"}},
 		&Tuple{Elems: []Expr{&NatLit{Val: 1}, &NatLit{Val: 2}}},

@@ -15,6 +15,7 @@ import (
 // The rendering is for diagnostics and tests; it is not re-parsed.
 
 func (e *Var) String() string       { return e.Name }
+func (e *Param) String() string     { return "$" + e.Name }
 func (e *Lam) String() string       { return fmt.Sprintf("\\%s. %s", e.Param, e.Body) }
 func (e *App) String() string       { return fmt.Sprintf("%s(%s)", parens(e.Fn), e.Arg) }
 func (e *EmptySet) String() string  { return "{}" }
@@ -121,7 +122,7 @@ func (e *RankBagUnion) String() string {
 // position (application and subscripting).
 func parens(e Expr) string {
 	switch e.(type) {
-	case *Var, *App, *Subscript, *Tuple, *NatLit:
+	case *Var, *Param, *App, *Subscript, *Tuple, *NatLit:
 		return e.String()
 	}
 	return "(" + e.String() + ")"

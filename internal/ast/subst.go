@@ -231,6 +231,9 @@ func copyEnv(m map[string]string) map[string]string {
 // sameShape compares the non-child, non-binder payload of two nodes.
 func sameShape(a, b Expr) bool {
 	switch x := a.(type) {
+	case *Param:
+		y, ok := b.(*Param)
+		return ok && x.Name == y.Name
 	case *Proj:
 		y, ok := b.(*Proj)
 		return ok && x.I == y.I && x.K == y.K

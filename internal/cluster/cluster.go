@@ -226,6 +226,14 @@ func (c *Coordinator) ExecuteTraced(ctx context.Context, prog *compile.Program, 
 		return &Result{Value: v, Counters: cnt, Mode: "local"}, nil
 	}
 
+	// A parameterized execution's argument frame is identical for every
+	// shard (elements are pure in the index valuation AND the frame), so it
+	// is encoded exactly once and shipped verbatim on each dispatch.
+	encArgs, err := encodeArgs(opts.Args)
+	if err != nil {
+		return nil, err
+	}
+
 	c.stats.Queries.Add(1)
 	nshards := len(c.cfg.Workers) * c.cfg.ShardsPerWorker
 	if int64(nshards) > plan.Size {
@@ -262,7 +270,7 @@ func (c *Coordinator) ExecuteTraced(ctx context.Context, prog *compile.Program, 
 		wg.Add(1)
 		go func(i int, start, end int64) {
 			defer wg.Done()
-			outs[i] = c.runShard(sctx, abort, prog, query, opts, plan.Shape, i, start, end, tc)
+			outs[i] = c.runShard(sctx, abort, prog, query, opts, encArgs, plan.Shape, i, start, end, tc)
 		}(i, start, end)
 	}
 	wg.Wait()
@@ -348,17 +356,36 @@ func toTraceCounters(c eval.Counters) trace.EvalCounters {
 		SetOps: c.SetOps, Iterations: c.Iters}
 }
 
+// encodeArgs renders a parameterized execution's argument frame in the
+// exchange text format for the shard wire envelope. Frames originate from
+// decoded wire values or validated API bindings, so encoding failures are
+// internal errors, not user errors.
+func encodeArgs(args map[string]object.Value) (map[string]string, error) {
+	if len(args) == 0 {
+		return nil, nil
+	}
+	enc := make(map[string]string, len(args))
+	for name, v := range args {
+		text, err := exchange.WriteString(v)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: encoding argument $%s: %w", name, err)
+		}
+		enc[name] = text
+	}
+	return enc, nil
+}
+
 // runShard drives one shard to a terminal outcome: remote attempts with
 // backoff, hedging and breaker bookkeeping, then local fallback. Every
 // dispatch attempt leaves an AttemptSpan on the shard's dispatch record,
 // and the winning execution's span subtree is stitched under its attempt.
-func (c *Coordinator) runShard(ctx context.Context, abort func(error), prog *compile.Program, query string, opts compile.ExecOpts, shape []int, shard int, start, end int64, tc trace.TraceContext) shardOutcome {
+func (c *Coordinator) runShard(ctx context.Context, abort func(error), prog *compile.Program, query string, opts compile.ExecOpts, encArgs map[string]string, shape []int, shard int, start, end int64, tc trace.TraceContext) shardOutcome {
 	t0 := time.Now()
 	out := shardOutcome{bottomOff: -1, errOff: math.MaxInt64}
 	out.span = trace.ShardSpan{Shard: shard, Start: start, End: end}
 	req := exchange.ShardRequest{
 		Query: query, Shape: shape, Start: start, End: end,
-		Shard: shard, MaxSteps: opts.MaxSteps,
+		Shard: shard, MaxSteps: opts.MaxSteps, Args: encArgs,
 	}
 	if opts.Limits.Timeout > 0 {
 		req.TimeoutMS = opts.Limits.Timeout.Milliseconds()

@@ -1,0 +1,161 @@
+// Parameterized scatter-gather: the coordinator ships the argument frame
+// with every shard dispatch, so one template plan on each worker serves
+// every argument set — and the merged result stays byte-identical to a
+// single-node execution with the same frame, even under chaos.
+package cluster_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/aqldb/aql/internal/cluster"
+	"github.com/aqldb/aql/internal/server"
+)
+
+// paramTabQuery is tabQuery with the coefficients lifted to placeholders:
+// one template, per-execution argument frames.
+const paramTabQuery = `[[ (i*i + $a*i + $b) % 97 | \i < 5000 ]]`
+
+func postQueryReq(t *testing.T, ts *httptest.Server, req server.QueryRequest) (*server.QueryResponse, int, *server.ErrorResponse) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /query: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var er server.ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+			t.Fatalf("undecodable error body (status %d): %v", resp.StatusCode, err)
+		}
+		return nil, resp.StatusCode, &er
+	}
+	var qr server.QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatalf("undecodable response: %v", err)
+	}
+	return &qr, resp.StatusCode, nil
+}
+
+// TestParameterizedDistributedDifferential: a parameterized query scattered
+// over two workers answers byte-identically (value, counters, type) to a
+// single-node execution with the same argument frame, for several frames
+// through one coordinator — and the second frame onward hits every node's
+// template-keyed plan cache.
+func TestParameterizedDistributedDifferential(t *testing.T) {
+	w1, w2 := newWorker(t), newWorker(t)
+	coord := cluster.New(fastCfg(&cluster.HTTPTransport{}, w1.URL, w2.URL))
+	ts := newCoordServer(t, coord)
+	ref := newWorker(t)
+
+	frames := []map[string]string{
+		{"a": "11", "b": "7"},
+		{"a": "3", "b": "0"},
+		{"a": "0", "b": "96"},
+	}
+	for i, args := range frames {
+		req := server.QueryRequest{Query: paramTabQuery, Args: args}
+		want, _, er := postQueryReq(t, ref, req)
+		if er != nil {
+			t.Fatalf("single-node reference (frame %d): %+v", i, er)
+		}
+		got, _, er := postQueryReq(t, ts, req)
+		if er != nil {
+			t.Fatalf("distributed (frame %d): %+v", i, er)
+		}
+		assertIdentical(t, got, want)
+		if got.Mode != "distributed" {
+			t.Errorf("frame %d: mode = %q, want distributed", i, got.Mode)
+		}
+		if i > 0 && !got.Cached {
+			t.Errorf("frame %d: coordinator missed the template's cached plan", i)
+		}
+	}
+	// The literal substitution of the first frame must agree with its
+	// parameterized execution exactly.
+	lit := strings.NewReplacer("$a", "11", "$b", "7").Replace(paramTabQuery)
+	wantLit, _, er := postQueryReq(t, ref, server.QueryRequest{Query: lit})
+	if er != nil {
+		t.Fatalf("literal reference: %+v", er)
+	}
+	gotParam, _, er := postQueryReq(t, ref, server.QueryRequest{Query: paramTabQuery,
+		Args: map[string]string{"a": "11", "b": "7"}})
+	if er != nil {
+		t.Fatalf("param reference: %+v", er)
+	}
+	if gotParam.Value != wantLit.Value {
+		t.Errorf("parameterized value differs from literal substitution")
+	}
+	if gotParam.Eval != wantLit.Eval {
+		t.Errorf("parameterized counters %+v != literal %+v", gotParam.Eval, wantLit.Eval)
+	}
+}
+
+// TestParameterizedChaosDifferential: retries and garbled responses must
+// re-ship the argument frame intact — an eventually-succeeding chaos
+// schedule still reproduces the single-node answer exactly.
+func TestParameterizedChaosDifferential(t *testing.T) {
+	req := server.QueryRequest{Query: paramTabQuery,
+		Args: map[string]string{"a": "11", "b": "7"}}
+	ref := newWorker(t)
+	want, _, er := postQueryReq(t, ref, req)
+	if er != nil {
+		t.Fatalf("reference: %+v", er)
+	}
+
+	w1, w2 := newWorker(t), newWorker(t)
+	chaos := &cluster.ChaosTransport{Inner: &cluster.HTTPTransport{}}
+	chaos.Fail(0, 0, cluster.ChaosFault{Kind: cluster.FaultErr})
+	chaos.Fail(2, 0, cluster.ChaosFault{Kind: cluster.FaultGarble})
+	chaos.Fail(3, 0, cluster.ChaosFault{Kind: cluster.FaultErr, Delay: 5 * time.Millisecond})
+	coord := cluster.New(fastCfg(chaos, w1.URL, w2.URL))
+	ts := newCoordServer(t, coord)
+
+	got, _, er := postQueryReq(t, ts, req)
+	if er != nil {
+		t.Fatalf("distributed under chaos: %+v", er)
+	}
+	assertIdentical(t, got, want)
+	if coord.Stats().Retries.Load() == 0 {
+		t.Error("chaos schedule injected faults but no retries were counted")
+	}
+}
+
+// TestParameterizedShardBindRejected: a worker re-validates the frame; a
+// direct shard request with a type-mismatched argument is a deterministic
+// 400, not an evaluation failure.
+func TestParameterizedShardBindRejected(t *testing.T) {
+	w := newWorker(t)
+	body, _ := json.Marshal(map[string]any{
+		"query": paramTabQuery,
+		"shape": []int{5000},
+		"start": 0, "end": 10,
+		"args": map[string]string{"a": `"oops"`, "b": "7"},
+	})
+	resp, err := http.Post(w.URL+"/shard", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /shard: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	var env struct {
+		Error struct {
+			Kind    string `json:"kind"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("undecodable error body: %v", err)
+	}
+	if env.Error.Kind != "type" || !strings.Contains(env.Error.Message, "$a") {
+		t.Errorf("error = %+v, want kind type naming $a", env.Error)
+	}
+}

@@ -68,6 +68,10 @@ type Engine struct {
 	Threshold int
 	// Workers caps tabulation fan-out; 0 means GOMAXPROCS.
 	Workers int
+	// Params holds the argument frame for $name placeholders, mirroring
+	// eval.Evaluator.Params: an unbound placeholder is an error only if
+	// evaluated.
+	Params map[string]object.Value
 
 	m *machine
 
@@ -118,7 +122,7 @@ func (e *Engine) EvalExpr(ctx context.Context, expr ast.Expr) (object.Value, err
 	// exists and compile emits exactly the unprofiled closures, so the off
 	// level costs nothing at execution time.
 	e.lastSpans = nil
-	c := &compiler{globals: e.Globals, limits: e.Limits, prof: eval.NewSpanPlan(expr, e.profLevel)}
+	c := &compiler{globals: e.Globals, limits: e.Limits, prof: eval.NewSpanPlan(expr, e.profLevel), params: &paramTable{}}
 	code := c.compile(expr)
 
 	m := &machine{
@@ -146,6 +150,7 @@ func (e *Engine) EvalExpr(ctx context.Context, expr ast.Expr) (object.Value, err
 	if e.Limits.Timeout > 0 {
 		m.deadline = time.Now().Add(e.Limits.Timeout)
 	}
+	m.args, m.argOK = c.params.resolve(e.Params)
 	// Clear the interrupt state on the way out, as EvalCtx does: closures
 	// that escape this evaluation capture the machine, and a later call
 	// through them must not observe a stale context or deadline. The
@@ -176,6 +181,9 @@ type compiler struct {
 	// prof is the evaluation's span plan (nil when profiling is off);
 	// compile wraps every planned node in a span-recording closure.
 	prof *eval.SpanPlan
+	// params is the program-wide placeholder table, shared by pointer with
+	// every sub-compiler so one $name resolves to one argument-frame index.
+	params *paramTable
 }
 
 // bind pushes a binder and returns its slot.
@@ -260,6 +268,23 @@ func (c *compiler) compileNode(e ast.Expr) compiledExpr {
 				return object.Value{}, err
 			}
 			return object.Value{}, fmt.Errorf("eval: unbound variable %q", name)
+		}
+
+	case *ast.Param:
+		// A placeholder costs exactly what a literal leaf costs — one step,
+		// no cells — so a prepared execution's counters are byte-identical
+		// to the same query with the argument substituted as a literal.
+		idx := c.params.slot(n.Name)
+		name := n.Name
+		return func(fr *frame) (object.Value, error) {
+			if err := fr.m.step(); err != nil {
+				return object.Value{}, err
+			}
+			m := fr.m
+			if idx < len(m.argOK) && m.argOK[idx] {
+				return m.args[idx], nil
+			}
+			return object.Value{}, fmt.Errorf("eval: unbound parameter $%s", name)
 		}
 
 	case *ast.Lam:
@@ -896,7 +921,7 @@ func (c *compiler) compileLam(n *ast.Lam) compiledExpr {
 		capNames = append(capNames, name)
 		capSlots = append(capSlots, i)
 	}
-	sub := &compiler{globals: c.globals, limits: c.limits, prof: c.prof}
+	sub := &compiler{globals: c.globals, limits: c.limits, prof: c.prof, params: c.params}
 	sub.scope = append(sub.scope, capNames...)
 	sub.scope = append(sub.scope, n.Param)
 	sub.maxSlots = len(sub.scope)

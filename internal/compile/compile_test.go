@@ -138,6 +138,7 @@ func TestAllNodesCompile(t *testing.T) {
 	}
 	exprs := []ast.Expr{
 		v("x"),
+		param("q"),
 		&ast.Lam{Param: "x", Body: v("x")},
 		&ast.App{Fn: v("f"), Arg: v("x")},
 		&ast.Tuple{Elems: []ast.Expr{nat(1), nat(2)}},
@@ -176,6 +177,7 @@ func TestAllNodesCompile(t *testing.T) {
 	for _, expr := range exprs {
 		covered[ast.NodeName(expr)] = true
 		e := New(globals)
+		e.Params = map[string]object.Value{"q": object.Nat(1)}
 		if _, err := e.EvalExpr(context.Background(), expr); err != nil {
 			if strings.Contains(err.Error(), "unhandled node") {
 				t.Errorf("%s: %v", ast.NodeName(expr), err)

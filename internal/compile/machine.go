@@ -51,6 +51,14 @@ type machine struct {
 	// at EvalExpr exit, like ctx, so escaped closures see no stale state.
 	prof *eval.ProfCtx
 
+	// args is this execution's argument frame: the value of each $name
+	// placeholder at its paramTable index, with argOK flagging which indices
+	// were actually supplied (the zero object.Value is not a usable
+	// sentinel). Both slices are read-only after machine construction and
+	// shared with forked workers.
+	args  []object.Value
+	argOK []bool
+
 	steps, cells, tabs, setOps, iters atomic.Int64
 }
 
@@ -123,6 +131,8 @@ func (m *machine) fork() *machine {
 		baseSteps: satAdd(m.baseSteps, m.steps.Load()),
 		baseCells: satAdd(m.baseCells, m.cells.Load()),
 		prof:      m.prof.Fork(),
+		args:      m.args,
+		argOK:     m.argOK,
 	}
 	return w
 }

@@ -37,8 +37,12 @@ type Program struct {
 	// closures (the depth-guard wrapper), so Execute cannot change it.
 	limits eval.Limits
 	// shard is the range-partitionable view of the program, present when
-	// the top-level expression is a tabulation; see range.go. nil otherwise.
+	// the top-level expression is a tabulation (possibly under a chain of
+	// let bindings); see range.go. nil otherwise.
 	shard *shardCode
+	// params maps $name placeholders to argument-frame indices; shared with
+	// the shard view so distributed executions see the same frame layout.
+	params *paramTable
 }
 
 // NewProgram compiles expr against a snapshot of globals. limits.MaxDepth,
@@ -49,12 +53,41 @@ func NewProgram(expr ast.Expr, globals map[string]object.Value, limits eval.Limi
 	if globals == nil {
 		globals = map[string]object.Value{}
 	}
-	c := &compiler{globals: globals, limits: limits}
-	p := &Program{code: c.compile(expr), maxSlots: c.maxSlots, limits: limits}
-	if tab, ok := expr.(*ast.ArrayTab); ok {
-		p.shard = newShardCode(tab, globals, limits)
+	pt := &paramTable{}
+	c := &compiler{globals: globals, limits: limits, params: pt}
+	p := &Program{code: c.compile(expr), maxSlots: c.maxSlots, limits: limits, params: pt}
+	// The shardable core may sit under a chain of desugared let bindings
+	// (App{Lam, bound}), which the optimizer's let-hoisting produces when it
+	// pulls loop-invariant work out of a tabulation. Peel the chain so such
+	// plans stay range-partitionable; the bindings are re-established per
+	// shard (see range.go).
+	var lets []letBinding
+	core := expr
+	for {
+		app, ok := core.(*ast.App)
+		if !ok {
+			break
+		}
+		lam, ok := app.Fn.(*ast.Lam)
+		if !ok {
+			break
+		}
+		lets = append(lets, letBinding{name: lam.Param, bound: app.Arg})
+		core = lam.Body
+	}
+	if tab, ok := core.(*ast.ArrayTab); ok {
+		p.shard = newShardCode(lets, tab, globals, limits, pt)
 	}
 	return p
+}
+
+// ParamNames returns the names of the program's $name placeholders, in
+// first-occurrence order; nil when the program has none.
+func (p *Program) ParamNames() []string {
+	if p.params == nil || len(p.params.names) == 0 {
+		return nil
+	}
+	return append([]string(nil), p.params.names...)
 }
 
 // ExecOpts configures one execution of a Program.
@@ -71,6 +104,11 @@ type ExecOpts struct {
 	// Threshold overrides DefaultThreshold when positive; negative
 	// disables parallel tabulation.
 	Threshold int
+	// Args is this execution's argument frame: one value per $name
+	// placeholder. Names the program does not mention are ignored at this
+	// level (callers validate strictly); a placeholder left unbound errors
+	// only if evaluated, like an unbound variable.
+	Args map[string]object.Value
 }
 
 // Execute runs the program under ctx on a fresh machine, returning the
@@ -122,6 +160,7 @@ func (p *Program) newMachine(ctx context.Context, opts ExecOpts) *machine {
 	if lim.Timeout > 0 {
 		m.deadline = time.Now().Add(lim.Timeout)
 	}
+	m.args, m.argOK = p.params.resolve(opts.Args)
 	return m
 }
 

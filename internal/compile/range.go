@@ -32,10 +32,25 @@ import (
 // serial run's totals no matter how ranges were retried, hedged or moved
 // between workers.
 
+// letBinding is one peeled top-level let: the desugared App{Lam, bound}
+// shape the optimizer's let-hoisting wraps around a tabulation.
+type letBinding struct {
+	name  string
+	bound ast.Expr
+}
+
+// letCode is a compiled let binding: evaluate code, store the value at slot.
+type letCode struct {
+	slot int
+	code compiledExpr
+}
+
 // shardCode is the separately-compiled tabulation pieces behind a
-// range-partitionable Program: the bound expressions, the index slots, and
-// the head closure, sharing one frame layout of maxSlots slots.
+// range-partitionable Program: the peeled let bindings, the bound
+// expressions, the index slots, and the head closure, sharing one frame
+// layout of maxSlots slots.
 type shardCode struct {
+	lets     []letCode
 	bounds   []compiledExpr
 	idxSlots []int
 	head     compiledExpr
@@ -43,25 +58,60 @@ type shardCode struct {
 }
 
 // newShardCode compiles the tabulation's pieces with a fresh resolve pass
-// (unprofiled, exactly as Programs always are; see Program doc).
-func newShardCode(tab *ast.ArrayTab, globals map[string]object.Value, limits eval.Limits) *shardCode {
-	c := &compiler{globals: globals, limits: limits}
-	bounds := make([]compiledExpr, len(tab.Bounds))
+// (unprofiled, exactly as Programs always are; see Program doc). Let
+// bindings compile in order, each earlier binding in scope for the later
+// ones and for the tabulation itself; the program-wide param table is
+// shared so placeholder indices agree with the whole-program code.
+func newShardCode(lets []letBinding, tab *ast.ArrayTab, globals map[string]object.Value, limits eval.Limits, pt *paramTable) *shardCode {
+	c := &compiler{globals: globals, limits: limits, params: pt}
+	sc := &shardCode{}
+	for _, l := range lets {
+		code := c.compile(l.bound)
+		sc.lets = append(sc.lets, letCode{slot: c.bind(l.name), code: code})
+	}
+	sc.bounds = make([]compiledExpr, len(tab.Bounds))
 	for j, b := range tab.Bounds {
-		bounds[j] = c.compile(b)
+		sc.bounds[j] = c.compile(b)
 	}
-	idxSlots := make([]int, len(tab.Idx))
+	sc.idxSlots = make([]int, len(tab.Idx))
 	for j, name := range tab.Idx {
-		idxSlots[j] = c.bind(name)
+		sc.idxSlots[j] = c.bind(name)
 	}
-	head := c.compile(tab.Head)
-	c.unbind(len(tab.Idx))
-	return &shardCode{bounds: bounds, idxSlots: idxSlots, head: head, maxSlots: c.maxSlots}
+	sc.head = c.compile(tab.Head)
+	c.unbind(len(tab.Idx) + len(lets))
+	sc.maxSlots = c.maxSlots
+	return sc
 }
 
 // Rangeable reports whether the program's top-level expression is a
-// tabulation, i.e. whether PlanShards/ExecuteRange are available.
+// tabulation (possibly under top-level let bindings), i.e. whether
+// PlanShards/ExecuteRange are available.
 func (p *Program) Rangeable() bool { return p.shard != nil }
+
+// evalLets establishes the peeled let bindings in fr, mirroring the
+// single-node compiled execution of the App{Lam, bound} chain exactly: the
+// App node's step, the Lam's closure-creation step, then the bound
+// expression, with a ⊥ binding returned as the chain's value (App
+// short-circuits on a ⊥ argument without entering the body).
+func (sc *shardCode) evalLets(m *machine, fr *frame) (object.Value, error) {
+	for _, l := range sc.lets {
+		if err := m.step(); err != nil { // the App node
+			return object.Value{}, err
+		}
+		if err := m.step(); err != nil { // the Lam's closure creation
+			return object.Value{}, err
+		}
+		v, err := l.code(fr)
+		if err != nil {
+			return object.Value{}, err
+		}
+		if v.IsBottom() {
+			return v, nil
+		}
+		fr.slots[l.slot] = v
+	}
+	return object.Value{}, nil
+}
 
 // ShardPlan is the result of evaluating a tabulation's prologue: the shape
 // to partition, and the work that evaluation charged.
@@ -91,6 +141,11 @@ func (p *Program) PlanShards(ctx context.Context, opts ExecOpts) (*ShardPlan, er
 	m := p.newMachine(ctx, opts)
 	defer m.clearInterrupt()
 	fr := &frame{m: m, slots: make([]object.Value, sc.maxSlots)}
+	if bot, err := sc.evalLets(m, fr); err != nil {
+		return nil, err
+	} else if bot.IsBottom() {
+		return &ShardPlan{Bottom: bot, Counters: m.counters()}, nil
+	}
 	if err := m.step(); err != nil {
 		return nil, err
 	}
@@ -166,6 +221,13 @@ func (e *RangeError) Unwrap() error { return e.Err }
 // across local workers with forked counter machines, preserving exact
 // totals and first-⊥/lowest-offset-error determinism exactly as the
 // whole-array kernel does.
+//
+// When the program's shardable core sits under let bindings, each range
+// execution re-establishes them (elements are pure, so the values are
+// identical to the coordinator's) but reports head-only counters: the let
+// work was already counted once, in PlanShards, so merged totals still
+// reproduce a single-node run's exactly. The re-evaluation does consume
+// this execution's budgets — budgets apply per shard by design.
 func (p *Program) ExecuteRange(ctx context.Context, opts ExecOpts, shape []int, start, end int64) (*RangeResult, error) {
 	sc := p.shard
 	if sc == nil {
@@ -186,16 +248,60 @@ func (p *Program) ExecuteRange(ctx context.Context, opts ExecOpts, shape []int, 
 	}
 	m := p.newMachine(ctx, opts)
 	defer m.clearInterrupt()
-	n := end - start
-	if n >= m.threshold && n <= math.MaxInt64/2 && m.workers > 1 {
-		return rangeParallel(m, sc, shape, start, end)
+	proto := make([]object.Value, sc.maxSlots)
+	var base eval.Counters
+	if len(sc.lets) > 0 {
+		lfr := &frame{m: m, slots: proto}
+		bot, err := sc.evalLets(m, lfr)
+		if err != nil {
+			return nil, err
+		}
+		if bot.IsBottom() {
+			// Unreachable under a correct coordinator — PlanShards reports a
+			// ⊥ binding before any shard is dispatched — but report the
+			// poison coherently rather than scanning a meaningless range.
+			data := make([]object.Value, end-start)
+			for i := range data {
+				data[i] = bot
+			}
+			return &RangeResult{Values: data, Bottom: bot, BottomOff: start}, nil
+		}
+		base = m.counters()
 	}
-	return rangeSerial(m, sc, shape, start, end)
+	n := end - start
+	var res *RangeResult
+	var err error
+	if n >= m.threshold && n <= math.MaxInt64/2 && m.workers > 1 {
+		res, err = rangeParallel(m, sc, shape, start, end, proto)
+	} else {
+		res, err = rangeSerial(m, sc, shape, start, end, proto)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Counters = subCounters(res.Counters, base)
+	return res, nil
 }
 
-// rangeSerial scans [start, end) on the calling goroutine.
-func rangeSerial(m *machine, sc *shardCode, shape []int, start, end int64) (*RangeResult, error) {
-	fr := &frame{m: m, slots: make([]object.Value, sc.maxSlots)}
+// subCounters subtracts b fieldwise from a; used to report head-only work
+// for ranges whose let prologue was already counted by PlanShards.
+func subCounters(a, b eval.Counters) eval.Counters {
+	return eval.Counters{
+		Steps:  a.Steps - b.Steps,
+		Cells:  a.Cells - b.Cells,
+		Tabs:   a.Tabs - b.Tabs,
+		SetOps: a.SetOps - b.SetOps,
+		Iters:  a.Iters - b.Iters,
+	}
+}
+
+// rangeSerial scans [start, end) on the calling goroutine. proto is the
+// slot template carrying the let-binding values; it is cloned because head
+// evaluation rebinds loop slots in place.
+func rangeSerial(m *machine, sc *shardCode, shape []int, start, end int64, proto []object.Value) (*RangeResult, error) {
+	slots := make([]object.Value, len(proto))
+	copy(slots, proto)
+	fr := &frame{m: m, slots: slots}
 	data := make([]object.Value, end-start)
 	res := &RangeResult{Values: data, BottomOff: -1}
 	idx := unflatten(int(start), shape)
@@ -222,7 +328,7 @@ func rangeSerial(m *machine, sc *shardCode, shape []int, start, end int64) (*Ran
 // tabulateParallel: contiguous sub-ranges, forked machines flushed at join
 // (so counters equal a serial scan's), lowest-offset error and first-⊥
 // determinism, and early exit only for resource errors.
-func rangeParallel(m *machine, sc *shardCode, shape []int, start, end int64) (*RangeResult, error) {
+func rangeParallel(m *machine, sc *shardCode, shape []int, start, end int64, proto []object.Value) (*RangeResult, error) {
 	size := int(end - start)
 	nw := m.workers
 	if max := (size + minChunk - 1) / minChunk; nw > max {
@@ -255,7 +361,9 @@ func rangeParallel(m *machine, sc *shardCode, shape []int, start, end int64) (*R
 		wg.Add(1)
 		go func(lo, hi int64, res *workerResult, wm *machine) {
 			defer wg.Done()
-			wfr := &frame{m: wm, slots: make([]object.Value, sc.maxSlots)}
+			slots := make([]object.Value, len(proto))
+			copy(slots, proto)
+			wfr := &frame{m: wm, slots: slots}
 			defer wm.flush()
 			idx := unflatten(int(lo), shape)
 			for off := lo; off < hi; off++ {

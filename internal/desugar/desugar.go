@@ -47,6 +47,8 @@ func expr(e parser.Expr) (ast.Expr, error) {
 		return &ast.BoolLit{Val: n.Val}, nil
 	case *parser.BottomLit:
 		return &ast.Bottom{}, nil
+	case *parser.ParamE:
+		return &ast.Param{Name: n.Name}, nil
 
 	case *parser.TupleE:
 		elems := make([]ast.Expr, len(n.Elems))

@@ -61,6 +61,10 @@ type Evaluator struct {
 	// Limits bounds the resources of this evaluation; the zero value is
 	// unlimited. Exhaustion yields a *ResourceError.
 	Limits Limits
+	// Params holds the argument frame of a prepared query: the value of
+	// each $name placeholder for this execution. An unbound placeholder is
+	// an error only if evaluated, like an unbound variable.
+	Params map[string]object.Value
 
 	// The work counters are atomic because closures that escape an
 	// evaluation (top-level vals of function type) capture ev, and the
@@ -218,6 +222,12 @@ func (ev *Evaluator) eval(e ast.Expr, env *Env) (object.Value, error) {
 			return v, nil
 		}
 		return object.Value{}, fmt.Errorf("eval: unbound variable %q", n.Name)
+
+	case *ast.Param:
+		if v, ok := ev.Params[n.Name]; ok {
+			return v, nil
+		}
+		return object.Value{}, fmt.Errorf("eval: unbound parameter $%s", n.Name)
 
 	case *ast.Lam:
 		// A closure over the current environment.

@@ -44,6 +44,11 @@ type ShardRequest struct {
 	// (or in-process ones) lossless. Empty when the query is untraced.
 	TraceID    string `json:"trace_id,omitempty"`
 	ParentSpan string `json:"parent_span,omitempty"`
+	// Args is the argument frame of a prepared (parameterized) query: each
+	// $name placeholder's value in the exchange text format. The worker
+	// decodes and binds them before executing the range, so one cached plan
+	// on the worker serves every argument set of the same template.
+	Args map[string]string `json:"args,omitempty"`
 }
 
 // Size returns product(Shape), saturating at MaxInt64.

@@ -79,7 +79,7 @@ func inlineOK(e ast.Expr) bool {
 
 func atomicExpr(e ast.Expr) bool {
 	switch n := e.(type) {
-	case *ast.Var, *ast.NatLit, *ast.RealLit, *ast.StringLit, *ast.BoolLit,
+	case *ast.Var, *ast.Param, *ast.NatLit, *ast.RealLit, *ast.StringLit, *ast.BoolLit,
 		*ast.Bottom, *ast.EmptySet, *ast.EmptyBag, *ast.Lam, *ast.ArrayTab:
 		return true
 	case *ast.Tuple:

@@ -46,6 +46,13 @@ type BoolLit struct {
 // BottomLit is the error literal _|_.
 type BottomLit struct{ At scan.Pos }
 
+// ParamE is the input placeholder $name: a typed hole filled per execution
+// from the argument frame of a prepared query.
+type ParamE struct {
+	Name string
+	At   scan.Pos
+}
+
 // TupleE is (e1, ..., ek); k = 0 is the unit value. (e) parses as e.
 type TupleE struct {
 	Elems []Expr
@@ -159,6 +166,7 @@ func (e *RealLit) Pos() scan.Pos   { return e.At }
 func (e *StringLit) Pos() scan.Pos { return e.At }
 func (e *BoolLit) Pos() scan.Pos   { return e.At }
 func (e *BottomLit) Pos() scan.Pos { return e.At }
+func (e *ParamE) Pos() scan.Pos    { return e.At }
 func (e *TupleE) Pos() scan.Pos    { return e.At }
 func (e *SetE) Pos() scan.Pos      { return e.At }
 func (e *BagE) Pos() scan.Pos      { return e.At }

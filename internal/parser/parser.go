@@ -583,6 +583,9 @@ func (p *parser) atom() (Expr, error) {
 	case scan.BOTTOM:
 		p.advance()
 		return &BottomLit{At: t.Pos}, nil
+	case scan.PARAM:
+		p.advance()
+		return &ParamE{Name: t.Text, At: t.Pos}, nil
 	case scan.IDENT:
 		p.advance()
 		return &Ident{Name: t.Text, At: t.Pos}, nil

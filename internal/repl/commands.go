@@ -7,6 +7,8 @@ import (
 	"sort"
 	"strings"
 
+	"github.com/aqldb/aql/internal/object"
+	"github.com/aqldb/aql/internal/scan"
 	"github.com/aqldb/aql/internal/trace"
 )
 
@@ -124,6 +126,42 @@ var commands = map[string]command{
 			return fmt.Sprintf("wrote %s (load in chrome://tracing or Perfetto)\n", file), nil
 		},
 	},
+	":prepare": {
+		usage:   ":prepare [query]",
+		summary: "prepare a parameterized query ($name placeholders) for :exec",
+		run: func(s *Session, _ context.Context, arg string) (string, error) {
+			if arg == "" {
+				if s.prepared == nil {
+					return "no prepared statement (use :prepare <query>)\n", nil
+				}
+				return formatPrepared(s.prepared), nil
+			}
+			p, err := s.Prepare(arg)
+			if err != nil {
+				return "", err
+			}
+			s.prepared = p
+			return formatPrepared(p), nil
+		},
+	},
+	":exec": {
+		usage:   ":exec [name=value, ...]",
+		summary: "run the prepared statement with scalar arguments",
+		run: func(s *Session, ctx context.Context, arg string) (string, error) {
+			if s.prepared == nil {
+				return "", fmt.Errorf("no prepared statement (use :prepare <query>)")
+			}
+			args, err := parseExecArgs(arg)
+			if err != nil {
+				return "", err
+			}
+			v, err := s.prepared.Exec(ctx, args)
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("val it = %s : %s\n", v, s.prepared.Type), nil
+		},
+	},
 	":engine": {
 		usage:   ":engine [name]",
 		summary: "show or switch the execution engine (interp, compiled)",
@@ -190,6 +228,92 @@ func (s *Session) Command(ctx context.Context, line string) (string, error) {
 		return "", fmt.Errorf("unknown command %s (try :help)", name)
 	}
 	return c.run(s, ctx, arg)
+}
+
+// formatPrepared renders a prepared statement's template, type and
+// placeholder types for the loop.
+func formatPrepared(p *Prepared) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "prepared: %s\n", p.Text)
+	fmt.Fprintf(&b, "type: %s\n", p.Type)
+	for _, name := range p.ParamNames() {
+		fmt.Fprintf(&b, "  $%s : %s\n", name, p.Params[name])
+	}
+	return b.String()
+}
+
+// parseExecArgs parses :exec's argument list — `name=value` pairs separated
+// by commas, where value is a scalar literal (natural, real, string, true,
+// false; reals may be negated). The name may be written bare or with its $
+// sigil. Structured arguments go through the host API or the server, which
+// accept full exchange-format values.
+func parseExecArgs(src string) (map[string]object.Value, error) {
+	args := map[string]object.Value{}
+	if strings.TrimSpace(src) == "" {
+		return args, nil
+	}
+	toks, err := scan.Scan(src)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for {
+		name := ""
+		switch toks[i].Kind {
+		case scan.IDENT, scan.PARAM:
+			name = toks[i].Text
+		default:
+			return nil, fmt.Errorf(":exec: expected argument name, got %s", toks[i].Kind)
+		}
+		i++
+		if toks[i].Kind != scan.EQ {
+			return nil, fmt.Errorf(":exec: expected = after %s", name)
+		}
+		i++
+		neg := false
+		if toks[i].Kind == scan.MINUS {
+			neg = true
+			i++
+		}
+		var v object.Value
+		switch t := toks[i]; t.Kind {
+		case scan.NAT:
+			if neg {
+				return nil, fmt.Errorf(":exec: %s: naturals are non-negative (use a real: -%d.0)", name, t.Nat)
+			}
+			v = object.Nat(t.Nat)
+		case scan.REAL:
+			r := t.Real
+			if neg {
+				r = -r
+			}
+			v = object.Real(r)
+		case scan.STRING:
+			if neg {
+				return nil, fmt.Errorf(":exec: %s: cannot negate a string", name)
+			}
+			v = object.String_(t.Text)
+		case scan.KEYWORD:
+			if neg || (t.Text != "true" && t.Text != "false") {
+				return nil, fmt.Errorf(":exec: %s: expected a scalar literal, got %q", name, t.Text)
+			}
+			v = object.Bool(t.Text == "true")
+		default:
+			return nil, fmt.Errorf(":exec: %s: expected a scalar literal, got %s", name, t.Kind)
+		}
+		if _, dup := args[name]; dup {
+			return nil, fmt.Errorf(":exec: duplicate argument %s", name)
+		}
+		args[name] = v
+		i++
+		if toks[i].Kind == scan.EOF {
+			return args, nil
+		}
+		if toks[i].Kind != scan.COMMA {
+			return nil, fmt.Errorf(":exec: expected , or end of arguments, got %s", toks[i].Kind)
+		}
+		i++
+	}
 }
 
 // Explain compiles and optimizes src without evaluating it, and renders

@@ -36,7 +36,7 @@ func TestHelpListsEveryCommand(t *testing.T) {
 // TestCommandTableComplete pins the commands the ISSUE and docs promise, so
 // a table edit can't silently drop one.
 func TestCommandTableComplete(t *testing.T) {
-	want := []string{":explain", ":profile", ":stats", ":top", ":fleet", ":prof", ":engine", ":help"}
+	want := []string{":explain", ":profile", ":stats", ":top", ":fleet", ":prof", ":engine", ":prepare", ":exec", ":help"}
 	have := map[string]bool{}
 	for _, name := range CommandNames() {
 		have[name] = true
@@ -59,6 +59,11 @@ func TestEveryCommandRuns(t *testing.T) {
 	args := map[string]string{
 		":explain": " 1 + 1",
 		":profile": " 1 + 1",
+		":exec":    " n=1",
+	}
+	// :exec runs before :prepare in sorted order; give it a statement.
+	if _, err := s.Command(context.Background(), ":prepare $n + 1"); err != nil {
+		t.Fatalf(":prepare: %v", err)
 	}
 	for _, name := range CommandNames() {
 		out, err := s.Command(context.Background(), name+args[name])

@@ -1,0 +1,139 @@
+package repl
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/aqldb/aql/internal/object"
+)
+
+// TestCommandPrepareExec drives the loop's prepared-statement surface:
+// :prepare compiles the template and reports the placeholder types,
+// :exec binds scalar literals and runs it, and re-:exec with new arguments
+// reuses the statement.
+func TestCommandPrepareExec(t *testing.T) {
+	s := newSession(t)
+	ctx := context.Background()
+
+	out, err := s.Command(ctx, `:prepare [[ i * $a + $b | \i < 5 ]]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"type: [[nat]]", "$a : nat", "$b : nat"} {
+		if !strings.Contains(out, want) {
+			t.Errorf(":prepare output missing %q:\n%s", want, out)
+		}
+	}
+
+	out, err = s.Command(ctx, `:exec a=2, b=1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "[[1, 3, 5, 7, 9]]") {
+		t.Errorf(":exec output = %q, want tabulated values", out)
+	}
+	// `it` is bound, as for a bare query.
+	if v, ok := s.Env.Val("it"); !ok || v.String() != "[[1, 3, 5, 7, 9]]" {
+		t.Errorf("it = %v (ok=%v), want the exec result", v, ok)
+	}
+
+	// $-sigil argument names and fresh values work on the same statement.
+	out, err = s.Command(ctx, `:exec $a=0, $b=9`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "[[9, 9, 9, 9, 9]]") {
+		t.Errorf("re-:exec output = %q", out)
+	}
+
+	// Bare :prepare shows the current statement.
+	out, err = s.Command(ctx, `:prepare`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "prepared: [[ i * $a + $b | \\i < 5 ]]") {
+		t.Errorf("bare :prepare = %q", out)
+	}
+}
+
+// TestCommandExecErrors: :exec without a statement, with malformed
+// arguments, and with bind failures all answer with errors, not panics.
+func TestCommandExecErrors(t *testing.T) {
+	s := newSession(t)
+	ctx := context.Background()
+
+	if _, err := s.Command(ctx, `:exec a=1`); err == nil ||
+		!strings.Contains(err.Error(), "no prepared statement") {
+		t.Errorf("exec without prepare: err = %v", err)
+	}
+	if _, err := s.Command(ctx, `:prepare $n + 1`); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct{ line, want string }{
+		{`:exec n`, "expected ="},
+		{`:exec n=`, "expected a scalar literal"},
+		{`:exec n=1, n=2`, "duplicate argument"},
+		{`:exec n=1 m=2`, "expected , or end"},
+		{`:exec n=1, m=2`, "does not name a parameter"},
+		{`:exec n="s"`, "expected nat, got string"},
+		{`:exec`, "missing argument for parameter $n"},
+		{`:exec n=-3`, "naturals are non-negative"},
+	} {
+		if _, err := s.Command(ctx, c.line); err == nil ||
+			!strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want substring %q", c.line, err, c.want)
+		}
+	}
+	// Still usable after every failure.
+	out, err := s.Command(ctx, `:exec n=41`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "42") {
+		t.Errorf(":exec n=41 = %q, want 42", out)
+	}
+}
+
+// TestParseExecArgs covers the literal kinds the loop accepts.
+func TestParseExecArgs(t *testing.T) {
+	args, err := parseExecArgs(`n=3, x=-1.5, s="a b", t=true, f=false`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]object.Value{
+		"n": object.Nat(3), "x": object.Real(-1.5),
+		"s": object.String_("a b"), "t": object.Bool(true), "f": object.Bool(false),
+	}
+	if len(args) != len(want) {
+		t.Fatalf("args = %v", args)
+	}
+	for k, w := range want {
+		if got, ok := args[k]; !ok || got.String() != w.String() {
+			t.Errorf("args[%s] = %v, want %v", k, got, w)
+		}
+	}
+	if empty, err := parseExecArgs("  "); err != nil || len(empty) != 0 {
+		t.Errorf("blank args = %v, %v", empty, err)
+	}
+}
+
+// TestPreparedInterpEngine: the prepared path honors the session's engine
+// selection — the interpreter threads the frame through its Params field.
+func TestPreparedInterpEngine(t *testing.T) {
+	s := newSession(t)
+	if err := s.SetEngine(EngineInterp); err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.Prepare(`$a * 6`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := p.Exec(context.Background(), map[string]object.Value{"a": object.Nat(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != "42" {
+		t.Fatalf("interp exec = %s, want 42", v)
+	}
+}

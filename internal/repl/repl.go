@@ -73,6 +73,8 @@ type Session struct {
 	Flight *trace.FlightRecorder
 	// userSink is the caller-provided sink composed alongside Fleet/Flight.
 	userSink trace.Sink
+	// prepared is the loop's current prepared statement (:prepare / :exec).
+	prepared *Prepared
 }
 
 // Execution engine names for Session.Engine.

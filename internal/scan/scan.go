@@ -57,6 +57,7 @@ const (
 	SLASH          // /
 	PERCENT        // %
 	BOTTOM         // _|_
+	PARAM          // $name (input placeholder)
 )
 
 var kindNames = map[Kind]string{
@@ -67,7 +68,7 @@ var kindNames = map[Kind]string{
 	BAR: "|", COLON: ":", BACKSLASH: "\\", WILD: "_", BANG: "!", ARROW: "<-",
 	DARROW: "=>", BIND: "==", EQ: "=", NE: "<>", LE: "<=", GE: ">=", LT: "<",
 	GT: ">", PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/", PERCENT: "%",
-	BOTTOM: "_|_",
+	BOTTOM: "_|_", PARAM: "input placeholder",
 }
 
 // String returns a readable name for the kind.
@@ -220,6 +221,18 @@ func (s *scanner) next() (Token, error) {
 		return s.number(pos)
 	case b == '"':
 		return s.str(pos)
+	case b == '$':
+		// `$name` is an input placeholder: a hole filled per execution from
+		// the argument frame of a prepared query.
+		s.advance()
+		if !isIdentByte(s.peek()) || unicode.IsDigit(rune(s.peek())) {
+			return Token{}, s.errf("expected a name after $")
+		}
+		start := s.pos
+		for s.pos < len(s.src) && isIdentByte(s.peek()) {
+			s.advance()
+		}
+		return Token{Kind: PARAM, Text: s.src[start:s.pos], Pos: pos}, nil
 	}
 	// Multi-byte symbols first.
 	two := ""

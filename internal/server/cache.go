@@ -114,6 +114,10 @@ func (k planKey) String() string {
 type plan struct {
 	prog *compile.Program
 	typ  *types.Type
+	// params maps each $name placeholder to its inferred type; bind-time
+	// argument checking unifies submitted values against these. Empty for
+	// non-parameterized queries.
+	params map[string]*types.Type
 	// prepare observability, captured once at prepare time.
 	rules       []trace.RuleFiring
 	nodesBefore int

@@ -1,0 +1,157 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestParameterizedQueryBasic: a template with args executes, and the
+// template text — not the argument values — keys the plan cache, so every
+// subsequent argument set is a cache hit.
+func TestParameterizedQueryBasic(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	tmpl := `[[ i * $a + $b | \i < 10 ]]`
+
+	first, _, err := postQuery(ts, QueryRequest{Query: tmpl,
+		Args: map[string]string{"a": "3", "b": "1"}})
+	if err != nil {
+		t.Fatalf("first: %v", err)
+	}
+	if first.Value != `[[1, 4, 7, 10, 13, 16, 19, 22, 25, 28]]` {
+		t.Fatalf("first value = %s", first.Value)
+	}
+	if first.Cached {
+		t.Fatal("first execution of a template reported cached")
+	}
+
+	// Same template, different args — and different layout, which must
+	// still normalize onto the same plan.
+	second, _, err := postQuery(ts, QueryRequest{Query: "  [[ i * $a + $b | \\i < 10 ]] ;",
+		Args: map[string]string{"a": "0", "b": "5"}})
+	if err != nil {
+		t.Fatalf("second: %v", err)
+	}
+	if !second.Cached {
+		t.Fatal("second argument set missed the template's cached plan")
+	}
+	if second.Value != `[[5, 5, 5, 5, 5, 5, 5, 5, 5, 5]]` {
+		t.Fatalf("second value = %s (argument frame leaked?)", second.Value)
+	}
+
+	cs := s.CacheStats()
+	if cs.Hits < 1 || cs.Size != 1 {
+		t.Fatalf("cache stats = %+v, want 1 entry with >= 1 hit", cs)
+	}
+
+	// The prepared result matches the literal substitution byte-for-byte,
+	// counters included.
+	lit, _, err := postQuery(ts, QueryRequest{Query: `[[ i * 3 + 1 | \i < 10 ]]`})
+	if err != nil {
+		t.Fatalf("literal: %v", err)
+	}
+	if lit.Value != first.Value {
+		t.Errorf("literal value %s != prepared %s", lit.Value, first.Value)
+	}
+	if lit.Eval != first.Eval {
+		t.Errorf("literal counters %+v != prepared %+v", lit.Eval, first.Eval)
+	}
+}
+
+// TestParameterizedBindErrors: the three bind failure modes are 400s with
+// the right kind, caught before evaluation.
+func TestParameterizedBindErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	tmpl := `$n + 1`
+
+	cases := []struct {
+		name     string
+		args     map[string]string
+		kind     string
+		fragment string
+	}{
+		{"missing", nil, "request", "missing argument for parameter $n"},
+		{"unknown", map[string]string{"n": "1", "zz": "2"}, "request", `"zz" does not name a parameter`},
+		{"mismatch", map[string]string{"n": `"hello"`}, "type", "expected nat, got string"},
+		{"undecodable", map[string]string{"n": "[[;]]"}, "request", "argument $n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, status, err := postQuery(ts, QueryRequest{Query: tmpl, Args: c.args})
+			if status != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400 (err %v)", status, err)
+			}
+			ie, ok := err.(*errorInfoError)
+			if !ok {
+				t.Fatalf("err = %v, want ErrorInfo", err)
+			}
+			if ie.Info.Kind != c.kind {
+				t.Errorf("kind = %q, want %q", ie.Info.Kind, c.kind)
+			}
+			if !strings.Contains(ie.Info.Message, c.fragment) {
+				t.Errorf("message = %q, want substring %q", ie.Info.Message, c.fragment)
+			}
+		})
+	}
+
+	// Valid bind still works after the failures (no cache poisoning).
+	qr, _, err := postQuery(ts, QueryRequest{Query: tmpl, Args: map[string]string{"n": "41"}})
+	if err != nil {
+		t.Fatalf("valid bind: %v", err)
+	}
+	if qr.Value != "42" {
+		t.Fatalf("value = %s, want 42", qr.Value)
+	}
+}
+
+// TestParameterizedStructuredArgs: arguments are full exchange-format
+// values, not just scalars — a set argument binds where a set is inferred.
+func TestParameterizedStructuredArgs(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	qr, _, err := postQuery(ts, QueryRequest{Query: `{x * x | \x <- $xs}`,
+		Args: map[string]string{"xs": `{1, 2, 3}`}})
+	if err != nil {
+		t.Fatalf("structured arg: %v", err)
+	}
+	if qr.Value != `{1, 4, 9}` {
+		t.Fatalf("value = %s, want {1, 4, 9}", qr.Value)
+	}
+}
+
+// TestParameterizedValRebindInvalidates: epoch keying applies to templates
+// exactly as to plain queries — a val rebinding must not serve a stale
+// parameterized plan.
+func TestParameterizedValRebindInvalidates(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	setVal := func(body string) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/val/K", "text/plain", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST /val/K: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST /val/K: status %d", resp.StatusCode)
+		}
+	}
+	setVal("10")
+	tmpl := `K + $a`
+	qr, _, err := postQuery(ts, QueryRequest{Query: tmpl, Args: map[string]string{"a": "5"}})
+	if err != nil {
+		t.Fatalf("first: %v", err)
+	}
+	if qr.Value != "15" {
+		t.Fatalf("value = %s, want 15", qr.Value)
+	}
+	setVal("100")
+	qr, _, err = postQuery(ts, QueryRequest{Query: tmpl, Args: map[string]string{"a": "5"}})
+	if err != nil {
+		t.Fatalf("second: %v", err)
+	}
+	if qr.Value != "105" {
+		t.Fatalf("value = %s, want 105 (stale parameterized plan served)", qr.Value)
+	}
+	if qr.Cached {
+		t.Error("post-rebind execution reported cached (epoch keying broken)")
+	}
+}

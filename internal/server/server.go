@@ -151,6 +151,12 @@ type QueryRequest struct {
 	MaxSteps int64 `json:"max_steps,omitempty"`
 	// TimeoutMS likewise tightens the evaluation wall-clock budget.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Args binds the query's $name placeholders for this execution, each
+	// value in the complex-object exchange format. Binding is strict: every
+	// placeholder must be bound, every argument must name a placeholder the
+	// query mentions, and each value must unify with the placeholder's
+	// inferred type — violations are 400s, never mid-query eval errors.
+	Args map[string]string `json:"args,omitempty"`
 }
 
 // QueryResponse is the POST /query success body.
@@ -263,6 +269,14 @@ func (s *Server) runQuery(ctx context.Context, id string, tc trace.TraceContext,
 	rec.RecordCached(hit)
 
 	opts := s.execOpts(req)
+	if len(p.params) > 0 || len(req.Args) > 0 {
+		bound, bindErr := bindArgs(p, req.Args)
+		if bindErr != nil {
+			rec.End(errors.New(bindErr.Message))
+			return nil, bindErr, http.StatusBadRequest
+		}
+		opts.Args = bound
+	}
 	var v object.Value
 	var counters eval.Counters
 	var mode string
@@ -387,7 +401,7 @@ func (s *Server) prepare(norm string, rec *trace.Recorder) (*plan, error) {
 	core = env.ExpandMacros(core)
 	sp.End()
 	sp = rec.StartPhase(trace.PhaseTypecheck)
-	typ, err := typecheck.Infer(core, env.GlobalTypes())
+	typ, params, err := typecheck.InferParams(core, env.GlobalTypes())
 	sp.End()
 	if err != nil {
 		return nil, &PrepareError{Phase: "type", Err: err}
@@ -410,7 +424,7 @@ func (s *Server) prepare(norm string, rec *trace.Recorder) (*plan, error) {
 	prog := compile.NewProgram(optimized, env.Globals(), eval.Limits{MaxDepth: s.cfg.Limits.MaxDepth})
 	sp.End()
 
-	return &plan{prog: prog, typ: typ, rules: rules, nodesBefore: before, nodesAfter: after}, nil
+	return &plan{prog: prog, typ: typ, params: params, rules: rules, nodesBefore: before, nodesAfter: after}, nil
 }
 
 // execOpts derives one execution's resource budget: the server's configured

@@ -83,6 +83,19 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 	}
 
 	opts := s.execOpts(QueryRequest{MaxSteps: req.MaxSteps, TimeoutMS: req.TimeoutMS})
+	if len(p.params) > 0 || len(req.Args) > 0 {
+		// The coordinator ships the coordinator-validated argument frame with
+		// every shard; re-validating here keeps a worker safe against a
+		// direct (or buggy) caller. Bind failures are deterministic client
+		// errors — the coordinator will not retry them elsewhere.
+		bound, bindErr := bindArgs(p, req.Args)
+		if bindErr != nil {
+			rec.End(errors.New(bindErr.Message))
+			writeShardError(w, http.StatusBadRequest, bindErr.Kind, bindErr.Message, -1, id)
+			return
+		}
+		opts.Args = bound
+	}
 	sp := rec.StartPhase(trace.PhaseEval)
 	res, err := executeRangeGuarded(ctx, p.prog, opts, req.Shape, req.Start, req.End, norm)
 	sp.End()

@@ -28,6 +28,7 @@ type Checker struct {
 	globals map[string]*types.Type
 	numeric []*types.Type // types constrained to be nat or real
 	ordered []*types.Type // types constrained to be orderable (no functions)
+	params  map[string]*types.Type // $name placeholders, typed once per name
 }
 
 // New returns a checker that resolves free variables against the given
@@ -52,6 +53,27 @@ func Infer(e ast.Expr, globals map[string]*types.Type) (*types.Type, error) {
 		return nil, err
 	}
 	return c.subst.Apply(t), nil
+}
+
+// InferParams is Infer for parameterized queries: alongside the query type it
+// returns the solved type of every $name placeholder. A placeholder gets one
+// type variable on first occurrence and reuses it on repeats, so a single
+// $name used at two incompatible types is a prepare-time error, not a
+// bind-time one.
+func InferParams(e ast.Expr, globals map[string]*types.Type) (*types.Type, map[string]*types.Type, error) {
+	c := New(globals)
+	t, err := c.infer(e, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := c.solve(); err != nil {
+		return nil, nil, err
+	}
+	params := make(map[string]*types.Type, len(c.params))
+	for name, pt := range c.params {
+		params[name] = c.subst.Apply(pt)
+	}
+	return c.subst.Apply(t), params, nil
 }
 
 // tenv is the local type environment (lambda and comprehension binders).
@@ -134,6 +156,17 @@ func (c *Checker) infer(e ast.Expr, env *tenv) (*types.Type, error) {
 			return c.freshen(t), nil
 		}
 		return nil, fmt.Errorf("typecheck: unknown identifier %q", n.Name)
+
+	case *ast.Param:
+		if t, ok := c.params[n.Name]; ok {
+			return t, nil
+		}
+		if c.params == nil {
+			c.params = map[string]*types.Type{}
+		}
+		t := c.newVar()
+		c.params[n.Name] = t
+		return t, nil
 
 	case *ast.Lam:
 		a := c.newVar()
