@@ -248,6 +248,12 @@ func (s *Session) Profile(ctx context.Context, src string) (string, error) {
 	return s.s.Profile(ctx, src)
 }
 
+// ExplainAnalyze runs src at full profiling and returns the result plus the
+// per-operator estimate-vs-actual table — the REPL's :explain analyze.
+func (s *Session) ExplainAnalyze(ctx context.Context, src string) (string, error) {
+	return s.s.ExplainAnalyze(ctx, src)
+}
+
 // IsCommand reports whether an input line is a session colon-command
 // (":explain", ":profile", ":stats", ":help") rather than an AQL
 // statement.

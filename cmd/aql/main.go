@@ -59,6 +59,7 @@ func main() {
 	maxDepth := flag.Int("maxdepth", 0, "abort queries that recurse deeper than this many evaluator frames (0 = unlimited)")
 	timeout := flag.Duration("timeout", 0, "abort queries that run longer than this, e.g. 5s (0 = unlimited)")
 	explain := flag.Bool("explain", false, "with -q: print the optimized query and the optimizer rule trace instead of evaluating")
+	explainAnalyze := flag.Bool("explain-analyze", false, "with -q: run the query at full profiling and print the per-operator estimate-vs-actual table")
 	profile := flag.Bool("profile", false, "with -q: after the value, print per-phase wall times and work counters")
 	traceJSON := flag.String("tracejson", "", "with -q: write the query's trace as Chrome trace-event JSON to this file")
 	metricsAddr := flag.String("metricsaddr", "", "serve observability counters as JSON over HTTP on this address, e.g. :8080")
@@ -96,6 +97,17 @@ func main() {
 	switch {
 	case *query != "" && *explain:
 		out, err := s.Explain(*query)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aql:", err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+	case *query != "" && *explainAnalyze:
+		out, err := func() (string, error) {
+			ctx, stop := repl.NotifyInterrupt(context.Background())
+			defer stop()
+			return s.ExplainAnalyze(ctx, *query)
+		}()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "aql:", err)
 			os.Exit(1)

@@ -1,0 +1,178 @@
+package main
+
+// e25 puts the estimate-vs-actual observability layer itself under the
+// microscope: what does joining prepare-time estimates against the full
+// profile's span tree add to a query's wall time, and how accurate are the
+// estimates on statically-bounded workloads? The join overhead is gated in
+// CI via -failworse (<= 10% over the plain full-profile run, matching the
+// span-overhead budget); the accuracy tally is the E25 table of
+// EXPERIMENTS.md.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/aqldb/aql/internal/bench"
+	"github.com/aqldb/aql/internal/cost"
+	"github.com/aqldb/aql/internal/repl"
+)
+
+// explainBench is one row of the e25 join-overhead comparison; ns figures
+// are the best of the measurement repetitions, as in e19.
+type explainBench struct {
+	Name     string  `json:"name"`
+	FullNs   int64   `json:"full_prof_ns_per_op"`
+	JoinNs   int64   `json:"full_prof_join_ns_per_op"`
+	Overhead float64 `json:"join_overhead"`
+}
+
+// explainReport is the e25 payload: the join overhead per workload plus the
+// estimator's accuracy tally over the statically-bounded corpus.
+type explainReport struct {
+	Benchmarks  []explainBench `json:"benchmarks"`
+	RowsExact   int            `json:"rows_exact"`
+	RowsKnown   int            `json:"rows_known"`
+	RowsUnknown int            `json:"rows_unknown"`
+	RowsFlagged int            `json:"rows_flagged"`
+	WorstQError float64        `json:"worst_q_error"`
+}
+
+// e25Results holds the e25 measurements for -failworse.
+var e25Results *explainReport
+
+// e25MaxOverhead is the -failworse gate: the estimate join may add at most
+// this fraction to a full-profile run's wall time.
+const e25MaxOverhead = 0.10
+
+func newE25Session() *repl.Session {
+	s := bench.MustSession()
+	if err := s.SetProfiling("full"); err != nil {
+		panic(err)
+	}
+	if _, err := s.Exec(bench.EngineSetup); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func runE25() {
+	reps := 5
+	if *quick {
+		reps = 3
+	}
+	e25Results = &explainReport{}
+
+	// Join overhead: the same full-profile evaluation, with and without the
+	// estimate-vs-actual join folded into the report. The estimate tree is
+	// computed once outside the loop — at a server it is built at prepare
+	// time and rides the cached plan, so per-execution cost is the join
+	// alone.
+	workloads := []struct{ name, query string }{
+		{"matmul", `[[ summap(fn \k => A[i,k] * B[k,j])!(gen!n) | \i < n, \j < n ]]`},
+		{"puretab", `[[ (i*i + 7) % 93 | \i < 100000 ]]`},
+	}
+	fmt.Printf("| workload | full prof | full prof + join | overhead |\n|---|---|---|---|\n")
+	for _, w := range workloads {
+		s := newE25Session()
+		core, _, err := s.Compile(w.query)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aqlbench:", err)
+			os.Exit(1)
+		}
+		opt := s.Optimize(core)
+		est := cost.Estimate(opt, s.Env.Globals())
+		var base, joined time.Duration
+		for r := 0; r < reps; r++ {
+			s.Trace.Begin("e25:" + w.name)
+			start := time.Now()
+			_, err := s.Eval(opt)
+			d := time.Since(start)
+			s.Trace.End(err)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "aqlbench:", err)
+				os.Exit(1)
+			}
+			if r == 0 || d < base {
+				base = d
+			}
+
+			s.Trace.Begin("e25:" + w.name + "+join")
+			start = time.Now()
+			_, err = s.Eval(opt)
+			s.Trace.JoinExplain(est, 0)
+			d = time.Since(start)
+			rep := s.Trace.End(err)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "aqlbench:", err)
+				os.Exit(1)
+			}
+			if rep == nil || rep.Explain == nil {
+				fmt.Fprintln(os.Stderr, "aqlbench: e25: no explain table joined")
+				os.Exit(1)
+			}
+			if r == 0 || d < joined {
+				joined = d
+			}
+		}
+		overhead := float64(joined)/float64(base) - 1
+		fmt.Printf("| %s | %v | %v | %+.1f%% |\n",
+			w.name, base.Round(time.Microsecond), joined.Round(time.Microsecond), 100*overhead)
+		e25Results.Benchmarks = append(e25Results.Benchmarks, explainBench{
+			Name:     w.name,
+			FullNs:   base.Nanoseconds(),
+			JoinNs:   joined.Nanoseconds(),
+			Overhead: overhead,
+		})
+	}
+
+	// Estimator accuracy: run the statically-bounded corpus through the
+	// full :explain analyze pipeline and tally the per-operator rows. Known
+	// estimates are exact by construction (q-error 1.0); parameter- and
+	// data-dependent operators must report unknown rather than a fabricated
+	// number, so they land in the unknown bucket, never the flagged one.
+	corpus := []struct{ name, query string }{
+		{"matmul", `[[ summap(fn \k => A[i,k] * B[k,j])!(gen!n) | \i < n, \j < n ]]`},
+		{"puretab", `[[ (i*i + 7) % 93 | \i < 2000 ]]`},
+		{"gen", `gen!500`},
+		{"sumsq", `summap(fn \x => x * x)!(gen!200)`},
+	}
+	fmt.Printf("\n| query | rows | exact (q=1) | known | unknown | flagged | worst q-err |\n|---|---|---|---|---|---|---|\n")
+	for _, c := range corpus {
+		s := newE25Session()
+		table, _, _, err := s.ExplainAnalyzeTable(context.Background(), c.query)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aqlbench:", err)
+			os.Exit(1)
+		}
+		exact, known, unknown, flagged := 0, 0, 0, 0
+		worst := 0.0
+		for _, row := range table.Rows {
+			switch {
+			case !row.EstCells.Known && !row.EstCost.Known:
+				unknown++
+			case row.QError == 1.0:
+				exact++
+				known++
+			default:
+				known++
+			}
+			if row.Flagged {
+				flagged++
+			}
+			if row.QError > worst {
+				worst = row.QError
+			}
+		}
+		fmt.Printf("| %s | %d | %d | %d | %d | %d | %.2f |\n",
+			c.name, len(table.Rows), exact, known, unknown, flagged, worst)
+		e25Results.RowsExact += exact
+		e25Results.RowsKnown += known
+		e25Results.RowsUnknown += unknown
+		e25Results.RowsFlagged += flagged
+		if worst > e25Results.WorstQError {
+			e25Results.WorstQError = worst
+		}
+	}
+}

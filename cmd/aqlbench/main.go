@@ -6,7 +6,7 @@
 // Usage:
 //
 //	aqlbench            run every experiment
-//	aqlbench -exp e7    run one experiment (e4, e6, e7, e8, e9, e10, e11, e15, e17, e19, e21, e22, e23, e24, a1)
+//	aqlbench -exp e7    run one experiment (e4, e6, e7, e8, e9, e10, e11, e15, e17, e19, e21, e22, e23, e24, e25, a1)
 //	aqlbench -quick     smaller sweeps, for smoke testing
 //	aqlbench -report reports.jsonl
 //	                    additionally write one trace.QueryReport JSON object
@@ -54,11 +54,11 @@ var quick = flag.Bool("quick", false, "smaller sweeps")
 var reportSink trace.Sink
 
 func main() {
-	exp := flag.String("exp", "", "run a single experiment (e4, e6, e7, e8, e9, e10, e11, e15, e17, e19, e21, e22, e23, e24, a1)")
+	exp := flag.String("exp", "", "run a single experiment (e4, e6, e7, e8, e9, e10, e11, e15, e17, e19, e21, e22, e23, e24, e25, a1)")
 	report := flag.String("report", "", "write per-query trace.QueryReport JSON lines to this file (- for stdout)")
 	engine := flag.String("engine", "", "execution engine for the experiments: interp or compiled (default: the session default)")
 	engJSON := flag.String("engjson", "", "with e19: write the engine-comparison results as JSON to this file (e.g. BENCH_engine.json)")
-	failWorse := flag.Bool("failworse", false, "with e19/e24: exit nonzero if the compiled engine is slower than interp on the pure-tabulation workload, or the templated plan-cache hit rate falls below 99%")
+	failWorse := flag.Bool("failworse", false, "with e19/e24/e25: exit nonzero if the compiled engine is slower than interp on the pure-tabulation workload, the templated plan-cache hit rate falls below 99%, or the estimate join adds more than 10% to a full-profile run")
 	profLevel := flag.String("proflevel", "off", "operator profiling level for the experiments: off, sampled, or full")
 	trajectory := flag.String("trajectory", "", "with e19: append the measurements to this JSON trajectory file (e.g. BENCH_trajectory.json)")
 	stamp := flag.String("stamp", "", "label for the -trajectory entry (a version or commit id; kept a flag so runs are reproducible)")
@@ -98,6 +98,7 @@ func main() {
 		{"e22", "cluster: scatter-gather speedup, hedged straggler tail latency", runE22},
 		{"e23", "per-plan stats store: templated workload profiles in /debug/planstats", runE23},
 		{"e24", "prepared templates: plan-cache hit rate and latency vs literal substitution", runE24},
+		{"e25", "explain analyze: estimate-vs-actual join overhead and estimator accuracy", runE25},
 		{"e15", "NetCDF subslab reads (section 4.1)", runE15},
 		{"e17", "predictive caching for strided reads (section 7)", runE17},
 		{"a1", "ablation: optimizer phase structure", runA1},
@@ -154,6 +155,15 @@ func main() {
 			fmt.Fprintf(os.Stderr, "aqlbench: templated workload plan-cache hit rate %.1f%%, want >= 99%%\n",
 				100*tmplResults.TemplatedHitRate)
 			os.Exit(1)
+		}
+	}
+	if *failWorse && e25Results != nil {
+		for _, eb := range e25Results.Benchmarks {
+			if eb.Overhead > e25MaxOverhead {
+				fmt.Fprintf(os.Stderr, "aqlbench: estimate join adds %.1f%% to %s at prof level full, want <= %.0f%%\n",
+					100*eb.Overhead, eb.Name, 100*e25MaxOverhead)
+				os.Exit(1)
+			}
 		}
 	}
 }

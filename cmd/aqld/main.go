@@ -99,6 +99,7 @@ func run() error {
 	shardRetries := flag.Int("shard-attempts", 0, "remote dispatch attempts per shard before local fallback (0 = default)")
 	minCells := flag.Int64("min-shard-cells", 0, "smallest element space worth scattering (0 = default)")
 	localWorkers := flag.Int("workers-local", 0, "local tabulation fan-out per query (0 = GOMAXPROCS)")
+	qerrThreshold := flag.Float64("qerror-threshold", 0, "q-error above which a per-operator estimate counts as a misestimate (0 = default 2.0)")
 	flag.Parse()
 
 	sess, err := repl.New()
@@ -129,7 +130,8 @@ func run() error {
 			MaxDepth: *maxDepth,
 			Timeout:  *timeout,
 		},
-		Workers: *localWorkers,
+		Workers:         *localWorkers,
+		QErrorThreshold: *qerrThreshold,
 	}
 	if *coordinator {
 		urls := splitWorkers(*workers)

@@ -1,0 +1,87 @@
+package cluster_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"github.com/aqldb/aql/internal/cluster"
+	"github.com/aqldb/aql/internal/trace"
+)
+
+// TestDebugExplainClusterRoundTrip: a scattered query's joined
+// estimate-vs-actual table round-trips through GET /debug/explain/{id}
+// with the per-shard worker actuals merged in — at least two worker
+// shards, whose cells sum to the whole query's exact total.
+func TestDebugExplainClusterRoundTrip(t *testing.T) {
+	w1, w2 := newWorker(t), newWorker(t)
+	coord := cluster.New(fastCfg(&cluster.HTTPTransport{}, w1.URL, w2.URL))
+	ts := newCoordServer(t, coord)
+
+	// A head that allocates (a bag singleton per element) charges cells on
+	// the workers, so the per-shard actuals carry real cell counts — the
+	// array's own 5000-cell charge lands once, on the coordinator's plan
+	// prologue, never double-counted by any shard.
+	const allocQuery = `[[ {| i % 7 |} | \i < 5000 ]]`
+	qr, _, er := postQuery(t, ts, allocQuery)
+	if er != nil {
+		t.Fatalf("distributed query failed: %+v", er)
+	}
+	if qr.Mode != "distributed" {
+		t.Fatalf("mode = %q, want distributed", qr.Mode)
+	}
+
+	resp, err := http.Get(ts.URL + "/debug/explain/" + qr.TraceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/explain/%s = %d", qr.TraceID, resp.StatusCode)
+	}
+	var tab trace.ExplainTable
+	if err := json.NewDecoder(resp.Body).Decode(&tab); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+
+	// The coordinator's programs execute unprofiled, so the estimate joins
+	// in root mode against the merged flat counters — which are exact, so
+	// the statically-known cell estimate must agree to the cell.
+	if tab.Mode != "root" {
+		t.Fatalf("join mode = %q, want root", tab.Mode)
+	}
+	// 5000 array cells + 5000 singleton cells, both statically known.
+	row := tab.Rows[0]
+	if !row.EstCells.Known || row.EstCells.N != 10000 {
+		t.Errorf("est cells = %v, want known 10000", row.EstCells)
+	}
+	if row.ActCells != 10000 {
+		t.Errorf("act cells = %d, want the exact merged total 10000", row.ActCells)
+	}
+
+	// Per-shard worker actuals: >= 2 distinct workers, the singletons'
+	// cells summing to the element count (every shard's work counted once,
+	// none twice).
+	if len(tab.Shards) < 2 {
+		t.Fatalf("shard actuals = %d rows, want >= 2", len(tab.Shards))
+	}
+	workers := map[string]bool{}
+	var cells, steps int64
+	for _, sh := range tab.Shards {
+		workers[sh.Worker] = true
+		cells += sh.Cells
+		steps += sh.Steps
+		if sh.Steps <= 0 {
+			t.Errorf("shard %d on %s reports %d steps", sh.Shard, sh.Worker, sh.Steps)
+		}
+	}
+	if len(workers) < 2 {
+		t.Errorf("shard actuals span %d distinct workers, want >= 2: %v", len(workers), workers)
+	}
+	if cells != 5000 {
+		t.Errorf("shard cells sum to %d, want 5000 (one singleton per element)", cells)
+	}
+	if steps >= row.ActSelfSteps {
+		t.Errorf("shard steps sum to %d, want < total %d (the plan prologue runs on the coordinator)", steps, row.ActSelfSteps)
+	}
+}

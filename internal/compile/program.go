@@ -7,8 +7,10 @@ import (
 	"time"
 
 	"github.com/aqldb/aql/internal/ast"
+	"github.com/aqldb/aql/internal/cost"
 	"github.com/aqldb/aql/internal/eval"
 	"github.com/aqldb/aql/internal/object"
+	"github.com/aqldb/aql/internal/trace"
 )
 
 // Program is a prepared plan: a core expression lowered once to
@@ -43,6 +45,11 @@ type Program struct {
 	// params maps $name placeholders to argument-frame indices; shared with
 	// the shard view so distributed executions see the same frame layout.
 	params *paramTable
+	// est is the prepare-time estimate tree (cost.Estimate over expr and
+	// the globals snapshot): per-operator cardinality and cost estimates
+	// that ride the cached plan so every execution can join them against
+	// its recorded actuals for free.
+	est *trace.EstNode
 }
 
 // NewProgram compiles expr against a snapshot of globals. limits.MaxDepth,
@@ -55,7 +62,13 @@ func NewProgram(expr ast.Expr, globals map[string]object.Value, limits eval.Limi
 	}
 	pt := &paramTable{}
 	c := &compiler{globals: globals, limits: limits, params: pt}
-	p := &Program{code: c.compile(expr), maxSlots: c.maxSlots, limits: limits, params: pt}
+	p := &Program{
+		code:     c.compile(expr),
+		maxSlots: c.maxSlots,
+		limits:   limits,
+		params:   pt,
+		est:      cost.Estimate(expr, globals),
+	}
 	// The shardable core may sit under a chain of desugared let bindings
 	// (App{Lam, bound}), which the optimizer's let-hoisting produces when it
 	// pulls loop-invariant work out of a tabulation. Peel the chain so such
@@ -89,6 +102,11 @@ func (p *Program) ParamNames() []string {
 	}
 	return append([]string(nil), p.params.names...)
 }
+
+// Estimates returns the program's prepare-time estimate tree, computed
+// once at NewProgram and shared (immutably) by all executions; nil only
+// for a nil expression.
+func (p *Program) Estimates() *trace.EstNode { return p.est }
 
 // ExecOpts configures one execution of a Program.
 type ExecOpts struct {

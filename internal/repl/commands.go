@@ -7,9 +7,12 @@ import (
 	"sort"
 	"strings"
 
+	"github.com/aqldb/aql/internal/cost"
+	"github.com/aqldb/aql/internal/eval"
 	"github.com/aqldb/aql/internal/object"
 	"github.com/aqldb/aql/internal/scan"
 	"github.com/aqldb/aql/internal/trace"
+	"github.com/aqldb/aql/internal/types"
 )
 
 // writeChromeTraceFile exports one report as Chrome trace-event JSON.
@@ -43,11 +46,14 @@ type command struct {
 // that take a query accept it with or without a trailing semicolon.
 var commands = map[string]command{
 	":explain": {
-		usage:   ":explain <query>",
-		summary: "show the optimized query and the optimizer rule trace",
-		run: func(s *Session, _ context.Context, arg string) (string, error) {
-			if arg == "" {
-				return "", fmt.Errorf("usage: :explain <query>")
+		usage:   ":explain [analyze] <query>",
+		summary: "show the optimized query; analyze: run it and join est/act",
+		run: func(s *Session, ctx context.Context, arg string) (string, error) {
+			if arg == "" || arg == "analyze" {
+				return "", fmt.Errorf("usage: :explain [analyze] <query>")
+			}
+			if strings.HasPrefix(arg, "analyze ") {
+				return s.ExplainAnalyze(ctx, strings.TrimSpace(strings.TrimPrefix(arg, "analyze ")))
 			}
 			return s.Explain(arg)
 		},
@@ -340,6 +346,54 @@ func (s *Session) Explain(src string) (string, error) {
 		b.WriteString("optimizer disabled\n")
 	}
 	return b.String(), nil
+}
+
+// ExplainAnalyze runs src at full span profiling, joins the prepare-time
+// cost/cardinality estimates against the recorded per-operator actuals,
+// and renders the annotated tree: est/act columns, q-errors, and flags on
+// misestimates above the session's threshold.
+func (s *Session) ExplainAnalyze(ctx context.Context, src string) (string, error) {
+	table, typ, v, err := s.ExplainAnalyzeTable(ctx, src)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "type: %s\n", typ)
+	fmt.Fprintf(&b, "result: %s\n", v.Pretty(8))
+	b.WriteString(table.Format())
+	return b.String(), nil
+}
+
+// ExplainAnalyzeTable is ExplainAnalyze's data form: compile and optimize
+// src, estimate every operator's cardinality and cost (internal/cost),
+// evaluate at eval.ProfFull regardless of the session's profiling level
+// (the per-operator join needs exact attribution), and join estimates with
+// the recorded span tree. The run is recorded like any query, with the
+// joined table riding the report into the flight recorder and sinks.
+func (s *Session) ExplainAnalyzeTable(ctx context.Context, src string) (*trace.ExplainTable, *types.Type, object.Value, error) {
+	s.Trace.Begin(":explain analyze " + src)
+	core, typ, err := s.Compile(src)
+	if err != nil {
+		s.Trace.End(err)
+		return nil, nil, object.Value{}, err
+	}
+	opt := s.Optimize(core)
+	est := cost.Estimate(opt, s.Env.Globals())
+	saved := s.Profiling
+	s.Profiling = eval.ProfFull
+	v, err := s.evalGuarded(ctx, opt, src)
+	s.Profiling = saved
+	s.Trace.JoinExplain(est, s.QErrorThreshold)
+	rep := s.Trace.End(err)
+	if err != nil {
+		return nil, nil, object.Value{}, err
+	}
+	if rep == nil || rep.Explain == nil {
+		// Tracing disabled: no report to join against; join the estimate
+		// tree with nothing recorded so the caller still sees estimates.
+		return nil, nil, object.Value{}, fmt.Errorf(":explain analyze requires tracing (enable with Trace.SetEnabled(true))")
+	}
+	return rep.Explain, typ, v, nil
 }
 
 // Profile runs the full pipeline on src and renders the finished report's

@@ -71,6 +71,9 @@ type Session struct {
 	// by New and survive SetTraceSink.
 	Fleet  *trace.Aggregator
 	Flight *trace.FlightRecorder
+	// QErrorThreshold is the q-error above which :explain analyze flags a
+	// per-operator misestimate; <= 0 selects trace.DefaultQErrorThreshold.
+	QErrorThreshold float64
 	// userSink is the caller-provided sink composed alongside Fleet/Flight.
 	userSink trace.Sink
 	// prepared is the loop's current prepared statement (:prepare / :exec).

@@ -79,6 +79,10 @@ type Config struct {
 	// whose prepared plan is range-partitionable are scattered across its
 	// workers instead of executing in-process. See internal/cluster.
 	Coordinator *cluster.Coordinator
+	// QErrorThreshold is the q-error above which a per-operator estimate is
+	// flagged as a misestimate in joined explain tables (<= 0 selects
+	// trace.DefaultQErrorThreshold).
+	QErrorThreshold float64
 }
 
 // Server is the aqld HTTP handler. Create with New, serve with net/http.
@@ -101,7 +105,43 @@ type Server struct {
 
 	qid atomic.Int64
 
+	// mis aggregates estimate-vs-actual misestimates across requests for
+	// the aqld_plan_misestimate_* metric family.
+	mis misestimates
+
 	mux *http.ServeMux
+}
+
+// misestimates is the server-wide misestimate ledger: flagged-operator and
+// affected-query counters, the worst q-error seen, and a trace_id exemplar
+// pointing at the most recent offending query.
+type misestimates struct {
+	mu      sync.Mutex
+	ops     int64
+	queries int64
+	worst   float64
+	ex      *trace.Exemplar
+}
+
+// observe folds one finished report's joined table into the ledger.
+func (m *misestimates) observe(rep *trace.QueryReport) {
+	if rep == nil || rep.Explain == nil || rep.Explain.Misestimates == 0 {
+		return
+	}
+	m.mu.Lock()
+	m.ops += int64(rep.Explain.Misestimates)
+	m.queries++
+	if rep.Explain.WorstQError > m.worst {
+		m.worst = rep.Explain.WorstQError
+	}
+	if rep.TraceID != "" {
+		m.ex = &trace.Exemplar{
+			TraceID: rep.TraceID,
+			Value:   rep.Explain.WorstQError,
+			Ts:      float64(rep.Start.Add(rep.Wall).UnixNano()) / 1e9,
+		}
+	}
+	m.mu.Unlock()
 }
 
 // New wraps a session (its environment, fleet aggregator and flight
@@ -125,6 +165,7 @@ func New(sess *repl.Session, cfg Config) *Server {
 	mux.HandleFunc("GET /debug/server", s.handleDebugServer)
 	mux.HandleFunc("GET /debug/planstats", s.handleDebugPlanStats)
 	mux.HandleFunc("GET /debug/trace/{id}", s.handleDebugTrace)
+	mux.HandleFunc("GET /debug/explain/{id}", s.handleDebugExplain)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
@@ -316,8 +357,13 @@ func (s *Server) runQuery(ctx context.Context, id string, tc trace.TraceContext,
 			rec.RecordSpans(stitched, trace.ProfStitched)
 		}
 	}
+	// Join the plan's prepare-time estimates against the recorded actuals
+	// before the report is finalized, so the table rides every copy of it
+	// (flight recorder, sinks, per-plan stats).
+	rec.JoinExplain(p.prog.Estimates(), s.cfg.QErrorThreshold)
 	rep := rec.End(err)
 	s.planStats.Observe(key.String(), rep)
+	s.mis.observe(rep)
 	if err != nil {
 		info, status := execHTTP(err)
 		return nil, &info, status
@@ -557,6 +603,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	b.Val("aqld_admission_queue_seconds_bucket", `le="+Inf"`, qh.Counts[len(qh.Buckets)])
 	b.Valf("aqld_admission_queue_seconds_sum", "", qh.Sum.Seconds())
 	b.Val("aqld_admission_queue_seconds_count", "", qh.Counts[len(qh.Buckets)])
+	s.mis.mu.Lock()
+	misOps, misQueries, misWorst, misEx := s.mis.ops, s.mis.queries, s.mis.worst, s.mis.ex
+	s.mis.mu.Unlock()
+	b.Header("aqld_plan_misestimate_ops_total", "counter",
+		"Operators whose estimate-vs-actual q-error exceeded the threshold.")
+	b.ValEx("aqld_plan_misestimate_ops_total", "", misOps, misEx)
+	b.Header("aqld_plan_misestimate_queries_total", "counter",
+		"Queries with at least one flagged misestimate.")
+	b.ValEx("aqld_plan_misestimate_queries_total", "", misQueries, misEx)
+	b.Header("aqld_plan_misestimate_worst_q_error", "gauge",
+		"Worst estimate-vs-actual q-error observed since start.")
+	b.Valf("aqld_plan_misestimate_worst_q_error", "", misWorst)
 	if coord := s.cfg.Coordinator; coord != nil {
 		st := coord.Stats()
 		b.Header("aqld_cluster_queries_total", "counter", "Scatter-gather query executions.")
@@ -599,6 +657,25 @@ func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = trace.WriteChromeTrace(w, &rep)
+}
+
+// handleDebugExplain serves the joined estimate-vs-actual table of one
+// flight-recorded query as JSON, looked up by request id or trace id. 404
+// when no report is retained under the id, or the retained report carries
+// no joined table (e.g. the query failed before execution).
+func (s *Server) handleDebugExplain(w http.ResponseWriter, r *http.Request) {
+	rep, ok := s.sess.Flight.Find(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrorInfo{Kind: "request",
+			Message: "no retained report with id or trace id " + r.PathValue("id")})
+		return
+	}
+	if rep.Explain == nil {
+		writeError(w, http.StatusNotFound, ErrorInfo{Kind: "request",
+			Message: "no explain table recorded for " + r.PathValue("id")})
+		return
+	}
+	writeJSON(w, http.StatusOK, rep.Explain)
 }
 
 func (s *Server) handleDebugServer(w http.ResponseWriter, r *http.Request) {

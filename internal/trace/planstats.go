@@ -57,6 +57,16 @@ type PlanStats struct {
 	// shard wall per distributed execution (1.0 = perfectly balanced),
 	// smoothed. Zero when the plan never scattered.
 	BalanceEWMA float64 `json:"balance_ewma,omitempty"`
+	// Misestimate profile, fed from the report's joined estimate-vs-actual
+	// table: Misestimates counts flagged operators across executions,
+	// WorstQErrorLast/WorstQErrorEWMA track the run's worst q-error (the
+	// EWMA seeded with the first sample), and WorstQErrorOp is the operator
+	// path of the last run's worst offender. Zero/empty when the plan never
+	// executed with estimates joined.
+	Misestimates    int64   `json:"misestimates,omitempty"`
+	WorstQErrorLast float64 `json:"worst_q_error_last,omitempty"`
+	WorstQErrorEWMA float64 `json:"worst_q_error_ewma,omitempty"`
+	WorstQErrorOp   string  `json:"worst_q_error_op,omitempty"`
 	// LastSeen orders eviction and tells drift detectors how stale the
 	// profile is.
 	LastSeen time.Time `json:"last_seen"`
@@ -73,10 +83,30 @@ func (p *PlanStats) observe(r *QueryReport) {
 	}
 	p.CellsLast = r.Eval.Cells
 	p.CellsTotal += r.Eval.Cells
-	p.CellsEWMA += ewmaAlpha * (float64(r.Eval.Cells) - p.CellsEWMA)
 	p.LatencyLast = r.Wall
-	p.LatencyEWMA += time.Duration(ewmaAlpha * float64(r.Wall-p.LatencyEWMA))
+	// EWMAs are seeded with the first sample: starting the recurrence from
+	// zero would bias early readings low by (1-α)^n of the true level.
+	if p.Queries == 1 {
+		p.CellsEWMA = float64(r.Eval.Cells)
+		p.LatencyEWMA = r.Wall
+	} else {
+		p.CellsEWMA += ewmaAlpha * (float64(r.Eval.Cells) - p.CellsEWMA)
+		p.LatencyEWMA += time.Duration(ewmaAlpha * float64(r.Wall-p.LatencyEWMA))
+	}
 	p.LastSeen = r.Start.Add(r.Wall)
+
+	if ex := r.Explain; ex != nil {
+		p.Misestimates += int64(ex.Misestimates)
+		if ex.WorstQError > 0 {
+			p.WorstQErrorLast = ex.WorstQError
+			p.WorstQErrorOp = ex.WorstOp
+			if p.WorstQErrorEWMA == 0 {
+				p.WorstQErrorEWMA = ex.WorstQError
+			} else {
+				p.WorstQErrorEWMA += ewmaAlpha * (ex.WorstQError - p.WorstQErrorEWMA)
+			}
+		}
+	}
 
 	if r.Spans != nil {
 		if p.SelfTime == nil {

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPlanStatsEWMASeededFromFirstObservation pins the seeding fix: the
+// first observation IS the moving average. Starting the recurrence from
+// zero would bias early readings low by (1-α)^n of the true level — a plan
+// observed once would report a cells EWMA of 0.2×actual.
+func TestPlanStatsEWMASeededFromFirstObservation(t *testing.T) {
+	store := NewPlanStatsStore(4)
+	rep := &QueryReport{
+		Start: time.Now(),
+		Wall:  50 * time.Millisecond,
+		Eval:  EvalCounters{Cells: 1000},
+	}
+	store.Observe("k", rep)
+	p, ok := store.Get("k")
+	if !ok {
+		t.Fatal("plan not tracked")
+	}
+	if p.CellsEWMA != 1000 {
+		t.Fatalf("first-observation cells EWMA = %v, want exactly 1000", p.CellsEWMA)
+	}
+	if p.LatencyEWMA != 50*time.Millisecond {
+		t.Fatalf("first-observation latency EWMA = %v, want exactly 50ms", p.LatencyEWMA)
+	}
+
+	// From the second observation on, the standard recurrence applies.
+	store.Observe("k", &QueryReport{
+		Start: time.Now(),
+		Wall:  100 * time.Millisecond,
+		Eval:  EvalCounters{Cells: 2000},
+	})
+	p, _ = store.Get("k")
+	if want := 1000 + ewmaAlpha*(2000-1000); p.CellsEWMA != want {
+		t.Fatalf("second-observation cells EWMA = %v, want %v", p.CellsEWMA, want)
+	}
+	wantLat := 50*time.Millisecond + time.Duration(ewmaAlpha*float64(50*time.Millisecond))
+	if p.LatencyEWMA != wantLat {
+		t.Fatalf("second-observation latency EWMA = %v, want %v", p.LatencyEWMA, wantLat)
+	}
+}
+
+// TestPlanStatsMisestimateProfile: joined explain tables fold into the
+// plan's misestimate profile — flagged-operator counts, the last and
+// EWMA-smoothed worst q-error (seeded from the first sample like the other
+// EWMAs), and the offending operator path.
+func TestPlanStatsMisestimateProfile(t *testing.T) {
+	store := NewPlanStatsStore(4)
+	rep := func(mis int, worst float64, op string) *QueryReport {
+		return &QueryReport{
+			Start:   time.Now(),
+			Explain: &ExplainTable{Misestimates: mis, WorstQError: worst, WorstOp: op},
+		}
+	}
+
+	store.Observe("k", rep(2, 4.0, "tab/index"))
+	p, _ := store.Get("k")
+	if p.Misestimates != 2 {
+		t.Fatalf("misestimates = %d, want 2", p.Misestimates)
+	}
+	if p.WorstQErrorLast != 4.0 || p.WorstQErrorEWMA != 4.0 {
+		t.Fatalf("worst q-error last/ewma = %v/%v, want seed 4.0", p.WorstQErrorLast, p.WorstQErrorEWMA)
+	}
+	if p.WorstQErrorOp != "tab/index" {
+		t.Fatalf("worst op = %q", p.WorstQErrorOp)
+	}
+
+	store.Observe("k", rep(1, 9.0, "tab/app"))
+	p, _ = store.Get("k")
+	if p.Misestimates != 3 {
+		t.Fatalf("misestimates = %d, want 3", p.Misestimates)
+	}
+	if want := 4.0 + ewmaAlpha*(9.0-4.0); p.WorstQErrorEWMA != want {
+		t.Fatalf("worst q-error EWMA = %v, want %v", p.WorstQErrorEWMA, want)
+	}
+	if p.WorstQErrorLast != 9.0 || p.WorstQErrorOp != "tab/app" {
+		t.Fatalf("last = %v at %q", p.WorstQErrorLast, p.WorstQErrorOp)
+	}
+
+	// A run with estimates joined but nothing flagged leaves the worst
+	// q-error profile alone (WorstQError 0 means "no scored rows", not "a
+	// perfect estimate") while still counting toward the plan's queries.
+	store.Observe("k", &QueryReport{Start: time.Now(), Explain: &ExplainTable{}})
+	p, _ = store.Get("k")
+	if p.WorstQErrorLast != 9.0 || p.Misestimates != 3 {
+		t.Fatalf("no-misestimate run disturbed the profile: %+v", p)
+	}
+
+	// Reports without a joined table at all leave the profile untouched.
+	store.Observe("k", &QueryReport{Start: time.Now()})
+	p, _ = store.Get("k")
+	if p.Misestimates != 3 || p.WorstQErrorEWMA == 0 {
+		t.Fatalf("table-less run disturbed the profile: %+v", p)
+	}
+}

@@ -212,6 +212,23 @@ func (r *Recorder) RecordSpans(root *SpanNode, level string) {
 	r.mu.Unlock()
 }
 
+// JoinExplain joins a prepare-time estimate tree against the open report's
+// recorded actuals (flat counters, span tree, shard spans) and attaches the
+// resulting table. Call it after RecordEval/RecordSpans/RecordShards and
+// before End, so the table rides every copy of the finished report (recent
+// ring, flight recorder, sinks). A threshold <= 0 selects
+// DefaultQErrorThreshold.
+func (r *Recorder) JoinExplain(est *EstNode, threshold float64) {
+	if r == nil || est == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.cur != nil {
+		r.cur.Explain = JoinEstimates(est, r.cur, threshold)
+	}
+	r.mu.Unlock()
+}
+
 // RecordID stamps the request id on the open report.
 func (r *Recorder) RecordID(id string) {
 	if r == nil || id == "" {

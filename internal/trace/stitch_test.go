@@ -302,11 +302,12 @@ func TestPlanStatsStore(t *testing.T) {
 	if p.CellsLast != flat.Cells || p.CellsTotal != 2*flat.Cells {
 		t.Fatalf("cells = last %d total %d", p.CellsLast, p.CellsTotal)
 	}
-	wantEWMA := ewmaAlpha*float64(flat.Cells) + ewmaAlpha*(float64(flat.Cells)-ewmaAlpha*float64(flat.Cells))
-	if p.CellsEWMA != wantEWMA {
-		t.Fatalf("cells EWMA = %v, want %v", p.CellsEWMA, wantEWMA)
+	// The first observation seeds the EWMA, so two identical observations
+	// leave it exactly at the observed level.
+	if p.CellsEWMA != float64(flat.Cells) {
+		t.Fatalf("cells EWMA = %v, want %v", p.CellsEWMA, float64(flat.Cells))
 	}
-	if p.LatencyLast != rep.Wall || p.LatencyEWMA <= 0 || p.LatencyEWMA >= rep.Wall {
+	if p.LatencyLast != rep.Wall || p.LatencyEWMA != rep.Wall {
 		t.Fatalf("latency = last %v ewma %v", p.LatencyLast, p.LatencyEWMA)
 	}
 	if p.ShardsPlanned != 4 || p.ShardsRemote != 2 || p.ShardsLocal != 2 || p.ShardRetries != 2 || p.ShardHedges != 2 {

@@ -160,6 +160,11 @@ type QueryReport struct {
 	// eval.SpanNode for the exact semantics at each level.
 	Spans     *SpanNode `json:"spans,omitempty"`
 	ProfLevel string    `json:"prof_level,omitempty"`
+	// Explain is the joined estimate-vs-actual table of the run, present
+	// when the query executed from a plan carrying prepare-time estimates
+	// (see JoinEstimates). Immutable once recorded, so report copies share
+	// the pointer.
+	Explain *ExplainTable `json:"explain,omitempty"`
 	// Cached reports that the query executed from a prepared-plan cache
 	// hit: no parse/typecheck/optimize/compile phase ran for this request
 	// (their PhaseTime entries are absent or zero).
