@@ -308,6 +308,23 @@ func (s *Session) SetMaxSteps(n int64) { s.s.MaxSteps = n }
 // names the exhausted resource.
 func (s *Session) SetLimits(l Limits) { s.s.Limits = l }
 
+// SetTileConfig tunes the session's out-of-core tile cache: tileCells per
+// tile and budget bytes of residency (zero values select the defaults).
+// Call it before reading data; see repl.Session.SetTileConfig.
+func (s *Session) SetTileConfig(tileCells int, budget int64) {
+	s.s.SetTileConfig(tileCells, budget, false)
+}
+
+// SetLazyReads selects lazy (tiled, on-demand) NetCDF reads, the default;
+// false restores eager whole-slab materialization. Both modes produce
+// byte-identical values.
+func (s *Session) SetLazyReads(lazy bool) { s.s.SetLazyReads(lazy) }
+
+// Close releases the session's out-of-core resources: open NetCDF handles,
+// the tile cache, and the spill file. Lazy values bound by the session must
+// not be read afterwards.
+func (s *Session) Close() error { return s.s.Close() }
+
 // RegisterPrimitive makes a Go function available as an AQL primitive with
 // the given type (in concrete syntax, e.g. "(real * real * nat) -> nat") —
 // the paper's RegisterCO.

@@ -54,11 +54,11 @@ var quick = flag.Bool("quick", false, "smaller sweeps")
 var reportSink trace.Sink
 
 func main() {
-	exp := flag.String("exp", "", "run a single experiment (e4, e6, e7, e8, e9, e10, e11, e15, e17, e19, e21, e22, e23, e24, e25, a1)")
+	exp := flag.String("exp", "", "run a single experiment (e4, e6, e7, e8, e9, e10, e11, e15, e17, e19, e21, e22, e23, e24, e25, e26, a1)")
 	report := flag.String("report", "", "write per-query trace.QueryReport JSON lines to this file (- for stdout)")
 	engine := flag.String("engine", "", "execution engine for the experiments: interp or compiled (default: the session default)")
 	engJSON := flag.String("engjson", "", "with e19: write the engine-comparison results as JSON to this file (e.g. BENCH_engine.json)")
-	failWorse := flag.Bool("failworse", false, "with e19/e24/e25: exit nonzero if the compiled engine is slower than interp on the pure-tabulation workload, the templated plan-cache hit rate falls below 99%, or the estimate join adds more than 10% to a full-profile run")
+	failWorse := flag.Bool("failworse", false, "with e19/e24/e25/e26: exit nonzero if the compiled engine is slower than interp on the pure-tabulation workload, the templated plan-cache hit rate falls below 99%, the estimate join adds more than 10% to a full-profile run, or the out-of-core sequential-scan tile hit rate falls below 90%")
 	profLevel := flag.String("proflevel", "off", "operator profiling level for the experiments: off, sampled, or full")
 	trajectory := flag.String("trajectory", "", "with e19: append the measurements to this JSON trajectory file (e.g. BENCH_trajectory.json)")
 	stamp := flag.String("stamp", "", "label for the -trajectory entry (a version or commit id; kept a flag so runs are reproducible)")
@@ -99,6 +99,7 @@ func main() {
 		{"e23", "per-plan stats store: templated workload profiles in /debug/planstats", runE23},
 		{"e24", "prepared templates: plan-cache hit rate and latency vs literal substitution", runE24},
 		{"e25", "explain analyze: estimate-vs-actual join overhead and estimator accuracy", runE25},
+		{"e26", "out-of-core: tiled lazy scan under a cache budget vs eager materialization", runE26},
 		{"e15", "NetCDF subslab reads (section 4.1)", runE15},
 		{"e17", "predictive caching for strided reads (section 7)", runE17},
 		{"a1", "ablation: optimizer phase structure", runA1},
@@ -133,8 +134,8 @@ func main() {
 		}
 	}
 	if *trajectory != "" {
-		if engResults == nil && srvResults == nil && clusterResults == nil && tmplResults == nil {
-			fmt.Fprintln(os.Stderr, "aqlbench: -trajectory requires the e19, e21, e22 or e24 experiment to have run")
+		if engResults == nil && srvResults == nil && clusterResults == nil && tmplResults == nil && e26Results == nil {
+			fmt.Fprintln(os.Stderr, "aqlbench: -trajectory requires the e19, e21, e22, e24 or e26 experiment to have run")
 			os.Exit(1)
 		}
 		if err := appendTrajectory(*trajectory, *stamp, engResults, srvResults, clusterResults, tmplResults); err != nil {
@@ -154,6 +155,18 @@ func main() {
 		if tmplResults.TemplatedHitRate < 0.99 {
 			fmt.Fprintf(os.Stderr, "aqlbench: templated workload plan-cache hit rate %.1f%%, want >= 99%%\n",
 				100*tmplResults.TemplatedHitRate)
+			os.Exit(1)
+		}
+	}
+	if *failWorse && e26Results != nil {
+		if e26Results.TileHitRate < e26MinHitRate {
+			fmt.Fprintf(os.Stderr, "aqlbench: out-of-core sequential-scan tile hit rate %.1f%%, want >= %.0f%%\n",
+				100*e26Results.TileHitRate, 100*e26MinHitRate)
+			os.Exit(1)
+		}
+		if e26Results.PeakBytes > e26Results.BudgetBytes {
+			fmt.Fprintf(os.Stderr, "aqlbench: out-of-core peak residency %d exceeds budget %d\n",
+				e26Results.PeakBytes, e26Results.BudgetBytes)
 			os.Exit(1)
 		}
 	}
@@ -203,6 +216,9 @@ type trajectoryEntry struct {
 	// Templated carries the e24 prepared-template measurements when that
 	// experiment ran (plan-cache hit rate, cached-exec latency).
 	Templated *templatedReport `json:"templated,omitempty"`
+	// OutOfCore carries the e26 tiled-scan measurements when that
+	// experiment ran (tile hit rate, bytes scanned vs. returned).
+	OutOfCore *oocReport `json:"ooc,omitempty"`
 }
 
 // appendTrajectory appends one entry to the trajectory file, creating it
@@ -225,6 +241,7 @@ func appendTrajectory(path, stamp string, r *engineReport, sr *serverReport, cr 
 		Server:     sr,
 		Cluster:    cr,
 		Templated:  tr,
+		OutOfCore:  e26Results,
 	}
 	if r != nil {
 		entry.GOMAXPROCS = r.GOMAXPROCS

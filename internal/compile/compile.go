@@ -675,9 +675,9 @@ func (c *compiler) compileNode(e ast.Expr) compiledExpr {
 				if i.N >= int64(a.Shape[0]) {
 					return object.Bottom(fmt.Sprintf("index [%d] out of bounds for shape %v", i.N, a.Shape)), nil
 				}
-				return a.Data[i.N], nil
+				return a.CellAtCtx(fr.m.ctx, int(i.N))
 			}
-			return object.SubValue(a, i)
+			return object.SubValueCtx(fr.m.ctx, a, i)
 		}
 
 	case *ast.Dim:
@@ -893,11 +893,11 @@ func (c *compiler) compileSubscript2(arr compiledExpr, tup *ast.Tuple) compiledE
 		if a.Kind == object.KArray && len(a.Shape) == 2 && v0.Kind == object.KNat && v1.Kind == object.KNat {
 			i, j := v0.N, v1.N
 			if i < int64(a.Shape[0]) && j < int64(a.Shape[1]) {
-				return a.Data[i*int64(a.Shape[1])+j], nil
+				return a.CellAtCtx(fr.m.ctx, int(i*int64(a.Shape[1])+j))
 			}
 			return object.Bottom(fmt.Sprintf("index %v out of bounds for shape %v", []int{int(i), int(j)}, a.Shape)), nil
 		}
-		return object.SubValue(a, object.Tuple(v0, v1))
+		return object.SubValueCtx(fr.m.ctx, a, object.Tuple(v0, v1))
 	}
 }
 

@@ -40,7 +40,57 @@ func Estimate(e ast.Expr, globals map[string]object.Value) *trace.EstNode {
 	if len(root.kids) == 0 {
 		return nil
 	}
+	if tiles, ok := es.tilesEstimate(e); ok {
+		root.kids[0].Tiles = &tiles
+	}
 	return root.kids[0]
+}
+
+// tileCounter is implemented by lazy-array backings that store cells in
+// fixed-size tiles (tile.Array); the estimator probes for it rather than
+// importing the tile package.
+type tileCounter interface{ TileCount() int }
+
+// tilesEstimate predicts the storage tiles a query touches: the sum of the
+// tile counts of every distinct lazy global it references. Exact for full
+// scans — the dominant out-of-core pattern — and an upper bound for
+// selective access. ok is false when the query references no lazy arrays;
+// the estimate is unknown when a referenced lazy array's backing does not
+// expose its tile count.
+func (es *estimator) tilesEstimate(root ast.Expr) (trace.Card, bool) {
+	total := int64(0)
+	sawLazy, allKnown := false, true
+	counted := map[string]bool{}
+	visited := map[ast.Expr]bool{}
+	var visit func(e ast.Expr)
+	visit = func(e ast.Expr) {
+		if e == nil || visited[e] {
+			return
+		}
+		visited[e] = true
+		if v, ok := e.(*ast.Var); ok && !counted[v.Name] {
+			counted[v.Name] = true
+			if g, ok := es.globals[v.Name]; ok && g.IsLazy() {
+				sawLazy = true
+				if tc, ok := g.Backing().(tileCounter); ok {
+					total += int64(tc.TileCount())
+				} else {
+					allKnown = false
+				}
+			}
+		}
+		for _, kid := range e.Children() {
+			visit(kid)
+		}
+	}
+	visit(root)
+	if !sawLazy {
+		return trace.Card{}, false
+	}
+	if !allKnown {
+		return unknown(), true
+	}
+	return known(total), true
 }
 
 type estimator struct {

@@ -89,7 +89,7 @@ func globalSval(v object.Value) sval {
 		for i, d := range v.Shape {
 			shape[i] = int64(d)
 		}
-		return sval{shapeKnown: true, shape: shape, cardKnown: true, card: int64(len(v.Data))}
+		return sval{shapeKnown: true, shape: shape, cardKnown: true, card: int64(v.Size())}
 	case object.KTuple:
 		elems := make([]sval, len(v.Elems))
 		for i, el := range v.Elems {

@@ -508,7 +508,7 @@ func (ev *Evaluator) eval(e ast.Expr, env *Env) (object.Value, error) {
 		if i.IsBottom() {
 			return i, nil
 		}
-		return object.SubValue(a, i)
+		return object.SubValueCtx(ev.ctx, a, i)
 
 	case *ast.Dim:
 		a, err := ev.Eval(n.Arr, env)

@@ -76,7 +76,11 @@ func writeValue(w *bufio.Writer, v object.Value) error {
 			}
 			w.WriteString("; ")
 		}
-		for i, e := range v.Data {
+		cells, err := v.Cells()
+		if err != nil {
+			return err
+		}
+		for i, e := range cells {
 			if i > 0 {
 				w.WriteString(", ")
 			}

@@ -81,6 +81,17 @@ func (f *FaultyReaderAt) ReadAt(p []byte, off int64) (int, error) {
 	return f.r.ReadAt(p, off)
 }
 
+// SetSchedule replaces the fault schedule relative to the current call
+// count: the next skip calls pass through untouched, then the given faults
+// apply one per call, and calls beyond them pass through again. Tests use
+// it to stage faults mid-stream after header parsing has consumed an
+// unknown number of reads.
+func (f *FaultyReaderAt) SetSchedule(skip int, schedule ...Fault) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.schedule = append(make([]Fault, int(f.calls)+skip), schedule...)
+}
+
 // Calls reports the total number of ReadAt calls observed.
 func (f *FaultyReaderAt) Calls() int64 {
 	f.mu.Lock()
@@ -194,6 +205,54 @@ func (r *RetryingReaderAt) ReadAt(p []byte, off int64) (int, error) {
 		if max := r.cfg.maxDelay(); delay > max {
 			delay = max
 		}
+	}
+}
+
+// ReadAtCtx is ReadAt with a per-call context that bounds backoff sleeps
+// and is checked before each attempt, so a cancelled query aborts an
+// in-flight tile fetch instead of sleeping out the retry schedule. The
+// per-call context takes precedence over RetryConfig.Context.
+func (r *RetryingReaderAt) ReadAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
+	if ctx == nil {
+		return r.ReadAt(p, off)
+	}
+	delay := r.cfg.baseDelay()
+	maxRetries := r.cfg.maxRetries()
+	var n int
+	var err error
+	for attempt := 0; ; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return n, fmt.Errorf("netcdf: read cancelled after %d attempts: %w",
+				attempt, errors.Join(err, cerr))
+		}
+		n, err = r.r.ReadAt(p, off)
+		if err == nil || !r.cfg.isTransient(err) {
+			return n, err
+		}
+		if attempt >= maxRetries {
+			return n, fmt.Errorf("netcdf: read failed after %d attempts: %w", attempt+1, err)
+		}
+		atomic.AddInt64(&r.retries, 1)
+		if serr := sleepCtx(ctx, delay); serr != nil {
+			return n, fmt.Errorf("netcdf: read cancelled during retry backoff after %d attempts: %w",
+				attempt+1, errors.Join(err, serr))
+		}
+		delay *= 2
+		if max := r.cfg.maxDelay(); delay > max {
+			delay = max
+		}
+	}
+}
+
+// sleepCtx waits out one backoff delay, cut short by ctx.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 

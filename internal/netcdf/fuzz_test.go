@@ -49,6 +49,10 @@ func FuzzRead(f *testing.F) {
 	for cut := 1; cut < len(rich); cut += 5 {
 		f.Add(rich[:cut])
 	}
+	// Truncated inside the data region: the header parses but cell-range
+	// reads (the tile fetch path) run against a short file.
+	f.Add(rich[:len(rich)-4])
+	f.Add(rich[:len(rich)-9])
 	// Single-bit flips across the header region.
 	for off := 0; off < len(rich) && off < 96; off += 3 {
 		flipped := append([]byte(nil), rich...)
@@ -61,12 +65,23 @@ func FuzzRead(f *testing.F) {
 		if err != nil {
 			return
 		}
-		// A file the parser accepts must tolerate slab reads of every
-		// variable without panicking.
+		// A file the parser accepts must tolerate slab reads and
+		// tile-style cell-range reads of every variable without panicking.
 		for _, v := range nc.Vars {
 			shape := nc.Shape(&v)
 			start := make([]int, len(shape))
 			_, _ = nc.ReadSlab(v.Name, start, shape)
+			size := 1
+			for _, d := range shape {
+				size *= d
+			}
+			if err := nc.ValidateCellRange(v.Name, 0, size); err == nil {
+				_, _ = nc.ReadCellRangeCtx(nil, v.Name, 0, size)
+			}
+			// Misaligned sub-ranges exercise the record-run decomposition.
+			if size > 2 {
+				_, _ = nc.ReadCellRangeCtx(nil, v.Name, 1, size-2)
+			}
 		}
 	})
 }

@@ -59,7 +59,10 @@ func (f *FaultyReaderAt) Underlying() io.ReaderAt { return f.r }
 // walking the reader-wrapper stack. Sessions read it after each NetCDF
 // readval to attribute I/O to the query that caused it.
 func (f *File) IOStats() IOStats {
-	s := f.stats
+	s := IOStats{
+		SlabReads: f.stats.slabReads.Load(),
+		BytesRead: f.stats.bytesRead.Load(),
+	}
 	r := f.r
 	for depth := 0; r != nil && depth < 16; depth++ {
 		switch v := r.(type) {

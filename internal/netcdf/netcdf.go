@@ -25,6 +25,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"sync/atomic"
 )
 
 // Type is a NetCDF external data type.
@@ -127,8 +128,13 @@ type File struct {
 	Cache *CachedReaderAt
 
 	// stats accumulates slab-read counters; read via IOStats, which also
-	// collects cache/retry/fault counters from the reader stack.
-	stats IOStats
+	// collects cache/retry/fault counters from the reader stack. The
+	// counters are atomic because tile-backed lazy arrays fetch slabs from
+	// concurrent tabulation workers sharing one File.
+	stats struct {
+		slabReads atomic.Int64
+		bytesRead atomic.Int64
+	}
 }
 
 // Open opens and parses a NetCDF file on disk.

@@ -1,0 +1,168 @@
+package netcdf
+
+import (
+	"context"
+	"fmt"
+)
+
+// ReadCellRangeCtx reads n cells of a numeric variable starting at flat
+// row-major cell index start, decoding them to float64. It is the fetch
+// primitive of the tile subsystem: a tile is exactly a contiguous run of
+// the flattened cell space, so the tile cache can fault in [start, start+n)
+// without reconstructing a multidimensional hyperslab. For non-record
+// variables the range is one contiguous byte run; for record variables it
+// decomposes into one contiguous run per record (records of different
+// variables are interleaved at recSize strides). ctx is checked between
+// chunk reads and passed through to readers that support per-call
+// cancellation (RetryingReaderAt.ReadAtCtx).
+func (f *File) ReadCellRangeCtx(ctx context.Context, varName string, start, n int) ([]float64, error) {
+	v, err := f.validateCellRange(varName, start, n)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	shape := f.Shape(v)
+	tsize := int64(v.Type.Size())
+	cellsPerRec := recordCells(f, v, shape)
+
+	out := make([]float64, 0, n)
+	f.stats.slabReads.Add(1)
+	if cellsPerRec > 0 {
+		// One contiguous run per record touched by the range.
+		for off := start; off < start+n; {
+			rec := off / cellsPerRec
+			inner := off % cellsPerRec
+			run := cellsPerRec - inner
+			if rem := start + n - off; run > rem {
+				run = rem
+			}
+			base := v.begin + int64(rec)*f.recSize + int64(inner)*tsize
+			if err := f.readRun(ctx, varName, base, run, tsize, v.Type, &out); err != nil {
+				return nil, err
+			}
+			off += run
+		}
+		return out, nil
+	}
+	if err := f.readRun(ctx, varName, v.begin+int64(start)*tsize, n, tsize, v.Type, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ValidateCellRange checks that cell range [start, start+n) of a numeric
+// variable lies within the variable's declared extent and — when the data
+// source's size is known — within the file, without reading any data. The
+// lazy readers call it at bind time so a truncated or corrupt data region
+// fails the readval, exactly as an eager whole-slab read would, instead of
+// surfacing mid-query at the first tile fetch.
+func (f *File) ValidateCellRange(varName string, start, n int) error {
+	_, err := f.validateCellRange(varName, start, n)
+	return err
+}
+
+func (f *File) validateCellRange(varName string, start, n int) (*Var, error) {
+	v, err := f.Var(varName)
+	if err != nil {
+		return nil, err
+	}
+	if v.Type == Char {
+		return nil, fmt.Errorf("netcdf: %s: cell-range reads are for numeric variables, not char", varName)
+	}
+	shape := f.Shape(v)
+	size := 1
+	for _, d := range shape {
+		size *= d
+	}
+	if start < 0 || n < 0 || start+n > size {
+		return nil, fmt.Errorf("netcdf: %s: cell range [%d, %d) exceeds variable size %d",
+			varName, start, start+n, size)
+	}
+	if n == 0 {
+		return v, nil
+	}
+	tsize := int64(v.Type.Size())
+	cellsPerRec := recordCells(f, v, shape)
+	// Reject ranges that extend past end-of-file, same contract as
+	// ReadSlab: truncated data regions fail with a descriptive error, not
+	// an EOF deep in the read loop.
+	if f.fsize >= 0 {
+		end := v.begin + int64(start+n)*tsize
+		if cellsPerRec > 0 {
+			lastRec := int64((start + n - 1) / cellsPerRec)
+			lastInner := int64((start + n - 1) % cellsPerRec)
+			end = v.begin + lastRec*f.recSize + (lastInner+1)*tsize
+		}
+		if end > f.fsize {
+			return nil, fmt.Errorf("netcdf: %s: cell range ends at byte %d but file has only %d bytes (truncated?)",
+				varName, end, f.fsize)
+		}
+	}
+	return v, nil
+}
+
+// recordCells returns the cell count of one record of v, or 0 for
+// non-record (fully contiguous) variables.
+func recordCells(f *File, v *Var, shape []int) int {
+	if !f.isRecord(v) || len(shape) == 0 {
+		return 0
+	}
+	n := 1
+	for _, d := range shape[1:] {
+		n *= d
+	}
+	return n
+}
+
+// readRun reads one contiguous run of count cells at byte offset base,
+// decoding into out. Reads are chunked so a huge tile size cannot force a
+// matching buffer allocation, with a ctx check before each chunk.
+func (f *File) readRun(ctx context.Context, varName string, base int64, count int, tsize int64, typ Type, out *[]float64) error {
+	const maxRunBytes = 1 << 22
+	chunkElems := count
+	if int64(chunkElems)*tsize > maxRunBytes {
+		chunkElems = int(maxRunBytes / tsize)
+		if chunkElems == 0 {
+			chunkElems = 1
+		}
+	}
+	buf := make([]byte, int64(chunkElems)*tsize)
+	for done := 0; done < count; done += chunkElems {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("netcdf: %s: read cancelled: %w", varName, err)
+			}
+		}
+		c := chunkElems
+		if count-done < c {
+			c = count - done
+		}
+		chunk := buf[:int64(c)*tsize]
+		if _, err := f.readAtCtx(ctx, chunk, base+int64(done)*tsize); err != nil {
+			return fmt.Errorf("netcdf: %s: read at %d: %w", varName, base, err)
+		}
+		f.stats.bytesRead.Add(int64(len(chunk)))
+		for i := 0; i < c; i++ {
+			*out = append(*out, decodeScalar(typ, chunk[int64(i)*tsize:]))
+		}
+	}
+	return nil
+}
+
+// ctxReaderAt is implemented by readers that accept a per-call context
+// (RetryingReaderAt); readAtCtx routes through it when available so query
+// cancellation aborts in-flight fetches mid-backoff.
+type ctxReaderAt interface {
+	ReadAtCtx(ctx context.Context, p []byte, off int64) (int, error)
+}
+
+func (f *File) readAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
+	if ctx != nil {
+		if rc, ok := f.r.(ctxReaderAt); ok {
+			return rc.ReadAtCtx(ctx, p, off)
+		}
+	}
+	return f.r.ReadAt(p, off)
+}

@@ -89,7 +89,7 @@ func (f *File) ReadSlab(varName string, start, count []int) (*Slab, error) {
 		return slab, nil
 	}
 
-	f.stats.SlabReads++
+	f.stats.slabReads.Add(1)
 
 	rank := len(shape)
 	if rank == 0 {
@@ -98,7 +98,7 @@ func (f *File) ReadSlab(varName string, start, count []int) (*Slab, error) {
 		if _, err := f.r.ReadAt(buf, v.begin); err != nil {
 			return nil, fmt.Errorf("netcdf: %s: read scalar: %w", varName, err)
 		}
-		f.stats.BytesRead += tsize
+		f.stats.bytesRead.Add(tsize)
 		if v.Type == Char {
 			slab.Text = buf
 		} else {
@@ -151,7 +151,7 @@ func (f *File) ReadSlab(varName string, start, count []int) (*Slab, error) {
 			if _, err := f.r.ReadAt(chunk, off+int64(done)*tsize); err != nil {
 				return nil, fmt.Errorf("netcdf: %s: read at %d: %w", varName, off, err)
 			}
-			f.stats.BytesRead += int64(len(chunk))
+			f.stats.bytesRead.Add(int64(len(chunk)))
 			if v.Type == Char {
 				slab.Text = append(slab.Text, chunk...)
 			} else {

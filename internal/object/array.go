@@ -1,6 +1,9 @@
 package object
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // Array returns a k-dimensional array object with the given shape and
 // row-major data. len(data) must equal the product of the shape; shape must
@@ -58,7 +61,12 @@ func RealVector(fs ...float64) Value {
 func (v Value) Dims() int { return len(v.Shape) }
 
 // Size returns the total number of elements of an array value.
-func (v Value) Size() int { return len(v.Data) }
+func (v Value) Size() int {
+	if v.lazy != nil {
+		return v.lazy.size
+	}
+	return len(v.Data)
+}
 
 // flatten converts a multi-index to a row-major offset, or reports an
 // out-of-bounds error. idx must have len == len(shape).
@@ -88,7 +96,10 @@ func unflatten(off int, shape []int) []int {
 // Sub subscripts into an array: a[idx]. Out-of-bounds subscripts return ⊥,
 // matching the paper's semantics (e1[e2] "is undefined otherwise").
 // Subscripting a non-array is a kind error.
-func Sub(a Value, idx []int) (Value, error) {
+func Sub(a Value, idx []int) (Value, error) { return SubCtx(nil, a, idx) }
+
+// SubCtx is Sub with a context bounding lazy-array cell fetches.
+func SubCtx(ctx context.Context, a Value, idx []int) (Value, error) {
 	if a.Kind != KArray {
 		return Value{}, kindError("subscript", a, KArray)
 	}
@@ -99,12 +110,17 @@ func Sub(a Value, idx []int) (Value, error) {
 	if !ok {
 		return Bottom(fmt.Sprintf("index %v out of bounds for shape %v", idx, a.Shape)), nil
 	}
-	return a.Data[off], nil
+	return a.CellAtCtx(ctx, off)
 }
 
 // SubValue subscripts with a runtime index value: a nat for one-dimensional
 // arrays, a tuple of nats for k-dimensional ones.
-func SubValue(a, index Value) (Value, error) {
+func SubValue(a, index Value) (Value, error) { return SubValueCtx(nil, a, index) }
+
+// SubValueCtx is SubValue with a context bounding lazy-array cell fetches;
+// the engines pass the query context so a cancelled request aborts an
+// in-flight tile fetch.
+func SubValueCtx(ctx context.Context, a, index Value) (Value, error) {
 	if a.Kind != KArray {
 		return Value{}, kindError("subscript", a, KArray)
 	}
@@ -112,7 +128,7 @@ func SubValue(a, index Value) (Value, error) {
 	if err != nil {
 		return Value{}, err
 	}
-	return Sub(a, idx)
+	return SubCtx(ctx, a, idx)
 }
 
 // IndexOf converts a runtime index value (nat or tuple of nats) into a
@@ -195,8 +211,12 @@ func Graph(a Value) (Value, error) {
 	if a.Kind != KArray {
 		return Value{}, kindError("graph", a, KArray)
 	}
-	elems := make([]Value, len(a.Data))
-	for off, v := range a.Data {
+	cells, err := a.Cells()
+	if err != nil {
+		return Value{}, err
+	}
+	elems := make([]Value, len(cells))
+	for off, v := range cells {
 		idx := unflatten(off, a.Shape)
 		ival := indexValue(idx)
 		elems[off] = Tuple(ival, v)
@@ -293,8 +313,16 @@ func Append(a, b Value) (Value, error) {
 	if len(a.Shape) != 1 || len(b.Shape) != 1 {
 		return Value{}, fmt.Errorf("object: append requires one-dimensional arrays, got %d and %d dims", len(a.Shape), len(b.Shape))
 	}
-	data := make([]Value, 0, len(a.Data)+len(b.Data))
-	data = append(data, a.Data...)
-	data = append(data, b.Data...)
+	ac, err := a.Cells()
+	if err != nil {
+		return Value{}, err
+	}
+	bc, err := b.Cells()
+	if err != nil {
+		return Value{}, err
+	}
+	data := make([]Value, 0, len(ac)+len(bc))
+	data = append(data, ac...)
+	data = append(data, bc...)
 	return Vector(data...), nil
 }

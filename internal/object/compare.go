@@ -51,7 +51,7 @@ func Compare(a, b Value) int {
 		if c := cmpInts(a.Shape, b.Shape); c != 0 {
 			return c
 		}
-		return cmpSlices(a.Data, b.Data)
+		return cmpSlices(a.mustCells(), b.mustCells())
 	case KFunc:
 		panic("object.Compare: function values are not ordered")
 	}

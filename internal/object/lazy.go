@@ -1,0 +1,186 @@
+package object
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ArrayBacking supplies the cells of a lazy array on demand. Implementations
+// (the tile cache in internal/tile) must be safe for concurrent use and must
+// be deterministic: the same offset must always produce the same Value, so
+// that lazy evaluation is observationally identical to materialized
+// evaluation. Offsets are flat row-major positions in [0, Size()).
+type ArrayBacking interface {
+	// Cell fetches the value at flat row-major offset off. A nil ctx means
+	// "not cancellable" (context.Background semantics).
+	Cell(ctx context.Context, off int) (Value, error)
+	// Size returns the total number of cells.
+	Size() int
+}
+
+// RangeBacking is an optional fast path: backings that can deliver a
+// contiguous run of cells in one call (a tile, or a whole variable) avoid
+// per-cell dispatch during materialization.
+type RangeBacking interface {
+	CellRange(ctx context.Context, start, n int) ([]Value, error)
+}
+
+// lazyState is the shared mutable core of a lazy array. It is referenced by
+// pointer from every copy of the Value, so materializing once serves all
+// copies. All fields past the sync primitives are written exactly once,
+// under once, and read only after done is observed true.
+type lazyState struct {
+	backing ArrayBacking
+	size    int
+
+	once sync.Once
+	done atomic.Bool
+	data []Value
+	err  error
+}
+
+// LazyArray returns a k-dimensional array whose cells are fetched on demand
+// from backing. The shape must be non-empty with a cell count equal to
+// backing.Size(). The value behaves exactly like the materialized array:
+// subscripting reads through the backing, and operations that need the whole
+// array (printing, comparison, graph, append) materialize it first.
+func LazyArray(shape []int, backing ArrayBacking) (Value, error) {
+	if len(shape) == 0 {
+		return Value{}, fmt.Errorf("object: array must have dimensionality >= 1")
+	}
+	size := 1
+	for _, n := range shape {
+		if n < 0 {
+			return Value{}, fmt.Errorf("object: negative dimension length %d", n)
+		}
+		size *= n
+	}
+	if backing == nil {
+		return Value{}, fmt.Errorf("object: lazy array requires a backing")
+	}
+	if size != backing.Size() {
+		return Value{}, fmt.Errorf("object: shape %v requires %d cells, backing has %d", shape, size, backing.Size())
+	}
+	return Value{Kind: KArray, Shape: shape, lazy: &lazyState{backing: backing, size: size}}, nil
+}
+
+// IsLazy reports whether v is a lazy (backing-store) array.
+func (v Value) IsLazy() bool { return v.lazy != nil }
+
+// Backing returns the backing store of a lazy array, or nil. Callers use it
+// for interface probes (e.g. the cost estimator asking for a tile count); it
+// must not be used to bypass the cell access paths.
+func (v Value) Backing() any {
+	if v.lazy == nil {
+		return nil
+	}
+	return v.lazy.backing
+}
+
+// CellAtCtx returns the cell at flat row-major offset off, fetching through
+// the backing for lazy arrays. off must be in range (callers bounds-check
+// against Size/Shape first, as the eager paths do).
+func (v Value) CellAtCtx(ctx context.Context, off int) (Value, error) {
+	if v.lazy == nil {
+		return v.Data[off], nil
+	}
+	if v.lazy.done.Load() {
+		if v.lazy.err != nil {
+			return Value{}, v.lazy.err
+		}
+		return v.lazy.data[off], nil
+	}
+	return v.lazy.backing.Cell(ctx, off)
+}
+
+// CellAt is CellAtCtx without cancellation.
+func (v Value) CellAt(off int) (Value, error) { return v.CellAtCtx(nil, off) }
+
+// CellsCtx returns the full row-major cell slice, materializing a lazy array
+// (once; the result is cached and shared by all copies of the value). The
+// returned slice must not be mutated.
+func (v Value) CellsCtx(ctx context.Context) ([]Value, error) {
+	if v.lazy == nil {
+		return v.Data, nil
+	}
+	ls := v.lazy
+	ls.once.Do(func() {
+		ls.data, ls.err = fetchAll(ctx, ls.backing, ls.size)
+		ls.done.Store(true)
+	})
+	return ls.data, ls.err
+}
+
+// Cells is CellsCtx without cancellation.
+func (v Value) Cells() ([]Value, error) { return v.CellsCtx(nil) }
+
+// MaterializeCtx returns an eager copy of v: same kind, shape and cells, no
+// backing indirection. Non-lazy values are returned unchanged.
+func (v Value) MaterializeCtx(ctx context.Context) (Value, error) {
+	if v.lazy == nil {
+		return v, nil
+	}
+	cells, err := v.CellsCtx(ctx)
+	if err != nil {
+		return Value{}, err
+	}
+	return Value{Kind: KArray, Shape: v.Shape, Data: cells}, nil
+}
+
+// Materialize is MaterializeCtx without cancellation.
+func (v Value) Materialize() (Value, error) { return v.MaterializeCtx(nil) }
+
+func fetchAll(ctx context.Context, b ArrayBacking, size int) ([]Value, error) {
+	if rb, ok := b.(RangeBacking); ok {
+		cells, err := rb.CellRange(ctx, 0, size)
+		if err != nil {
+			return nil, err
+		}
+		if len(cells) != size {
+			return nil, fmt.Errorf("object: backing returned %d cells, want %d", len(cells), size)
+		}
+		return cells, nil
+	}
+	cells := make([]Value, size)
+	for off := 0; off < size; off++ {
+		c, err := b.Cell(ctx, off)
+		if err != nil {
+			return nil, err
+		}
+		cells[off] = c
+	}
+	return cells, nil
+}
+
+// MaterializeError is the panic payload used when a lazy array must be
+// materialized inside an interface that has no error return (String,
+// Pretty, Compare) and the backing fails. The session boundary recovers it
+// and converts it back into an ordinary error.
+type MaterializeError struct{ Err error }
+
+func (e *MaterializeError) Error() string { return e.Err.Error() }
+func (e *MaterializeError) Unwrap() error { return e.Err }
+
+// mustCells is Cells for contexts without an error return; it panics with a
+// *MaterializeError on backing failure.
+func (v Value) mustCells() []Value {
+	cells, err := v.Cells()
+	if err != nil {
+		panic(&MaterializeError{Err: err})
+	}
+	return cells
+}
+
+// mustCellAt is CellAt for contexts without an error return; it panics with
+// a *MaterializeError on backing failure. Unlike mustCells it fetches one
+// cell through the backing without memoizing the whole array, so renderers
+// that only touch a prefix of a lazy array don't pin all of it in memory.
+func (v Value) mustCellAt(off int) Value {
+	c, err := v.CellAt(off)
+	if err != nil {
+		panic(&MaterializeError{Err: err})
+	}
+	return c
+}

@@ -88,6 +88,11 @@ type Value struct {
 	Shape []int                      // KArray: dimension lengths, len(Shape) == k >= 1
 	Data  []Value                    // KArray: row-major values, len == product(Shape)
 	Fn    func(Value) (Value, error) // KFunc
+
+	// lazy, when non-nil, marks a KArray whose cells live in a backing
+	// store (tile cache) instead of Data. Access cells through CellAt /
+	// Cells / Materialize, never Data directly. See lazy.go.
+	lazy *lazyState
 }
 
 // Bottom is the error value ⊥. The message is carried for diagnostics only;
@@ -264,11 +269,14 @@ func (v Value) write(b *strings.Builder) {
 			}
 			b.WriteString("; ")
 		}
-		for i, e := range v.Data {
+		// Cell-at-a-time through the backing: rendering reads every cell
+		// anyway, but must not memoize a lazy array into memory as a side
+		// effect (the tile cache budget would stop meaning anything).
+		for i, n := 0, v.Size(); i < n; i++ {
 			if i > 0 {
 				b.WriteString(", ")
 			}
-			e.write(b)
+			v.mustCellAt(i).write(b)
 		}
 		b.WriteString("]]")
 	case KFunc:
@@ -293,7 +301,10 @@ func (v Value) pretty(b *strings.Builder, max int) {
 	switch v.Kind {
 	case KArray:
 		b.WriteString("[[")
-		n := len(v.Data)
+		// A truncated preview fetches only the cells it shows. The REPL
+		// echoes every readval through here: materializing would drag the
+		// whole variable into memory before the first real query runs.
+		n := v.Size()
 		shown := n
 		if max > 0 && shown > max {
 			shown = max
@@ -311,7 +322,7 @@ func (v Value) pretty(b *strings.Builder, max int) {
 				fmt.Fprintf(b, "%d", x)
 			}
 			b.WriteString("):")
-			v.Data[i].pretty(b, max)
+			v.mustCellAt(i).pretty(b, max)
 		}
 		if shown < n {
 			b.WriteString(", ...")

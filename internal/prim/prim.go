@@ -176,11 +176,15 @@ func heatindexPrim(v object.Value) (object.Value, error) {
 	if v.Kind != object.KArray || len(v.Shape) != 1 {
 		return object.Value{}, fmt.Errorf("heatindex: expected a one-dimensional array, got %s", v.Kind)
 	}
-	if len(v.Data) == 0 {
+	cells, err := v.Cells()
+	if err != nil {
+		return object.Value{}, err
+	}
+	if len(cells) == 0 {
 		return object.Bottom("heatindex: empty day"), nil
 	}
 	maxHI := math.Inf(-1)
-	for i, reading := range v.Data {
+	for i, reading := range cells {
 		if reading.Kind != object.KTuple || len(reading.Elems) != 3 {
 			return object.Value{}, fmt.Errorf("heatindex: reading %d is not a (temp, rh, ws) triple", i)
 		}

@@ -75,6 +75,32 @@ var commands = map[string]command{
 			return s.Trace.Totals().FormatTotals(), nil
 		},
 	},
+	":io": {
+		usage:   ":io [lazy on|off | tile <cells> <budget-bytes>]",
+		summary: "out-of-core state: tile cache, open files; tune lazy reads",
+		run: func(s *Session, _ context.Context, arg string) (string, error) {
+			fields := strings.Fields(arg)
+			switch {
+			case len(fields) == 0:
+				return s.IOStatus(), nil
+			case fields[0] == "lazy" && len(fields) == 2 && (fields[1] == "on" || fields[1] == "off"):
+				s.SetLazyReads(fields[1] == "on")
+				return fmt.Sprintf("lazy reads: %v\n", s.LazyReads()), nil
+			case fields[0] == "tile" && len(fields) == 3:
+				var cells int
+				var budget int64
+				if _, err := fmt.Sscanf(fields[1], "%d", &cells); err != nil || cells <= 0 {
+					return "", fmt.Errorf(":io tile: bad cell count %q", fields[1])
+				}
+				if _, err := fmt.Sscanf(fields[2], "%d", &budget); err != nil || budget <= 0 {
+					return "", fmt.Errorf(":io tile: bad budget %q", fields[2])
+				}
+				s.SetTileConfig(cells, budget, false)
+				return s.IOStatus(), nil
+			}
+			return "", fmt.Errorf("usage: :io [lazy on|off | tile <cells> <budget-bytes>]")
+		},
+	},
 	":top": {
 		usage:   ":top [n]",
 		summary: "hottest operators of the last query (needs :prof on)",

@@ -161,11 +161,23 @@ func TestProfileReportsNetCDFIO(t *testing.T) {
 	if !strings.HasPrefix(rep.Query, "readval V using NETCDF") {
 		t.Errorf("report label = %q", rep.Query)
 	}
+	// Reads are lazy: the readval binds a tiled array without touching the
+	// data region; the I/O lands on the query that scans it.
+	if _, _, err := s.Query(`[[ V[i] | \i < 8 ]]`); err != nil {
+		t.Fatal(err)
+	}
+	rep = s.Trace.Last()
 	if rep.IO.SlabReads != 1 {
 		t.Errorf("SlabReads = %d, want 1", rep.IO.SlabReads)
 	}
 	if rep.IO.BytesRead != 8*8 {
 		t.Errorf("BytesRead = %d, want 64", rep.IO.BytesRead)
+	}
+	if rep.IO.TileMisses == 0 {
+		t.Errorf("TileMisses = 0, want > 0 after a lazy scan")
+	}
+	if rep.IO.BytesScanned == 0 || rep.IO.BytesReturned == 0 {
+		t.Errorf("bytes scanned/returned = %d/%d, want non-zero", rep.IO.BytesScanned, rep.IO.BytesReturned)
 	}
 	// :stats shows the I/O block once any I/O happened.
 	out, err := s.Command(context.Background(), ":stats")

@@ -1,0 +1,485 @@
+package repl
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"unsafe"
+
+	"github.com/aqldb/aql/internal/netcdf"
+	"github.com/aqldb/aql/internal/object"
+)
+
+// writeNC2D writes a 6x8 double variable "v" (with two non-finite cells)
+// and returns the file path.
+func writeNC2D(t *testing.T, dir string) string {
+	t.Helper()
+	b := netcdf.NewBuilder()
+	d0, _ := b.AddDim("x", 6)
+	d1, _ := b.AddDim("y", 8)
+	data := make([]float64, 48)
+	for i := range data {
+		data[i] = float64(i) * 0.25
+	}
+	data[7] = math.NaN()
+	data[31] = math.Inf(1)
+	if err := b.AddVar("v", netcdf.Double, []int{d0, d1}, nil, data); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "grid.nc")
+	if err := b.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// writeNC1D writes a 1-D double variable "series" of n cells valued i*0.5.
+func writeNC1D(t *testing.T, dir string, n int) string {
+	t.Helper()
+	b := netcdf.NewBuilder()
+	d0, _ := b.AddDim("x", n)
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = float64(i) * 0.5
+	}
+	if err := b.AddVar("series", netcdf.Double, []int{d0}, nil, data); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "series.nc")
+	if err := b.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// runCorpus executes the statement corpus on a fresh session configured by
+// cfg and returns one rendered outcome (value or error text) per statement.
+func runCorpus(t *testing.T, cfg func(*Session), stmts []string) []string {
+	t.Helper()
+	s := newSession(t)
+	defer s.Close()
+	cfg(s)
+	out := make([]string, len(stmts))
+	for i, stmt := range stmts {
+		res, err := s.Exec(stmt)
+		if err != nil {
+			out[i] = "error: " + err.Error()
+			continue
+		}
+		var b strings.Builder
+		for _, r := range res {
+			if r.HasValue {
+				fmt.Fprintf(&b, "%s : %s = %s\n", r.Name, r.Type, r.Value)
+			}
+		}
+		out[i] = b.String()
+	}
+	return out
+}
+
+// TestLazyEagerDifferential holds lazy tiled execution byte-identical to
+// eager materialized execution — values, ⊥ diagnostics, and errors — on
+// both engines, with a tile size small enough that every query crosses
+// many tile boundaries.
+func TestLazyEagerDifferential(t *testing.T) {
+	dir := t.TempDir()
+	grid := writeNC2D(t, dir)
+	series := writeNC1D(t, dir, 100)
+
+	stmts := []string{
+		fmt.Sprintf(`readval \V using NETCDF at (%q, "v");`, grid),
+		fmt.Sprintf(`readval \S using NETCDF2 at (%q, "v", (1,2), (4,6));`, grid),
+		fmt.Sprintf(`readval \W using NETCDF at (%q, "series");`, series),
+		`V;`,
+		`S;`,
+		`[[ V[i, j] * 2.0 | \i < 6, \j < 8 ]];`,
+		`V[0, 7];`, // the NaN cell: ⊥ with its diagnostic
+		`V[3, 7];`,
+		`[[ W[i] + W[99 - i] | \i < 100 ]];`,
+		`summap(fn \i => W[i] * 0.5)!(gen!100);`,
+		`V[9, 9];`, // out-of-bounds subscript: same error lazily
+	}
+
+	type mode struct {
+		name string
+		cfg  func(*Session)
+	}
+	modes := []mode{
+		{"eager-compiled", func(s *Session) { s.SetLazyReads(false) }},
+		{"lazy-compiled", func(s *Session) { s.SetTileConfig(8, 0, false) }},
+		{"eager-interp", func(s *Session) { s.SetLazyReads(false); s.Engine = EngineInterp }},
+		{"lazy-interp", func(s *Session) { s.SetTileConfig(8, 0, false); s.Engine = EngineInterp }},
+	}
+	results := make([][]string, len(modes))
+	for i, m := range modes {
+		results[i] = runCorpus(t, m.cfg, stmts)
+	}
+	for i := 1; i < len(modes); i++ {
+		for j := range stmts {
+			if results[i][j] != results[0][j] {
+				t.Errorf("%s diverges from %s on %q:\n got: %s\nwant: %s",
+					modes[i].name, modes[0].name, stmts[j], results[i][j], results[0][j])
+			}
+		}
+	}
+}
+
+// TestParallelTabulationSharesTileCache pins the compiled engine to 8
+// tabulation workers all faulting tiles of one shared cache; run with
+// -race this is the concurrency acceptance test, and the result must stay
+// byte-identical to the eager baseline.
+func TestParallelTabulationSharesTileCache(t *testing.T) {
+	dir := t.TempDir()
+	path := writeNC1D(t, dir, 4096)
+	read := fmt.Sprintf(`readval \W using NETCDF at (%q, "series");`, path)
+	q := `[[ W[i] + W[4095 - i] | \i < 4096 ]];`
+
+	eager := runCorpus(t, func(s *Session) { s.SetLazyReads(false); s.Workers = 8 }, []string{read, q})
+
+	s := newSession(t)
+	defer s.Close()
+	s.Workers = 8
+	s.SetTileConfig(32, 0, false)
+	if _, err := s.Exec(read); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Exec(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := fmt.Sprintf("%s : %s = %s\n", res[0].Name, res[0].Type, res[0].Value)
+	if got != eager[1] {
+		t.Errorf("parallel lazy tabulation diverges:\n got: %s\nwant: %s", got, eager[1])
+	}
+	st := s.TileCache().Stats()
+	if st.TileMisses == 0 || st.TileHits == 0 {
+		t.Errorf("tile counters hits=%d misses=%d, want both non-zero", st.TileHits, st.TileMisses)
+	}
+}
+
+// TestOutOfCoreBudgetResidency is the headline acceptance test: a query
+// over a variable several times the cache budget completes with peak cache
+// residency within budget and a byte-identical result.
+func TestOutOfCoreBudgetResidency(t *testing.T) {
+	dir := t.TempDir()
+	const n = 64 * 64 // 4096 cells, 64 tiles of 64 cells
+	path := writeNC1D(t, dir, n)
+	read := fmt.Sprintf(`readval \W using NETCDF at (%q, "series");`, path)
+	q := `summap(fn \i => W[i])!(gen!4096);`
+
+	eager := runCorpus(t, func(s *Session) { s.SetLazyReads(false) }, []string{read, q})
+
+	cellBytes := int64(unsafe.Sizeof(object.Value{}))
+	budget := 4 * 64 * cellBytes // room for 4 of the 64 tiles
+	s := newSession(t)
+	defer s.Close()
+	s.SetTileConfig(64, budget, false)
+	if _, err := s.Exec(read); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Exec(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := fmt.Sprintf("%s : %s = %s\n", res[0].Name, res[0].Type, res[0].Value)
+	if got != eager[1] {
+		t.Errorf("out-of-core scan diverges:\n got: %s\nwant: %s", got, eager[1])
+	}
+	if peak := s.TileCache().PeakResident(); peak > budget {
+		t.Errorf("peak residency %d exceeds budget %d", peak, budget)
+	}
+	st := s.TileCache().Stats()
+	if st.Evictions == 0 {
+		t.Error("no evictions while scanning 16x the budget")
+	}
+	rep := s.Trace.Last()
+	if rep.IO.TileMisses == 0 || rep.IO.BytesScanned == 0 {
+		t.Errorf("report IO misses=%d scanned=%d, want non-zero", rep.IO.TileMisses, rep.IO.BytesScanned)
+	}
+}
+
+// injectFaulty rebinds the session's handle for path over a FaultyReaderAt
+// so tests control the fault schedule of subsequent tile fetches, and
+// returns the injector.
+func injectFaulty(t *testing.T, s *Session, path string) *netcdf.FaultyReaderAt {
+	t.Helper()
+	osf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := netcdf.NewFaultyReaderAt(osf)
+	f, err := netcdf.Read(netcdf.NewRetryingReaderAt(faulty, netcdf.RetryConfig{MaxRetries: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.io.mu.Lock()
+	s.io.files[path] = &openFile{f: f, closer: osf}
+	s.io.mu.Unlock()
+	return faulty
+}
+
+// TestLazyFaultMidTile injects mid-scan read faults: a transient fault is
+// retried invisibly (byte-identical result, retry counters recorded); a
+// persistent fault surfaces as a query error — not a panic, not a cached
+// wrong value — and the next query, with the fault gone, succeeds.
+func TestLazyFaultMidTile(t *testing.T) {
+	dir := t.TempDir()
+	path := writeNC1D(t, dir, 256)
+
+	s := newSession(t)
+	defer s.Close()
+	// One-tile budget, no prefetch: every scan demand-fetches all 16 tiles
+	// from storage in order, so the fault schedule lands deterministically
+	// mid-scan instead of being absorbed by cache hits.
+	cellBytes := int64(unsafe.Sizeof(object.Value{}))
+	s.SetTileConfig(16, 16*cellBytes, true)
+	faulty := injectFaulty(t, s, path)
+	if _, err := s.Exec(fmt.Sprintf(`readval \W using NETCDF at (%q, "series");`, path)); err != nil {
+		t.Fatal(err)
+	}
+	baseline, _, err := s.Query(`summap(fn \i => W[i])!(gen!256)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Transient: fail the 3rd and 4th reads after this point, mid-scan.
+	faulty.SetSchedule(3, netcdf.Fault{Err: netcdf.ErrInjected}, netcdf.Fault{Short: true})
+	v, _, err := s.Query(`summap(fn \i => W[i])!(gen!256)`)
+	if err != nil {
+		t.Fatalf("transient mid-tile fault not retried: %v", err)
+	}
+	if v.String() != baseline.String() {
+		t.Errorf("value after transient fault = %s, want %s", v, baseline)
+	}
+	rep := s.Trace.Last()
+	if rep.IO.Retries == 0 || rep.IO.Faults == 0 {
+		t.Errorf("report retries=%d faults=%d, want non-zero", rep.IO.Retries, rep.IO.Faults)
+	}
+
+	// Persistent: more consecutive failures than the retry budget. The
+	// query fails with the typed injected error.
+	persistent := make([]netcdf.Fault, 16)
+	for i := range persistent {
+		persistent[i] = netcdf.Fault{Err: netcdf.ErrInjected}
+	}
+	faulty.SetSchedule(0, persistent...)
+	if _, _, err := s.Query(`summap(fn \i => W[i])!(gen!256)`); err == nil {
+		t.Fatal("persistent fault produced a value")
+	} else if !strings.Contains(err.Error(), "injected") {
+		t.Errorf("persistent fault error = %v, want injected I/O fault", err)
+	}
+
+	// The failed tiles were not cached: with the schedule cleared the same
+	// query refetches and matches the baseline.
+	faulty.SetSchedule(0)
+	v, _, err = s.Query(`summap(fn \i => W[i])!(gen!256)`)
+	if err != nil {
+		t.Fatalf("query after fault cleared: %v", err)
+	}
+	if v.String() != baseline.String() {
+		t.Errorf("value after fault cleared = %s, want %s", v, baseline)
+	}
+}
+
+// TestTruncatedFileFailsAtBind cuts a file inside its data region: the
+// lazy readval must fail at bind time (like the eager read), not surface
+// a mid-query fetch error later.
+func TestTruncatedFileFailsAtBind(t *testing.T) {
+	dir := t.TempDir()
+	whole := writeNC1D(t, dir, 64)
+	data, err := os.ReadFile(whole)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := filepath.Join(dir, "cut.nc")
+	if err := os.WriteFile(cut, data[:len(data)-16], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := newSession(t)
+	defer s.Close()
+	_, err = s.Exec(fmt.Sprintf(`readval \W using NETCDF at (%q, "series");`, cut))
+	if err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Errorf("lazy readval of truncated file = %v, want bind-time truncation error", err)
+	}
+}
+
+// TestValDeclSpillsOverBudget binds an oversized intermediate: the val is
+// spilled to disk (lazy, within budget) and reads back byte-identical —
+// including ⊥ cell diagnostics (from non-finite NetCDF cells; tabulation
+// itself is ⊥-strict, so a mixed array must come from a reader).
+func TestValDeclSpillsOverBudget(t *testing.T) {
+	dir := t.TempDir()
+	b := netcdf.NewBuilder()
+	d0, _ := b.AddDim("x", 1000)
+	data := make([]float64, 1000)
+	for i := range data {
+		data[i] = float64(i) * 0.5
+	}
+	data[3] = 1.5
+	data[700] = math.NaN() // an embedded ⊥ cell with its diagnostic
+	if err := b.AddVar("series", netcdf.Double, []int{d0}, nil, data); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "big.nc")
+	if err := b.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Eager reads: readval binds W as a materialized array with ⊥ cells;
+	// `val \X = W;` then carries that oversized eager array into maybeSpill.
+	stmts := []string{
+		fmt.Sprintf(`readval \W using NETCDF at (%q, "series");`, path),
+		`val \X = W;`,
+	}
+	queries := []string{`X;`, `X[700];`, `X[3];`}
+
+	eager := runCorpus(t, func(s *Session) { s.SetLazyReads(false); s.SetSpill(false) },
+		append(append([]string{}, stmts...), queries...))
+
+	cellBytes := int64(unsafe.Sizeof(object.Value{}))
+	s := newSession(t)
+	defer s.Close()
+	s.SetLazyReads(false)
+	s.SetTileConfig(64, 128*cellBytes, false) // 1000 cells is well over budget
+	for _, stmt := range stmts {
+		if _, err := s.Exec(stmt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	x, ok := s.Env.Val("X")
+	if !ok {
+		t.Fatal("X not bound")
+	}
+	if !x.IsLazy() {
+		t.Fatal("oversized val was not spilled to a lazy binding")
+	}
+	rep := s.Trace.Last()
+	if rep.IO.SpillBytesWritten == 0 {
+		t.Errorf("val decl report records no spill bytes: %+v", rep.IO)
+	}
+	for i, q := range queries {
+		res, err := s.Exec(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		got := fmt.Sprintf("%s : %s = %s\n", res[0].Name, res[0].Type, res[0].Value)
+		if got != eager[len(stmts)+i] {
+			t.Errorf("spilled %s diverges:\n got: %s\nwant: %s", q, got, eager[len(stmts)+i])
+		}
+	}
+	if st := s.TileCache().Stats(); st.SpillBytesRead == 0 {
+		t.Error("reading the spilled val recorded no spill bytes read")
+	}
+}
+
+// TestIOCommand exercises the :io command: status, lazy toggle, retune.
+func TestIOCommand(t *testing.T) {
+	s := newSession(t)
+	defer s.Close()
+	ctx := context.Background()
+	out, err := s.Command(ctx, ":io")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"lazy reads: true", "tile size: 4096", "tiles:", "bytes:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf(":io missing %q:\n%s", want, out)
+		}
+	}
+	if out, err = s.Command(ctx, ":io lazy off"); err != nil || !strings.Contains(out, "lazy reads: false") {
+		t.Errorf(":io lazy off = %q, %v", out, err)
+	}
+	if out, err = s.Command(ctx, ":io tile 128 65536"); err != nil || !strings.Contains(out, "tile size: 128 cells, budget: 65536") {
+		t.Errorf(":io tile = %q, %v", out, err)
+	}
+	if _, err := s.Command(ctx, ":io bogus"); err == nil {
+		t.Error(":io bogus should error")
+	}
+	out, err = s.Command(ctx, ":help")
+	if err != nil || !strings.Contains(out, ":io") {
+		t.Errorf(":help missing :io, err=%v", err)
+	}
+}
+
+// TestExplainAnalyzeTiles checks that :explain analyze over a lazy array
+// reports estimated vs. actual tiles.
+func TestExplainAnalyzeTiles(t *testing.T) {
+	dir := t.TempDir()
+	path := writeNC1D(t, dir, 256)
+	s := newSession(t)
+	defer s.Close()
+	s.SetTileConfig(16, 0, false) // 16 tiles
+	if _, err := s.Exec(fmt.Sprintf(`readval \W using NETCDF at (%q, "series");`, path)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Command(context.Background(), `:explain analyze [[ W[i] | \i < 256 ]]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "tiles: est 16 (full scan), fetched 16") {
+		t.Errorf(":explain analyze missing tile row:\n%s", out)
+	}
+}
+
+// TestSessionCloseReleasesHandles binds a lazy array, closes the session,
+// and checks the handle cache and tile cache are released.
+func TestSessionCloseReleasesHandles(t *testing.T) {
+	dir := t.TempDir()
+	path := writeNC1D(t, dir, 64)
+	s := newSession(t)
+	if _, err := s.Exec(fmt.Sprintf(`readval \W using NETCDF at (%q, "series");`, path)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Query(`W[10]`); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.io.openPaths(); len(got) != 1 {
+		t.Fatalf("open paths = %v", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.io.openPaths(); len(got) != 0 {
+		t.Errorf("paths still open after Close: %v", got)
+	}
+}
+
+// TestLazyPreviewDoesNotMaterialize pins the REPL-echo behavior: rendering
+// a truncated preview of a lazy array (what the REPL prints after every
+// readval) must fetch only the cells it shows, and must not memoize the
+// whole array into memory — a later scan still reads through the tile
+// cache. Before the cell-at-a-time renderer, the first echo materialized
+// the entire variable and every subsequent query bypassed the cache.
+func TestLazyPreviewDoesNotMaterialize(t *testing.T) {
+	dir := t.TempDir()
+	path := writeNC1D(t, dir, 4096)
+	s := newSession(t)
+	defer s.Close()
+	cellBytes := int64(unsafe.Sizeof(object.Value{}))
+	s.SetTileConfig(64, 4*64*cellBytes, false) // 64 tiles of data, room for 4
+	if _, err := s.Exec(fmt.Sprintf(`readval \V using NETCDF at (%q, "series");`, path)); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := s.Env.Val("V")
+	if !ok || !v.IsLazy() {
+		t.Fatal("V should be lazy after readval")
+	}
+	if got := v.Pretty(12); !strings.HasPrefix(got, "[[(0):0.0, (1):0.5") || !strings.HasSuffix(got, ", ...]]") {
+		t.Fatalf("preview = %s", got)
+	}
+	st := s.io.cache.Stats()
+	if fetched := st.TileMisses + st.Prefetches; fetched > 3 {
+		t.Errorf("12-cell preview fetched %d tiles, want at most demand + readahead", fetched)
+	}
+	if _, _, err := s.Query(`summap(fn \i => V[i])!(gen!4096)`); err != nil {
+		t.Fatal(err)
+	}
+	st = s.io.cache.Stats()
+	if fetched := st.TileMisses + st.Prefetches; fetched < 64 {
+		t.Errorf("scan after preview fetched %d tiles total, want >= 64 (preview materialized the array?)", fetched)
+	}
+}

@@ -5,46 +5,41 @@ import (
 	"io"
 	"os"
 
+	"context"
+
 	"github.com/aqldb/aql/internal/env"
 	"github.com/aqldb/aql/internal/exchange"
 	"github.com/aqldb/aql/internal/netcdf"
 	"github.com/aqldb/aql/internal/object"
-	"github.com/aqldb/aql/internal/trace"
 )
 
-// RegisterNetCDF registers the NetCDF readers of section 4.1: NETCDF1,
+// registerNetCDF registers the NetCDF readers of section 4.1: NETCDF1,
 // NETCDF2, NETCDF3 and NETCDF4 input k-dimensional subslabs. Each takes
 // (filename, variable, lower, upper) where lower and upper are inclusive
 // index bounds — a nat for k = 1, k-tuples of nats otherwise — exactly as
 // the session example uses NETCDF3. A fifth reader, NETCDF, reads a whole
 // variable at its natural rank.
 //
-// Each reader reports the file's I/O counters (slab reads, bytes,
-// cache/retry behaviour) to rec after reading, attributing I/O to the
-// statement that caused it; rec may be nil.
-func RegisterNetCDF(e *env.Env, rec *trace.Recorder) {
+// Files open through the session's per-path handle cache and stay open for
+// the session (Session.Close releases them), so repeated reads of one
+// dataset parse the header once. By default the readers are lazy: they
+// validate the request against the header and bind a tiled lazy array that
+// fetches cells on demand through the session's tile cache — queries over
+// variables larger than RAM touch only the tiles they subscript. With
+// SetLazyReads(false) they materialize whole slabs as they historically
+// did. Both modes produce byte-identical values.
+func (s *Session) registerNetCDF() {
 	for k := 1; k <= 4; k++ {
-		e.RegisterReader(fmt.Sprintf("NETCDF%d", k), netcdfSlabReader(k, rec))
+		s.Env.RegisterReader(fmt.Sprintf("NETCDF%d", k), s.netcdfSlabReader(k))
 	}
-	e.RegisterReader("NETCDF", netcdfWholeReader(rec))
+	s.Env.RegisterReader("NETCDF", s.netcdfWholeReader())
 }
 
-// recordIO folds a file's I/O counters into the recorder's open report.
-func recordIO(rec *trace.Recorder, f *netcdf.File) {
-	st := f.IOStats()
-	rec.RecordIO(trace.IOCounters{
-		SlabReads:   st.SlabReads,
-		BytesRead:   st.BytesRead,
-		CacheHits:   st.CacheHits,
-		CacheMisses: st.CacheMisses,
-		Prefetches:  st.Prefetches,
-		Retries:     st.Retries,
-		Faults:      st.Faults,
-	})
-}
+// errCharVariable matches the historical eager-path diagnostic exactly.
+var errCharVariable = fmt.Errorf("netcdf: char variables have no array representation; read them as attributes")
 
 // netcdfSlabReader builds the k-dimensional subslab reader.
-func netcdfSlabReader(k int, rec *trace.Recorder) env.Reader {
+func (s *Session) netcdfSlabReader(k int) env.Reader {
 	return func(arg object.Value) (object.Value, error) {
 		if arg.Kind != object.KTuple || len(arg.Elems) != 4 {
 			return object.Value{}, fmt.Errorf("NETCDF%d: expected (file, variable, lower, upper)", k)
@@ -61,12 +56,10 @@ func netcdfSlabReader(k int, rec *trace.Recorder) env.Reader {
 		if err != nil {
 			return object.Value{}, fmt.Errorf("NETCDF%d: upper bound: %w", k, err)
 		}
-		f, err := netcdf.Open(path)
+		f, err := s.io.open(path)
 		if err != nil {
 			return object.Value{}, err
 		}
-		defer f.Close()
-		defer recordIO(rec, f)
 		v, err := f.Var(varName)
 		if err != nil {
 			return object.Value{}, err
@@ -83,48 +76,175 @@ func netcdfSlabReader(k int, rec *trace.Recorder) env.Reader {
 			start[d] = lower[d]
 			count[d] = upper[d] - lower[d] + 1
 		}
+		if !s.LazyReads() {
+			slab, err := f.ReadSlab(varName, start, count)
+			if err != nil {
+				return object.Value{}, err
+			}
+			return slabToArray(slab)
+		}
+		return s.lazySlab(f, varName, start, count)
+	}
+}
+
+// netcdfWholeReader builds the reader for (file, variable) in full.
+func (s *Session) netcdfWholeReader() env.Reader {
+	return func(arg object.Value) (object.Value, error) {
+		if arg.Kind != object.KTuple || len(arg.Elems) != 2 ||
+			arg.Elems[0].Kind != object.KString || arg.Elems[1].Kind != object.KString {
+			return object.Value{}, fmt.Errorf("NETCDF: expected (file, variable)")
+		}
+		path, varName := arg.Elems[0].S, arg.Elems[1].S
+		f, err := s.io.open(path)
+		if err != nil {
+			return object.Value{}, err
+		}
+		if !s.LazyReads() {
+			slab, err := f.ReadAll(varName)
+			if err != nil {
+				return object.Value{}, err
+			}
+			return slabToArray(slab)
+		}
+		v, err := f.Var(varName)
+		if err != nil {
+			return object.Value{}, err
+		}
+		shape := f.Shape(v)
+		start := make([]int, len(shape))
+		return s.lazySlab(f, varName, start, shape)
+	}
+}
+
+// lazySlab validates the slab request against the header and binds a lazy
+// array over it. The slab's flat row-major cell space maps to variable
+// cells run by run: within one slab row (the innermost dimension) cells are
+// contiguous in the variable too, so each tile fetch decomposes into
+// innermost-dimension runs served by ReadCellRangeCtx.
+func (s *Session) lazySlab(f *netcdf.File, varName string, start, count []int) (object.Value, error) {
+	v, err := f.Var(varName)
+	if err != nil {
+		return object.Value{}, err
+	}
+	if v.Type == netcdf.Char {
+		return object.Value{}, errCharVariable
+	}
+	varShape := f.Shape(v)
+	if len(start) != len(varShape) || len(count) != len(varShape) {
+		return object.Value{}, fmt.Errorf("netcdf: %s has rank %d; start/count have rank %d/%d",
+			varName, len(varShape), len(start), len(count))
+	}
+	size := 1
+	for d := range varShape {
+		if start[d] < 0 || count[d] < 0 || start[d]+count[d] > varShape[d] {
+			return object.Value{}, fmt.Errorf("netcdf: %s: slab [%d, %d) exceeds dimension %d of length %d",
+				varName, start[d], start[d]+count[d], d, varShape[d])
+		}
+		size *= count[d]
+	}
+
+	// Scalar variables materialize eagerly: one cell, nothing to tile.
+	if len(varShape) == 0 {
 		slab, err := f.ReadSlab(varName, start, count)
 		if err != nil {
 			return object.Value{}, err
 		}
 		return slabToArray(slab)
 	}
+
+	shape := append([]int(nil), count...)
+	rank := len(shape)
+	inner := shape[rank-1]
+	// Flat strides of the variable's cell space, for mapping slab rows to
+	// variable cell offsets.
+	varStrides := make([]int, rank)
+	stride := 1
+	for d := rank - 1; d >= 0; d-- {
+		varStrides[d] = stride
+		stride *= varShape[d]
+	}
+
+	// Bind-time validation: the slab's maximal cell must be inside the
+	// file, so a truncated data region fails the readval (as the eager
+	// path does), not the first tile fetch mid-query.
+	if size > 0 {
+		lastOff := 0
+		for d := range shape {
+			lastOff += (start[d] + shape[d] - 1) * varStrides[d]
+		}
+		if err := f.ValidateCellRange(varName, lastOff, 1); err != nil {
+			return object.Value{}, err
+		}
+	}
+
+	fullWidth := true
+	for d := range varShape {
+		if start[d] != 0 || count[d] != varShape[d] {
+			fullWidth = false
+			break
+		}
+	}
+
+	s.io.mu.Lock()
+	cache := s.io.cache
+	s.io.mu.Unlock()
+
+	fetch := func(ctx context.Context, off, n int) ([]object.Value, error) {
+		if fullWidth {
+			// Whole-variable read: slab space IS variable space.
+			vals, err := f.ReadCellRangeCtx(ctx, varName, off, n)
+			if err != nil {
+				return nil, err
+			}
+			return floatCells(vals), nil
+		}
+		out := make([]object.Value, 0, n)
+		for p := off; p < off+n; {
+			row := p / inner
+			col := p % inner
+			run := inner - col
+			if rem := off + n - p; run > rem {
+				run = rem
+			}
+			// Variable-space flat offset of (slab row, col).
+			vOff := (start[rank-1] + col) * varStrides[rank-1]
+			rest := row
+			for d := rank - 2; d >= 0; d-- {
+				vOff += (start[d] + rest%shape[d]) * varStrides[d]
+				rest /= shape[d]
+			}
+			vals, err := f.ReadCellRangeCtx(ctx, varName, vOff, run)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, floatCells(vals)...)
+			p += run
+		}
+		return out, nil
+	}
+	return object.LazyArray(shape, cache.NewArray(size, fetch))
 }
 
-// netcdfWholeReader builds the reader for (file, variable) in full.
-func netcdfWholeReader(rec *trace.Recorder) env.Reader {
-	return func(arg object.Value) (object.Value, error) {
-		if arg.Kind != object.KTuple || len(arg.Elems) != 2 ||
-			arg.Elems[0].Kind != object.KString || arg.Elems[1].Kind != object.KString {
-			return object.Value{}, fmt.Errorf("NETCDF: expected (file, variable)")
+// floatCells converts raw NetCDF values to AQL cells with the same
+// non-finite mapping as the eager slabToArray path.
+func floatCells(vals []float64) []object.Value {
+	out := make([]object.Value, len(vals))
+	for i, f := range vals {
+		if !object.IsFinite(f) {
+			out[i] = object.Bottom("non-finite value in NetCDF data")
+			continue
 		}
-		f, err := netcdf.Open(arg.Elems[0].S)
-		if err != nil {
-			return object.Value{}, err
-		}
-		defer f.Close()
-		defer recordIO(rec, f)
-		slab, err := f.ReadAll(arg.Elems[1].S)
-		if err != nil {
-			return object.Value{}, err
-		}
-		return slabToArray(slab)
+		out[i] = object.Real(f)
 	}
+	return out
 }
 
 // slabToArray converts a numeric NetCDF slab into an AQL array of reals.
 func slabToArray(slab *netcdf.Slab) (object.Value, error) {
 	if slab.Type == netcdf.Char {
-		return object.Value{}, fmt.Errorf("netcdf: char variables have no array representation; read them as attributes")
+		return object.Value{}, errCharVariable
 	}
-	data := make([]object.Value, len(slab.Values))
-	for i, f := range slab.Values {
-		if !object.IsFinite(f) {
-			data[i] = object.Bottom("non-finite value in NetCDF data")
-			continue
-		}
-		data[i] = object.Real(f)
-	}
+	data := floatCells(slab.Values)
 	shape := slab.Shape
 	if len(shape) == 0 {
 		shape = []int{1}
@@ -146,8 +266,12 @@ func RegisterNetCDFWriter(e *env.Env) {
 		if data.Kind != object.KArray {
 			return fmt.Errorf("NETCDF writer: expected an array, got %s", data.Kind)
 		}
-		vals := make([]float64, len(data.Data))
-		for i, v := range data.Data {
+		cells, err := data.Cells()
+		if err != nil {
+			return fmt.Errorf("NETCDF writer: %w", err)
+		}
+		vals := make([]float64, len(cells))
+		for i, v := range cells {
 			f, err := v.AsReal()
 			if err != nil {
 				return fmt.Errorf("NETCDF writer: element %d: %w", i, err)

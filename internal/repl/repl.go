@@ -23,6 +23,7 @@ import (
 	"github.com/aqldb/aql/internal/eval"
 	"github.com/aqldb/aql/internal/object"
 	"github.com/aqldb/aql/internal/parser"
+	"github.com/aqldb/aql/internal/tile"
 	"github.com/aqldb/aql/internal/trace"
 	"github.com/aqldb/aql/internal/typecheck"
 	"github.com/aqldb/aql/internal/types"
@@ -65,6 +66,10 @@ type Session struct {
 	// eval.ProfFull (every operator, exact attribution). Set it directly or
 	// via SetProfiling for name validation.
 	Profiling eval.ProfLevel
+	// Workers caps the compiled engine's tabulation fan-out; 0 means
+	// GOMAXPROCS. Tests pin it to exercise many workers sharing the tile
+	// cache regardless of the host's core count.
+	Workers int
 	// Fleet accumulates cross-query aggregates (latency histogram, phase
 	// and I/O totals, rule firing counts, slow-query log); Flight is the
 	// ring of the last N full reports. Both are wired into Trace as sinks
@@ -78,6 +83,10 @@ type Session struct {
 	userSink trace.Sink
 	// prepared is the loop's current prepared statement (:prepare / :exec).
 	prepared *Prepared
+	// io is the session's out-of-core state: open NetCDF handles, the
+	// shared tile cache, spill, and per-statement I/O attribution. See
+	// iostate.go; released by Close.
+	io *ioState
 }
 
 // Execution engine names for Session.Engine.
@@ -128,8 +137,9 @@ type Result struct {
 // zip, transpose, ...), the NetCDF readers, and the exchange-format
 // reader/writer.
 func New() (*Session, error) {
-	s := &Session{Env: env.New(), Trace: trace.NewRecorder(nil), Engine: EngineCompiled}
-	RegisterNetCDF(s.Env, s.Trace)
+	s := &Session{Env: env.New(), Trace: trace.NewRecorder(nil), Engine: EngineCompiled,
+		io: newIOState(tile.Config{})}
+	s.registerNetCDF()
 	RegisterNetCDFWriter(s.Env)
 	RegisterExchange(s.Env)
 	RegisterPrint(s.Env, os.Stdout)
@@ -286,6 +296,10 @@ func (s *Session) EvalCtx(ctx context.Context, core ast.Expr) (object.Value, err
 func (s *Session) evalGuarded(ctx context.Context, core ast.Expr, src string) (v object.Value, err error) {
 	eng := s.newEngine()
 	sp := s.Trace.StartPhase(trace.PhaseEval)
+	// Lazy-array tile I/O during this evaluation is attributed to this
+	// statement through a per-query collector carried in the context; the
+	// long-lived file handles' counters are attributed as watermark deltas.
+	ctx, tiles := tile.WithCollector(ctx)
 	defer func() {
 		c := eng.Counters()
 		s.LastSteps = c.Steps
@@ -301,6 +315,9 @@ func (s *Session) evalGuarded(ctx context.Context, core ast.Expr, src string) (v
 			SetOps:      c.SetOps,
 			Iterations:  c.Iters,
 		})
+		io := TileIOCounters(tiles.Snapshot())
+		io.Add(s.io.fileDelta())
+		s.Trace.RecordIO(io)
 		if sp, ok := eng.(eval.SpanProfiler); ok {
 			if root := sp.SpanTree(); root != nil {
 				s.Trace.RecordSpans(convertSpan(root), sp.Profiling().String())
@@ -308,6 +325,13 @@ func (s *Session) evalGuarded(ctx context.Context, core ast.Expr, src string) (v
 		}
 		if r := recover(); r != nil {
 			v = object.Value{}
+			if me, ok := r.(*object.MaterializeError); ok {
+				// A lazy array failed to materialize inside an interface
+				// with no error return (Compare, String): surface the
+				// underlying I/O error, not an internal-error panic.
+				err = fmt.Errorf("aql: materializing lazy array for %q: %w", src, me.Err)
+				return
+			}
 			err = &PanicError{Src: src, Val: r, Stack: debug.Stack()}
 		}
 	}()
@@ -329,6 +353,7 @@ func (s *Session) newEngine() eval.Engine {
 	e := compile.New(s.Env.Globals())
 	e.MaxSteps = s.MaxSteps
 	e.Limits = s.Limits
+	e.Workers = s.Workers
 	e.SetProfiling(s.Profiling)
 	return e
 }
@@ -463,6 +488,10 @@ func (s *Session) execStmtInner(ctx context.Context, stmt parser.Stmt) (Result, 
 		if err != nil {
 			return Result{}, fmt.Errorf("val %s: %w", n.Name, err)
 		}
+		// Oversized array bindings spill to disk and rebind lazily; the
+		// type was computed from the core expression, so typing never
+		// touches the cells.
+		v = s.maybeSpill(ctx, v)
 		s.Env.SetVal(n.Name, v, typ)
 		return Result{Kind: "val", Name: n.Name, Type: typ, Value: v, HasValue: true}, nil
 
@@ -490,6 +519,10 @@ func (s *Session) execStmtInner(ctx context.Context, stmt parser.Stmt) (Result, 
 			return Result{}, fmt.Errorf("readval %s: %w", n.Name, err)
 		}
 		v, err := reader(arg)
+		// Header parsing and eager slab reads happen inside the reader
+		// call; attribute that I/O to this statement (lazy tile fetches are
+		// attributed later, to the queries that trigger them).
+		s.Trace.RecordIO(s.io.fileDelta())
 		if err != nil {
 			return Result{}, fmt.Errorf("readval %s using %s: %w", n.Name, n.Reader, err)
 		}

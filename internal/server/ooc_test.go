@@ -1,0 +1,124 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/aqldb/aql/internal/netcdf"
+	"github.com/aqldb/aql/internal/trace"
+)
+
+// metricValue extracts the value of a series line like
+// `aqld_io_tiles_total{outcome="miss"} 16` from an exposition body.
+func metricValue(t *testing.T, text, series string) float64 {
+	t.Helper()
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(series) + ` (\S+)$`)
+	m := re.FindStringSubmatch(text)
+	if m == nil {
+		t.Fatalf("/metrics missing series %q", series)
+	}
+	v, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		t.Fatalf("series %q value %q: %v", series, m[1], err)
+	}
+	return v
+}
+
+// TestMetricsTileIO drives a lazily-read NetCDF variable through the query
+// endpoint and checks the aqld_io_* series report the tile traffic: hits,
+// misses, prefetches, and bytes scanned vs. returned all non-zero.
+func TestMetricsTileIO(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+
+	dir := t.TempDir()
+	b := netcdf.NewBuilder()
+	d0, _ := b.AddDim("x", 256)
+	data := make([]float64, 256)
+	for i := range data {
+		data[i] = float64(i) * 0.5
+	}
+	if err := b.AddVar("series", netcdf.Double, []int{d0}, nil, data); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "series.nc")
+	if err := b.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	s.sess.SetTileConfig(16, 0, false) // 16 tiles, ample budget
+	if _, err := s.sess.Exec(fmt.Sprintf(`readval \W using NETCDF at (%q, "series");`, path)); err != nil {
+		t.Fatal(err)
+	}
+
+	qr, _, err := postQuery(ts, QueryRequest{Query: `summap(fn \i => W[i])!(gen!256)`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sum of 0.5*i for i<256 = 0.5 * 255*256/2
+	if qr.Value != "16320.0" {
+		t.Fatalf("query value = %s, want 16320.0", qr.Value)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	text := string(raw)
+
+	for _, series := range []string{
+		`aqld_io_tiles_total{outcome="hit"}`,
+		`aqld_io_tiles_total{outcome="miss"}`,
+		`aqld_io_tile_bytes_total{direction="scanned"}`,
+		`aqld_io_tile_bytes_total{direction="returned"}`,
+		`aqld_io_slab_reads_total`,
+		`aqld_io_bytes_read_total`,
+		`aqld_io_cache_resident_bytes`,
+	} {
+		if v := metricValue(t, text, series); v <= 0 {
+			t.Errorf("%s = %v, want > 0", series, v)
+		}
+	}
+	// A sequential scan prefetches all but the first tile, and every
+	// prefetched tile is later demanded.
+	useful := metricValue(t, text, `aqld_io_tile_prefetches_total{useful="true"}`)
+	if useful <= 0 {
+		t.Errorf("prefetches useful = %v, want > 0", useful)
+	}
+	// The headers for spill/retry series are present even when zero.
+	for _, want := range []string{
+		"# TYPE aqld_io_spill_bytes_total counter",
+		"# TYPE aqld_io_retries_total counter",
+		"# TYPE aqld_io_faults_total counter",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// The per-request report carried the tile counters too.
+	dresp, err := http.Get(ts.URL + "/debug/queries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dresp.Body.Close()
+	var reports []trace.QueryReport
+	if err := json.NewDecoder(dresp.Body).Decode(&reports); err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) == 0 {
+		t.Fatal("no reports in flight recorder")
+	}
+	last := reports[len(reports)-1]
+	if last.IO.TileMisses == 0 || last.IO.BytesScanned == 0 {
+		t.Errorf("request report IO = %+v, want non-zero tile misses and bytes scanned", last.IO)
+	}
+}

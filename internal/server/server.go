@@ -48,6 +48,7 @@ import (
 	"github.com/aqldb/aql/internal/object"
 	"github.com/aqldb/aql/internal/parser"
 	"github.com/aqldb/aql/internal/repl"
+	"github.com/aqldb/aql/internal/tile"
 	"github.com/aqldb/aql/internal/trace"
 	"github.com/aqldb/aql/internal/typecheck"
 )
@@ -323,6 +324,10 @@ func (s *Server) runQuery(ctx context.Context, id string, tc trace.TraceContext,
 	var mode string
 	var shards []trace.ShardSpan
 	var stitched *trace.SpanNode
+	// Lazy-array tile I/O during this request is attributed to it through a
+	// per-request collector in the context, mirroring the session's
+	// evalGuarded; file-handle counters arrive as watermark deltas.
+	ctx, tiles := tile.WithCollector(ctx)
 	sp := rec.StartPhase(trace.PhaseEval)
 	if s.cfg.Coordinator != nil && p.prog.Rangeable() {
 		// Scatter-gather path: the coordinator's merge contract guarantees
@@ -349,6 +354,9 @@ func (s *Server) runQuery(ctx context.Context, id string, tc trace.TraceContext,
 		Iterations:  counters.Iters,
 	}
 	rec.RecordEval(tcnt)
+	io := repl.TileIOCounters(tiles.Snapshot())
+	io.Add(s.sess.IOFileDelta())
+	rec.RecordIO(io)
 	if stitched != nil {
 		// Record the stitched multi-node tree only when it verifies against
 		// the merged counters: a skewed tree (a buggy worker's payload)
@@ -496,6 +504,13 @@ func executeGuarded(ctx context.Context, prog *compile.Program, opts compile.Exe
 	defer func() {
 		if r := recover(); r != nil {
 			v = object.Value{}
+			if me, ok := r.(*object.MaterializeError); ok {
+				// A lazy array failed to materialize inside an interface
+				// with no error return: surface the I/O error, not an
+				// internal-error panic.
+				err = fmt.Errorf("aql: materializing lazy array for %q: %w", src, me.Err)
+				return
+			}
 			err = &repl.PanicError{Src: src, Val: r, Stack: debug.Stack()}
 		}
 	}()
@@ -603,6 +618,38 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	b.Val("aqld_admission_queue_seconds_bucket", `le="+Inf"`, qh.Counts[len(qh.Buckets)])
 	b.Valf("aqld_admission_queue_seconds_sum", "", qh.Sum.Seconds())
 	b.Val("aqld_admission_queue_seconds_count", "", qh.Counts[len(qh.Buckets)])
+	// Out-of-core I/O: live totals from the session's tile cache and its
+	// open NetCDF handles. The tile series answer hit rate, prefetch
+	// efficiency and I/O amplification (bytes scanned vs. returned); the
+	// file series are the cumulative netcdf.IOStats counters that per-query
+	// reports carry as deltas.
+	ts := s.sess.TileCache().Stats()
+	ft := s.sess.IOFileTotals()
+	b.Header("aqld_io_tiles_total", "counter", "Tile cache lookups by outcome.")
+	b.Val("aqld_io_tiles_total", `outcome="hit"`, ts.TileHits)
+	b.Val("aqld_io_tiles_total", `outcome="miss"`, ts.TileMisses)
+	b.Val("aqld_io_tiles_total", `outcome="eviction"`, ts.Evictions)
+	b.Header("aqld_io_tile_prefetches_total", "counter", "Tiles prefetched ahead of sequential scans, by usefulness.")
+	b.Val("aqld_io_tile_prefetches_total", `useful="true"`, ts.PrefetchUseful)
+	b.Val("aqld_io_tile_prefetches_total", `useful="unknown"`, ts.Prefetches-ts.PrefetchUseful)
+	b.Header("aqld_io_tile_bytes_total", "counter", "Tile bytes moved: scanned from storage vs. returned to queries.")
+	b.Val("aqld_io_tile_bytes_total", `direction="scanned"`, ts.BytesScanned)
+	b.Val("aqld_io_tile_bytes_total", `direction="returned"`, ts.BytesReturned)
+	b.Header("aqld_io_spill_bytes_total", "counter", "Spill-file bytes written and read back.")
+	b.Val("aqld_io_spill_bytes_total", `direction="written"`, ts.SpillBytesWritten)
+	b.Val("aqld_io_spill_bytes_total", `direction="read"`, ts.SpillBytesRead)
+	b.Header("aqld_io_cache_resident_bytes", "gauge", "Bytes currently resident in the tile cache.")
+	b.Val("aqld_io_cache_resident_bytes", "", s.sess.TileCache().Resident())
+	b.Header("aqld_io_cache_peak_bytes", "gauge", "Peak tile-cache residency since start.")
+	b.Val("aqld_io_cache_peak_bytes", "", s.sess.TileCache().PeakResident())
+	b.Header("aqld_io_slab_reads_total", "counter", "NetCDF slab/range reads issued.")
+	b.Val("aqld_io_slab_reads_total", "", ft.SlabReads)
+	b.Header("aqld_io_bytes_read_total", "counter", "Bytes read from NetCDF data regions.")
+	b.Val("aqld_io_bytes_read_total", "", ft.BytesRead)
+	b.Header("aqld_io_retries_total", "counter", "Transient read failures retried by the reader stack.")
+	b.Val("aqld_io_retries_total", "", ft.Retries)
+	b.Header("aqld_io_faults_total", "counter", "Reader faults observed (injected or real).")
+	b.Val("aqld_io_faults_total", "", ft.Faults)
 	s.mis.mu.Lock()
 	misOps, misQueries, misWorst, misEx := s.mis.ops, s.mis.queries, s.mis.worst, s.mis.ex
 	s.mis.mu.Unlock()

@@ -1,0 +1,446 @@
+// Package tile implements out-of-core array storage: lazy arrays whose
+// cells are fetched on demand in fixed-size row-major tiles, held in a
+// byte-budgeted LRU cache shared by all arrays of a session.
+//
+// A tile t of an array with N flat cells and tile size C covers cells
+// [t*C, min((t+1)*C, N)). Tiles are fetched through a caller-supplied Fetch
+// function (the NetCDF cell-range reader, or the spill file), deduplicated
+// by a per-tile singleflight so concurrent tabulation workers faulting the
+// same tile trigger one I/O, and evicted least-recently-used when the byte
+// budget is exceeded. Sequential access (tile t demanded right after t-1)
+// triggers synchronous readahead of t+1; prefetch is deterministic so lazy
+// execution stays reproducible, and its usefulness is tracked (a prefetched
+// tile later served on demand counts PrefetchUseful) for the
+// prefetch-efficiency metric.
+//
+// Fetch errors are never cached: the failed tile is removed, so a transient
+// fault surfaces to exactly the demand that hit it and the next access
+// retries. Waiters of a cancelled fetcher re-run the fetch under their own
+// context rather than inheriting the cancellation.
+package tile
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"context"
+
+	"github.com/aqldb/aql/internal/object"
+)
+
+// Fetch retrieves n cells starting at flat row-major offset start from the
+// underlying source. The cache only ever asks for whole tiles (the final
+// tile may be short). Implementations must be safe for concurrent use and
+// deterministic: same range, same cells.
+type Fetch func(ctx context.Context, start, n int) ([]object.Value, error)
+
+// Config tunes a Cache. Zero fields select the noted defaults.
+type Config struct {
+	// TileCells is the number of cells per tile (default 4096).
+	TileCells int
+	// Budget is the maximum resident cache size in accounted bytes
+	// (default 64 MiB). A tile's accounted cost is its cell count times
+	// the in-memory size of an object.Value.
+	Budget int64
+	// NoPrefetch disables sequential readahead.
+	NoPrefetch bool
+}
+
+const (
+	// DefaultTileCells is the default tile size in cells.
+	DefaultTileCells = 4096
+	// DefaultBudget is the default cache budget in bytes.
+	DefaultBudget = 64 << 20
+)
+
+func (c *Config) tileCells() int {
+	if c.TileCells > 0 {
+		return c.TileCells
+	}
+	return DefaultTileCells
+}
+
+func (c *Config) budget() int64 {
+	if c.Budget > 0 {
+		return c.Budget
+	}
+	return DefaultBudget
+}
+
+// cellBytes is the accounted in-memory cost of one cached cell.
+var cellBytes = int64(unsafe.Sizeof(object.Value{}))
+
+// cellPayload is the nominal data size of one cell for the bytes-scanned /
+// bytes-returned counters: the 8-byte scalar payload. Using one nominal
+// size on both sides makes the ratio read directly as I/O amplification.
+const cellPayload = 8
+
+// counters is the atomic counter block shared by the cache-global stats
+// and per-query collectors.
+type counters struct {
+	hits           atomic.Int64
+	misses         atomic.Int64
+	prefetches     atomic.Int64
+	prefetchUseful atomic.Int64
+	bytesScanned   atomic.Int64
+	bytesReturned  atomic.Int64
+	spillWritten   atomic.Int64
+	spillRead      atomic.Int64
+	evictions      atomic.Int64
+}
+
+// Counters is a point-in-time snapshot of tile I/O activity.
+type Counters struct {
+	// TileHits and TileMisses count demand tile lookups served from cache
+	// vs. faulted in from the source.
+	TileHits   int64
+	TileMisses int64
+	// Prefetches counts readahead tile fetches; PrefetchUseful counts
+	// prefetched tiles later served on demand (prefetch efficiency =
+	// useful/prefetches).
+	Prefetches     int64
+	PrefetchUseful int64
+	// BytesScanned counts nominal data bytes fetched from the source into
+	// the cache (demand + prefetch); BytesReturned counts nominal bytes of
+	// cells actually delivered to queries. Scanned >> returned means the
+	// access pattern wastes tile bandwidth.
+	BytesScanned  int64
+	BytesReturned int64
+	// SpillBytesWritten and SpillBytesRead count actual encoded bytes
+	// moving to and from the spill file.
+	SpillBytesWritten int64
+	SpillBytesRead    int64
+	// Evictions counts tiles dropped to stay within budget.
+	Evictions int64
+}
+
+func (c *counters) snapshot() Counters {
+	return Counters{
+		TileHits:          c.hits.Load(),
+		TileMisses:        c.misses.Load(),
+		Prefetches:        c.prefetches.Load(),
+		PrefetchUseful:    c.prefetchUseful.Load(),
+		BytesScanned:      c.bytesScanned.Load(),
+		BytesReturned:     c.bytesReturned.Load(),
+		SpillBytesWritten: c.spillWritten.Load(),
+		SpillBytesRead:    c.spillRead.Load(),
+		Evictions:         c.evictions.Load(),
+	}
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.TileHits += other.TileHits
+	c.TileMisses += other.TileMisses
+	c.Prefetches += other.Prefetches
+	c.PrefetchUseful += other.PrefetchUseful
+	c.BytesScanned += other.BytesScanned
+	c.BytesReturned += other.BytesReturned
+	c.SpillBytesWritten += other.SpillBytesWritten
+	c.SpillBytesRead += other.SpillBytesRead
+	c.Evictions += other.Evictions
+}
+
+// entry is one cached (or in-flight) tile.
+type entry struct {
+	key   key
+	cells []object.Value
+	bytes int64
+	elem  *list.Element // LRU position; nil while fetching
+	ready chan struct{} // non-nil while a fetch is in flight
+	// prefetched marks a tile inserted by readahead and not yet demanded.
+	prefetched bool
+}
+
+type key struct {
+	owner uint64
+	tile  int
+}
+
+// Cache is a byte-budgeted LRU tile cache shared by the lazy arrays of a
+// session. Safe for concurrent use.
+type Cache struct {
+	cfg   Config
+	stats counters
+
+	nextOwner atomic.Uint64
+
+	mu       sync.Mutex
+	entries  map[key]*entry
+	lru      list.List // front = most recently used; resident entries only
+	resident int64
+	peak     int64
+
+	spill spillFile
+}
+
+// New returns an empty cache with the given configuration.
+func New(cfg Config) *Cache {
+	return &Cache{cfg: cfg, entries: make(map[key]*entry)}
+}
+
+// Config reports the cache's effective configuration.
+func (c *Cache) Config() Config {
+	return Config{TileCells: c.cfg.tileCells(), Budget: c.cfg.budget(), NoPrefetch: c.cfg.NoPrefetch}
+}
+
+// Stats returns a snapshot of the cache-global counters.
+func (c *Cache) Stats() Counters { return c.stats.snapshot() }
+
+// OverBudget reports whether holding an array of the given cell count
+// eagerly would exceed the cache budget — the spill trigger for oversized
+// intermediates.
+func (c *Cache) OverBudget(cells int) bool {
+	return int64(cells)*cellBytes > c.cfg.budget()
+}
+
+// Resident reports the currently accounted resident bytes.
+func (c *Cache) Resident() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.resident
+}
+
+// PeakResident reports the high-water mark of resident bytes.
+func (c *Cache) PeakResident() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.peak
+}
+
+// Close releases the spill file, if one was created. Cached tiles become
+// garbage; arrays backed by the spill file must not be read afterwards.
+func (c *Cache) Close() error { return c.spill.close() }
+
+// each applies f to the cache-global counters and, when ctx carries a
+// per-query collector, to that collector too.
+func (c *Cache) each(ctx context.Context, f func(*counters)) {
+	f(&c.stats)
+	if col := collectorFrom(ctx); col != nil {
+		f(&col.counters)
+	}
+}
+
+// Array is a lazy-array backing: object.ArrayBacking over one fetch source,
+// with all tiles living in the shared Cache.
+type Array struct {
+	c     *Cache
+	owner uint64
+	size  int
+	fetch Fetch
+	// lastTile drives sequential-access detection for prefetch.
+	lastTile atomic.Int64
+}
+
+// NewArray registers a lazy array of size cells over the given fetch
+// source.
+func (c *Cache) NewArray(size int, fetch Fetch) *Array {
+	a := &Array{c: c, owner: c.nextOwner.Add(1), size: size, fetch: fetch}
+	a.lastTile.Store(-1)
+	return a
+}
+
+// Size implements object.ArrayBacking.
+func (a *Array) Size() int { return a.size }
+
+// TileCount reports the number of tiles covering the array; the cost
+// estimator probes for it to predict tiles touched by a full scan.
+func (a *Array) TileCount() int {
+	tc := a.c.cfg.tileCells()
+	return (a.size + tc - 1) / tc
+}
+
+// Cell implements object.ArrayBacking: it serves the cell at flat offset
+// off from the tile cache, faulting the tile in if needed.
+func (a *Array) Cell(ctx context.Context, off int) (object.Value, error) {
+	if off < 0 || off >= a.size {
+		return object.Value{}, fmt.Errorf("tile: cell %d out of range [0, %d)", off, a.size)
+	}
+	tc := a.c.cfg.tileCells()
+	t := off / tc
+	cells, err := a.c.tileCells(ctx, a, t)
+	if err != nil {
+		return object.Value{}, err
+	}
+	v := cells[off-t*tc]
+	a.c.each(ctx, func(s *counters) { s.bytesReturned.Add(cellPayload) })
+	a.maybePrefetch(ctx, t)
+	return v, nil
+}
+
+// CellRange implements object.RangeBacking: a bulk read across tiles, used
+// by materialization and tile-aligned scans.
+func (a *Array) CellRange(ctx context.Context, start, n int) ([]object.Value, error) {
+	if start < 0 || n < 0 || start+n > a.size {
+		return nil, fmt.Errorf("tile: cell range [%d, %d) out of range [0, %d)", start, start+n, a.size)
+	}
+	out := make([]object.Value, 0, n)
+	tc := a.c.cfg.tileCells()
+	for off := start; off < start+n; {
+		t := off / tc
+		cells, err := a.c.tileCells(ctx, a, t)
+		if err != nil {
+			return nil, err
+		}
+		lo := off - t*tc
+		hi := len(cells)
+		if rem := start + n - off; hi-lo > rem {
+			hi = lo + rem
+		}
+		out = append(out, cells[lo:hi]...)
+		a.maybePrefetch(ctx, t)
+		off += hi - lo
+	}
+	a.c.each(ctx, func(s *counters) { s.bytesReturned.Add(int64(n) * cellPayload) })
+	return out, nil
+}
+
+// tileLen returns the cell count of tile t.
+func (a *Array) tileLen(t int) int {
+	tc := a.c.cfg.tileCells()
+	start := t * tc
+	n := tc
+	if a.size-start < n {
+		n = a.size - start
+	}
+	return n
+}
+
+// maybePrefetch issues synchronous readahead of tile t+1 when tile t was
+// demanded immediately after tile t-1 (a row-major sequential scan, the
+// access pattern of tabulation).
+func (a *Array) maybePrefetch(ctx context.Context, t int) {
+	if a.c.cfg.NoPrefetch {
+		return
+	}
+	last := a.lastTile.Swap(int64(t))
+	if int64(t) != last+1 || t+1 >= a.TileCount() {
+		return
+	}
+	a.c.prefetchTile(ctx, a, t+1)
+}
+
+// tileCells returns the cells of tile t, serving from cache or faulting it
+// in. Concurrent fetches of the same tile are deduplicated; fetch errors
+// are not cached, and waiters whose fetcher failed re-run the fetch under
+// their own context.
+func (c *Cache) tileCells(ctx context.Context, a *Array, t int) ([]object.Value, error) {
+	k := key{a.owner, t}
+	for {
+		c.mu.Lock()
+		if e, ok := c.entries[k]; ok {
+			if e.ready == nil {
+				// Resident: serve and refresh recency.
+				c.lru.MoveToFront(e.elem)
+				if e.prefetched {
+					e.prefetched = false
+					c.each(ctx, func(s *counters) { s.prefetchUseful.Add(1) })
+				}
+				cells := e.cells
+				c.mu.Unlock()
+				c.each(ctx, func(s *counters) { s.hits.Add(1) })
+				return cells, nil
+			}
+			ready := e.ready
+			c.mu.Unlock()
+			select {
+			case <-ready:
+				continue // re-check: resident on success, absent on failure
+			case <-ctx2done(ctx):
+				return nil, ctx.Err()
+			}
+		}
+		e := &entry{key: k, ready: make(chan struct{})}
+		c.entries[k] = e
+		c.mu.Unlock()
+		c.each(ctx, func(s *counters) { s.misses.Add(1) })
+
+		cells, err := a.fetch(ctx, t*c.cfg.tileCells(), a.tileLen(t))
+		if err == nil && len(cells) != a.tileLen(t) {
+			err = fmt.Errorf("tile: fetch returned %d cells for tile %d, want %d", len(cells), t, a.tileLen(t))
+		}
+		c.mu.Lock()
+		if err != nil {
+			delete(c.entries, k)
+			close(e.ready)
+			c.mu.Unlock()
+			return nil, err
+		}
+		c.insertLocked(e, cells)
+		c.mu.Unlock()
+		c.each(ctx, func(s *counters) { s.bytesScanned.Add(int64(len(cells)) * cellPayload) })
+		return cells, nil
+	}
+}
+
+// prefetchTile faults tile t into the cache if absent. Prefetch errors are
+// swallowed (the tile is simply not cached); the demand fetch that actually
+// needs it will retry and surface the error.
+func (c *Cache) prefetchTile(ctx context.Context, a *Array, t int) {
+	k := key{a.owner, t}
+	c.mu.Lock()
+	if _, ok := c.entries[k]; ok {
+		c.mu.Unlock()
+		return
+	}
+	e := &entry{key: k, ready: make(chan struct{})}
+	c.entries[k] = e
+	c.mu.Unlock()
+
+	cells, err := a.fetch(ctx, t*c.cfg.tileCells(), a.tileLen(t))
+	if err == nil && len(cells) != a.tileLen(t) {
+		err = fmt.Errorf("tile: short prefetch")
+	}
+	c.mu.Lock()
+	if err != nil {
+		delete(c.entries, k)
+		close(e.ready)
+		c.mu.Unlock()
+		return
+	}
+	e.prefetched = true
+	c.insertLocked(e, cells)
+	c.mu.Unlock()
+	c.each(ctx, func(s *counters) {
+		s.prefetches.Add(1)
+		s.bytesScanned.Add(int64(len(cells)) * cellPayload)
+	})
+}
+
+// insertLocked completes a fetch: the entry becomes resident, waiters wake,
+// and the LRU is trimmed back under budget. Caller holds c.mu.
+func (c *Cache) insertLocked(e *entry, cells []object.Value) {
+	e.cells = cells
+	e.bytes = int64(len(cells)) * cellBytes
+	e.elem = c.lru.PushFront(e)
+	ready := e.ready
+	e.ready = nil
+	close(ready)
+	c.resident += e.bytes
+	// Evict before recording the high-water mark, so peak reflects the
+	// post-trim residency: at most the budget, except when a single tile
+	// exceeds it (the just-inserted tile is never evicted — a demanded
+	// tile must be resident while it is served).
+	for c.resident > c.cfg.budget() && c.lru.Len() > 1 {
+		tail := c.lru.Back()
+		ev := tail.Value.(*entry)
+		c.lru.Remove(tail)
+		delete(c.entries, ev.key)
+		c.resident -= ev.bytes
+		c.stats.evictions.Add(1)
+	}
+	if c.resident > c.peak {
+		c.peak = c.resident
+	}
+}
+
+// ctx2done returns ctx.Done(), tolerating a nil ctx (non-cancellable).
+func ctx2done(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
+}

@@ -1,0 +1,333 @@
+package tile
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/aqldb/aql/internal/object"
+)
+
+// seqFetch serves Real(start+i) cells and counts fetch calls, optionally
+// failing calls according to errs (consumed in order).
+type seqFetch struct {
+	calls atomic.Int64
+	mu    sync.Mutex
+	errs  []error
+}
+
+func (s *seqFetch) fetch(ctx context.Context, start, n int) ([]object.Value, error) {
+	s.calls.Add(1)
+	s.mu.Lock()
+	var err error
+	if len(s.errs) > 0 {
+		err, s.errs = s.errs[0], s.errs[1:]
+	}
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]object.Value, n)
+	for i := range out {
+		out[i] = object.Real(float64(start + i))
+	}
+	return out, nil
+}
+
+func TestCellAndRange(t *testing.T) {
+	c := New(Config{TileCells: 4})
+	defer c.Close()
+	f := &seqFetch{}
+	a := c.NewArray(10, f.fetch)
+	for i := 0; i < 10; i++ {
+		v, err := a.Cell(nil, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.R != float64(i) {
+			t.Fatalf("cell %d = %v, want %d", i, v, i)
+		}
+	}
+	cells, err := a.CellRange(nil, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range cells {
+		if v.R != float64(3+i) {
+			t.Fatalf("range cell %d = %v, want %d", i, v, 3+i)
+		}
+	}
+	if _, err := a.Cell(nil, 10); err == nil {
+		t.Error("out-of-range cell read succeeded")
+	}
+	if _, err := a.CellRange(nil, 8, 5); err == nil {
+		t.Error("out-of-range cell range read succeeded")
+	}
+}
+
+func TestSequentialScanCounters(t *testing.T) {
+	c := New(Config{TileCells: 8})
+	defer c.Close()
+	f := &seqFetch{}
+	const n = 8 * 10
+	a := c.NewArray(n, f.fetch)
+	if a.TileCount() != 10 {
+		t.Fatalf("TileCount = %d, want 10", a.TileCount())
+	}
+	for i := 0; i < n; i++ {
+		if _, err := a.Cell(nil, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	// Every tile is fetched from the source exactly once: by demand (miss)
+	// or by readahead.
+	if st.TileMisses+st.Prefetches != 10 {
+		t.Errorf("misses %d + prefetches %d != 10 tiles", st.TileMisses, st.Prefetches)
+	}
+	if f.calls.Load() != 10 {
+		t.Errorf("fetch calls = %d, want 10", f.calls.Load())
+	}
+	if st.Prefetches == 0 || st.PrefetchUseful != st.Prefetches {
+		t.Errorf("sequential scan: prefetches %d, useful %d; want all useful", st.Prefetches, st.PrefetchUseful)
+	}
+	if st.TileHits == 0 {
+		t.Errorf("no tile hits on a repeat-access scan")
+	}
+	if st.BytesScanned != int64(n)*cellPayload {
+		t.Errorf("bytes scanned = %d, want %d", st.BytesScanned, int64(n)*cellPayload)
+	}
+	if st.BytesReturned != int64(n)*cellPayload {
+		t.Errorf("bytes returned = %d, want %d", st.BytesReturned, int64(n)*cellPayload)
+	}
+}
+
+func TestEvictionThrashTwoTileBudget(t *testing.T) {
+	const tc = 4
+	c := New(Config{TileCells: tc, Budget: 2 * tc * cellBytes, NoPrefetch: true})
+	defer c.Close()
+	f := &seqFetch{}
+	const n = tc * 16
+	a := c.NewArray(n, f.fetch)
+	// Three forward scans over 16 tiles with room for 2: every scan after
+	// the first still faults every tile (LRU keeps only the newest two).
+	for scan := 0; scan < 3; scan++ {
+		for i := 0; i < n; i++ {
+			v, err := a.Cell(nil, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v.R != float64(i) {
+				t.Fatalf("scan %d cell %d = %v", scan, i, v)
+			}
+		}
+	}
+	st := c.Stats()
+	if st.TileMisses != 3*16 {
+		t.Errorf("misses = %d, want %d (thrash refetches every tile)", st.TileMisses, 3*16)
+	}
+	if st.Evictions < 3*16-2 {
+		t.Errorf("evictions = %d, want >= %d", st.Evictions, 3*16-2)
+	}
+	if got := c.Resident(); got > 2*tc*cellBytes {
+		t.Errorf("resident %d exceeds budget %d", got, 2*tc*cellBytes)
+	}
+	if got := c.PeakResident(); got > 2*tc*cellBytes {
+		t.Errorf("peak resident %d exceeds budget %d", got, 2*tc*cellBytes)
+	}
+}
+
+func TestParallelWorkersShareOneCache(t *testing.T) {
+	c := New(Config{TileCells: 16})
+	defer c.Close()
+	f := &seqFetch{}
+	const n = 16 * 64
+	a := c.NewArray(n, f.fetch)
+
+	const workers = 12
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each worker scans a strided slice of the cell space, so
+			// workers collide on tiles constantly.
+			for i := w; i < n; i += workers {
+				v, err := a.Cell(context.Background(), i)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if v.R != float64(i) {
+					errs[w] = fmt.Errorf("worker %d: cell %d = %v", w, i, v)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Singleflight: tiles were fetched once each despite 12 workers racing
+	// (prefetch may add fetches for tiles already counted, but never more
+	// than one fetch per tile total because prefetchTile checks presence).
+	if got := f.calls.Load(); got != 64 {
+		t.Errorf("fetch calls = %d, want 64 (one per tile)", got)
+	}
+}
+
+func TestFetchErrorsNotCached(t *testing.T) {
+	boom := errors.New("boom")
+	c := New(Config{TileCells: 4, NoPrefetch: true})
+	defer c.Close()
+	f := &seqFetch{errs: []error{boom}}
+	a := c.NewArray(8, f.fetch)
+	if _, err := a.Cell(nil, 0); !errors.Is(err, boom) {
+		t.Fatalf("first access error = %v, want boom", err)
+	}
+	// The failure was not cached: the next access refetches and succeeds.
+	v, err := a.Cell(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.R != 0 {
+		t.Fatalf("cell 0 after retry = %v", v)
+	}
+	if f.calls.Load() != 2 {
+		t.Errorf("fetch calls = %d, want 2", f.calls.Load())
+	}
+}
+
+func TestCollectorAttribution(t *testing.T) {
+	c := New(Config{TileCells: 4, NoPrefetch: true})
+	defer c.Close()
+	f := &seqFetch{}
+	a := c.NewArray(8, f.fetch)
+
+	ctx1, col1 := WithCollector(context.Background())
+	if _, err := a.Cell(ctx1, 0); err != nil {
+		t.Fatal(err)
+	}
+	ctx2, col2 := WithCollector(context.Background())
+	if _, err := a.Cell(ctx2, 0); err != nil {
+		t.Fatal(err)
+	}
+	s1, s2 := col1.Snapshot(), col2.Snapshot()
+	if s1.TileMisses != 1 || s1.TileHits != 0 {
+		t.Errorf("query 1: misses %d hits %d, want 1/0", s1.TileMisses, s1.TileHits)
+	}
+	if s2.TileMisses != 0 || s2.TileHits != 1 {
+		t.Errorf("query 2: misses %d hits %d, want 0/1", s2.TileMisses, s2.TileHits)
+	}
+	global := c.Stats()
+	if global.TileMisses != 1 || global.TileHits != 1 {
+		t.Errorf("global: misses %d hits %d, want 1/1", global.TileMisses, global.TileHits)
+	}
+}
+
+func TestSpillRoundtrip(t *testing.T) {
+	c := New(Config{TileCells: 3})
+	defer c.Close()
+
+	inner, err := object.Array([]int{2}, []object.Value{object.Nat(7), object.Bottom("inner ⊥")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := []object.Value{
+		object.Real(1.5),
+		object.Bottom("division by zero somewhere"),
+		object.Nat(42),
+		object.Bool(true),
+		object.String_("hello"),
+		object.Base("date", "1996-06-04"),
+		object.Tuple(object.Nat(1), object.Real(-0.25)),
+		inner,
+	}
+	v, err := object.Array([]int{2, 4}, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spilled, err := c.SpillArray(context.Background(), v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spilled.IsLazy() {
+		t.Fatal("spilled value is not lazy")
+	}
+	// Byte-identity including ⊥ diagnostics: the printed forms must match
+	// exactly (the exchange text format would drop the ⊥ messages).
+	if got, want := spilled.String(), v.String(); got != want {
+		t.Errorf("spill roundtrip mismatch:\n got %s\nwant %s", got, want)
+	}
+	st := c.Stats()
+	if st.SpillBytesWritten == 0 || st.SpillBytesRead == 0 {
+		t.Errorf("spill bytes written/read = %d/%d, want non-zero", st.SpillBytesWritten, st.SpillBytesRead)
+	}
+}
+
+func TestOverBudget(t *testing.T) {
+	c := New(Config{Budget: 100 * cellBytes})
+	defer c.Close()
+	if c.OverBudget(100) {
+		t.Error("100 cells over a 100-cell budget")
+	}
+	if !c.OverBudget(101) {
+		t.Error("101 cells not over a 100-cell budget")
+	}
+}
+
+func TestWaiterSurvivesCancelledFetcher(t *testing.T) {
+	c := New(Config{TileCells: 4, NoPrefetch: true})
+	defer c.Close()
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var calls atomic.Int64
+	fetch := func(ctx context.Context, start, n int) ([]object.Value, error) {
+		if calls.Add(1) == 1 {
+			close(started)
+			<-release
+			return nil, ctx.Err() // the cancelled fetcher fails
+		}
+		out := make([]object.Value, n)
+		for i := range out {
+			out[i] = object.Real(float64(start + i))
+		}
+		return out, nil
+	}
+	a := c.NewArray(4, fetch)
+
+	cancelCtx, cancel := context.WithCancel(context.Background())
+	fetcherDone := make(chan error, 1)
+	go func() {
+		_, err := a.Cell(cancelCtx, 0)
+		fetcherDone <- err
+	}()
+	<-started
+	cancel()
+
+	// A second reader with a live context waits on the in-flight fetch,
+	// sees it fail, and re-runs the fetch under its own context.
+	waiterDone := make(chan error, 1)
+	go func() {
+		v, err := a.Cell(context.Background(), 1)
+		if err == nil && v.R != 1 {
+			err = fmt.Errorf("cell 1 = %v", v)
+		}
+		waiterDone <- err
+	}()
+	close(release)
+	if err := <-fetcherDone; err == nil {
+		t.Error("cancelled fetcher returned no error")
+	}
+	if err := <-waiterDone; err != nil {
+		t.Errorf("waiter after cancelled fetcher: %v", err)
+	}
+}

@@ -108,6 +108,13 @@ type EstNode struct {
 	Cells Card `json:"cells"`
 	Cost  Card `json:"cost"`
 
+	// Tiles, set on the root node only, is the estimated number of storage
+	// tiles the query touches: the sum of the tile counts of every lazy
+	// (out-of-core) global it references, i.e. an exact count for full
+	// scans and an upper bound for selective access. Nil when the query
+	// references no lazy arrays.
+	Tiles *Card `json:"tiles,omitempty"`
+
 	Children []*EstNode `json:"children,omitempty"`
 }
 
@@ -169,6 +176,13 @@ type ExplainTable struct {
 	// Shards carries per-shard worker actuals for cluster queries.
 	Shards []ShardActuals `json:"shards,omitempty"`
 
+	// EstTiles is the estimator's full-scan tile count over the lazy
+	// arrays the query references (nil when it references none); ActTiles
+	// is the number of tiles actually fetched from storage during the run
+	// (demand misses plus prefetches — cache hits touch no storage).
+	EstTiles *Card `json:"est_tiles,omitempty"`
+	ActTiles int64 `json:"act_tiles,omitempty"`
+
 	// Misestimates counts flagged rows; WorstQError/WorstOp identify the
 	// worst offender.
 	Misestimates int     `json:"misestimates"`
@@ -229,6 +243,9 @@ func JoinEstimates(est *EstNode, rep *QueryReport, threshold float64) *ExplainTa
 		scoreRow(t, &row)
 		t.Rows = append(t.Rows, row)
 	}
+
+	t.EstTiles = est.Tiles
+	t.ActTiles = rep.IO.TileMisses + rep.IO.TilePrefetches
 
 	for _, sh := range rep.Shards {
 		sa := ShardActuals{Shard: sh.Shard, Worker: sh.Worker}
@@ -345,6 +362,13 @@ func (t *ExplainTable) Format() string {
 	for _, sh := range t.Shards {
 		fmt.Fprintf(&b, "  shard %-2d worker=%s  cells=%d steps=%d\n",
 			sh.Shard, sh.Worker, sh.Cells, sh.Steps)
+	}
+	if t.EstTiles != nil || t.ActTiles > 0 {
+		est := "?"
+		if t.EstTiles != nil {
+			est = t.EstTiles.String()
+		}
+		fmt.Fprintf(&b, "tiles: est %s (full scan), fetched %d\n", est, t.ActTiles)
 	}
 	if t.Misestimates > 0 {
 		fmt.Fprintf(&b, "misestimates: %d (worst q-error %.2f at %s)\n",

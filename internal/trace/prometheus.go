@@ -128,6 +128,22 @@ func writeFleetMetrics(b *MetricWriter, s AggregateSnapshot) {
 	b.Val("aql_io_retries_total", "", s.Totals.IO.Retries)
 	b.Header("aql_io_faults_total", "counter", "NetCDF injected faults observed.")
 	b.Val("aql_io_faults_total", "", s.Totals.IO.Faults)
+	b.Header("aql_io_tile_hits_total", "counter", "Tile-cache demand hits.")
+	b.Val("aql_io_tile_hits_total", "", s.Totals.IO.TileHits)
+	b.Header("aql_io_tile_misses_total", "counter", "Tile-cache demand misses (tiles faulted in).")
+	b.Val("aql_io_tile_misses_total", "", s.Totals.IO.TileMisses)
+	b.Header("aql_io_tile_prefetches_total", "counter", "Tile readahead fetches.")
+	b.Val("aql_io_tile_prefetches_total", "", s.Totals.IO.TilePrefetches)
+	b.Header("aql_io_tile_prefetch_useful_total", "counter", "Prefetched tiles later served on demand.")
+	b.Val("aql_io_tile_prefetch_useful_total", "", s.Totals.IO.TilePrefetchUseful)
+	b.Header("aql_io_bytes_scanned_total", "counter", "Nominal bytes fetched from storage into the tile cache.")
+	b.Val("aql_io_bytes_scanned_total", "", s.Totals.IO.BytesScanned)
+	b.Header("aql_io_bytes_returned_total", "counter", "Nominal bytes of cells delivered to queries.")
+	b.Val("aql_io_bytes_returned_total", "", s.Totals.IO.BytesReturned)
+	b.Header("aql_io_spill_bytes_written_total", "counter", "Bytes written to the spill file.")
+	b.Val("aql_io_spill_bytes_written_total", "", s.Totals.IO.SpillBytesWritten)
+	b.Header("aql_io_spill_bytes_read_total", "counter", "Bytes read back from the spill file.")
+	b.Val("aql_io_spill_bytes_read_total", "", s.Totals.IO.SpillBytesRead)
 }
 
 // phaseNames orders phase labels: standard pipeline phases first (those

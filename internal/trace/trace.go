@@ -93,6 +93,18 @@ type IOCounters struct {
 	// Faults counts injected faults observed by a FaultyReaderAt (tests
 	// and soak runs).
 	Faults int64 `json:"faults"`
+	// Tile-cache counters (out-of-core lazy arrays): demand lookups served
+	// from cache vs. faulted in, readahead fetches and how many of them a
+	// later demand actually used, nominal bytes fetched from storage vs.
+	// delivered to the query, and spill-file traffic.
+	TileHits           int64 `json:"tile_hits,omitempty"`
+	TileMisses         int64 `json:"tile_misses,omitempty"`
+	TilePrefetches     int64 `json:"tile_prefetches,omitempty"`
+	TilePrefetchUseful int64 `json:"tile_prefetch_useful,omitempty"`
+	BytesScanned       int64 `json:"bytes_scanned,omitempty"`
+	BytesReturned      int64 `json:"bytes_returned,omitempty"`
+	SpillBytesWritten  int64 `json:"spill_bytes_written,omitempty"`
+	SpillBytesRead     int64 `json:"spill_bytes_read,omitempty"`
 }
 
 // Add accumulates other into c.
@@ -104,6 +116,14 @@ func (c *IOCounters) Add(other IOCounters) {
 	c.Prefetches += other.Prefetches
 	c.Retries += other.Retries
 	c.Faults += other.Faults
+	c.TileHits += other.TileHits
+	c.TileMisses += other.TileMisses
+	c.TilePrefetches += other.TilePrefetches
+	c.TilePrefetchUseful += other.TilePrefetchUseful
+	c.BytesScanned += other.BytesScanned
+	c.BytesReturned += other.BytesReturned
+	c.SpillBytesWritten += other.SpillBytesWritten
+	c.SpillBytesRead += other.SpillBytesRead
 }
 
 // IsZero reports whether no I/O was observed.

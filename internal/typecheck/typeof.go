@@ -57,6 +57,13 @@ func typeOf(v object.Value, fresh *int) (*types.Type, error) {
 		}
 		return types.Set(elem), nil
 	case object.KArray:
+		if v.IsLazy() {
+			// Lazy arrays are numeric NetCDF variables (or spilled copies
+			// of them): typed without materializing the cells. Cells are
+			// reals, with ⊥ for non-finite values — same element type a
+			// materialized read would produce.
+			return types.Array(types.Real, len(v.Shape)), nil
+		}
 		elem, err := elemType(v.Data, fresh)
 		if err != nil {
 			return nil, err
